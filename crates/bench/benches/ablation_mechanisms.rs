@@ -1,0 +1,54 @@
+//! Mechanism ablations: the simulated cost/benefit of individual
+//! features, measured by toggling exactly one knob on a fixed scenario.
+//! These benchmark the *simulation* of each mechanism (and double as a
+//! performance regression net for the hot paths each mechanism adds).
+
+use bench::{quick_opts, BenchScenario};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtnperf::prelude::*;
+
+fn base() -> BenchScenario {
+    BenchScenario {
+        name: "copy_baseline",
+        host: Testbeds::amlight_host(KernelVersion::L6_8),
+        path: Testbeds::amlight_path(AmLightPath::Wan25ms),
+        opts: quick_opts(2),
+    }
+}
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mechanisms");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    let copy = base();
+    group.bench_function("copy_send_path", |b| b.iter(|| copy.run()));
+
+    let mut zc = base();
+    zc.opts = zc.opts.zerocopy();
+    group.bench_function("zerocopy_send_path", |b| b.iter(|| zc.run()));
+
+    let mut paced = base();
+    paced.opts = paced.opts.fq_rate(BitRate::gbps(30.0));
+    group.bench_function("fq_pacing", |b| b.iter(|| paced.run()));
+
+    let mut trunc = base();
+    trunc.opts = trunc.opts.skip_rx_copy();
+    group.bench_function("skip_rx_copy", |b| b.iter(|| trunc.run()));
+
+    let mut bbr = base();
+    bbr.opts = bbr.opts.congestion(CcAlgorithm::BbrV1);
+    group.bench_function("bbr_congestion_control", |b| b.iter(|| bbr.run()));
+
+    // Loss recovery: a path with random loss exercises SACK/fast
+    // retransmit/TLP continuously.
+    let mut lossy = base();
+    lossy.path = lossy.path.with_random_loss(1e-4);
+    group.bench_function("loss_recovery", |b| b.iter(|| lossy.run()));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mechanisms);
+criterion_main!(benches);

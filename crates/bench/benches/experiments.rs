@@ -1,0 +1,34 @@
+//! One Criterion target per paper table/figure.
+//!
+//! Each target runs that artefact's *headline scenario* end to end
+//! (single repetition, short duration) so `cargo bench` exercises and
+//! times every reproduction path. The full multi-repetition artefact
+//! regeneration — mean/stdev/min/max over ≥5 seeds at paper-scale
+//! durations — is the `repro` binary:
+//!
+//! ```text
+//! cargo run --release -p harness --bin repro -- all
+//! ```
+
+use bench::paper_scenarios;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_paper_artefacts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for scenario in paper_scenarios() {
+        group.bench_function(scenario.name, |b| {
+            b.iter(|| {
+                let gbps = scenario.run();
+                assert!(gbps > 0.1, "{} produced {gbps:.2} Gbps", scenario.name);
+                gbps
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paper_artefacts);
+criterion_main!(benches);

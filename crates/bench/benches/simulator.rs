@@ -1,0 +1,72 @@
+//! Raw simulator performance: how fast the discrete-event engine
+//! chews through representative workloads (reported as wall time per
+//! simulated test; the event counts are printed by `--nocapture`
+//! diagnostics elsewhere).
+
+use bench::{quick_opts, BenchScenario};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtnperf::prelude::*;
+
+fn scenario_lan_single() -> BenchScenario {
+    BenchScenario {
+        name: "lan_single",
+        host: Testbeds::esnet_host(KernelVersion::L6_8),
+        path: Testbeds::esnet_path(EsnetPath::Lan),
+        opts: quick_opts(1),
+    }
+}
+
+fn scenario_wan_paced() -> BenchScenario {
+    BenchScenario {
+        name: "wan_paced",
+        host: Testbeds::amlight_host(KernelVersion::L6_8),
+        path: Testbeds::amlight_path(AmLightPath::Wan25ms),
+        opts: quick_opts(2).zerocopy().fq_rate(BitRate::gbps(50.0)),
+    }
+}
+
+fn scenario_multiflow() -> BenchScenario {
+    BenchScenario {
+        name: "multiflow",
+        host: Testbeds::esnet_host(KernelVersion::L5_15),
+        path: Testbeds::esnet_path(EsnetPath::Lan),
+        opts: quick_opts(1).parallel(8),
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for scenario in [scenario_lan_single(), scenario_wan_paced(), scenario_multiflow()] {
+        group.bench_function(scenario.name, |b| {
+            b.iter(|| {
+                let gbps = scenario.run();
+                assert!(gbps > 0.5, "{}: {gbps}", scenario.name);
+                gbps
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    use dtnperf::simcore::{EventQueue, SimTime};
+    c.bench_function("event_queue_push_pop_100k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..100_000u64 {
+                q.push(SimTime::from_nanos((i * 7919) % 1_000_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_engine, bench_event_queue);
+criterion_main!(benches);

@@ -1,0 +1,187 @@
+//! `bench` — benchmark scenarios shared by the Criterion targets.
+//!
+//! Three bench suites live in `benches/`:
+//!
+//! * `simulator` — raw discrete-event-simulator performance
+//!   (events/second) on representative workloads;
+//! * `experiments` — one target per paper table/figure, each running
+//!   that artefact's headline scenario end to end (the full
+//!   multi-repetition regeneration lives in the `repro` binary of the
+//!   `harness` crate: `cargo run -p harness --bin repro -- all`);
+//! * `ablation_mechanisms` — the cost of individual mechanisms
+//!   (zerocopy accounting, pacing, loss recovery) measured by toggling
+//!   them on one fixed scenario.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dtnperf::prelude::*;
+
+/// A named, ready-to-run single scenario for benches.
+pub struct BenchScenario {
+    /// Bench target id.
+    pub name: &'static str,
+    /// Client/server host.
+    pub host: HostConfig,
+    /// Path.
+    pub path: PathSpec,
+    /// iperf3 flags.
+    pub opts: Iperf3Opts,
+}
+
+impl BenchScenario {
+    /// Execute once, returning total goodput in Gbps (so Criterion can
+    /// assert the run really happened).
+    pub fn run(&self) -> f64 {
+        iperf3_run(&self.host, &self.host, &self.path, &self.opts)
+            .expect("bench scenario must be valid")
+            .sum_bitrate()
+            .as_gbps()
+    }
+}
+
+/// Short-duration options used by bench targets.
+pub fn quick_opts(secs: u64) -> Iperf3Opts {
+    Iperf3Opts::new(secs).omit(0)
+}
+
+/// The headline scenario of each paper artefact, one per entry.
+pub fn paper_scenarios() -> Vec<BenchScenario> {
+    let intel68 = Testbeds::amlight_host(KernelVersion::L6_8);
+    let intel65 = Testbeds::amlight_host(KernelVersion::L6_5);
+    let intel510 = Testbeds::amlight_host(KernelVersion::L5_10);
+    let amd68 = Testbeds::esnet_host(KernelVersion::L6_8);
+    let amd515 = Testbeds::esnet_host(KernelVersion::L5_15);
+    let mut bigtcp = intel68.clone();
+    bigtcp.offload = bigtcp
+        .offload
+        .with_big_tcp(dtnperf::linuxhost::offload::PAPER_BIG_TCP_SIZE, KernelVersion::L6_8);
+
+    vec![
+        BenchScenario {
+            name: "fig04_vm_vs_baremetal",
+            host: intel510,
+            path: Testbeds::amlight_path(AmLightPath::Lan),
+            opts: quick_opts(2),
+        },
+        BenchScenario {
+            name: "fig05_single_stream_amlight",
+            host: intel68.clone(),
+            path: Testbeds::amlight_path(AmLightPath::Wan25ms),
+            opts: quick_opts(4).zerocopy().fq_rate(BitRate::gbps(50.0)),
+        },
+        BenchScenario {
+            name: "fig06_single_stream_esnet",
+            host: amd68.clone(),
+            path: Testbeds::esnet_path(EsnetPath::Wan),
+            opts: quick_opts(4).zerocopy().fq_rate(BitRate::gbps(40.0)),
+        },
+        BenchScenario {
+            name: "fig07_cpu_intel",
+            host: intel65.clone(),
+            path: Testbeds::amlight_path(AmLightPath::Lan),
+            opts: quick_opts(2),
+        },
+        BenchScenario {
+            name: "fig08_cpu_amd",
+            host: Testbeds::esnet_host(KernelVersion::L6_5),
+            path: Testbeds::esnet_path(EsnetPath::Lan),
+            opts: quick_opts(2),
+        },
+        BenchScenario {
+            name: "fig09_optmem_sweep",
+            host: intel65.with_optmem(Bytes::mib(1)),
+            path: Testbeds::amlight_path(AmLightPath::Wan104ms),
+            opts: quick_opts(5).zerocopy().fq_rate(BitRate::gbps(50.0)),
+        },
+        BenchScenario {
+            name: "fig10_multistream_esnet",
+            host: amd68.clone(),
+            path: Testbeds::esnet_path(EsnetPath::Wan),
+            opts: quick_opts(3).parallel(8).zerocopy().fq_rate(BitRate::gbps(15.0)),
+        },
+        BenchScenario {
+            name: "fig11_multistream_amlight",
+            host: intel68.clone(),
+            path: Testbeds::amlight_path(AmLightPath::Wan25ms),
+            opts: quick_opts(3).parallel(8).zerocopy().fq_rate(BitRate::gbps(10.0)),
+        },
+        BenchScenario {
+            name: "fig12_kernels_esnet",
+            host: amd515.clone(),
+            path: Testbeds::esnet_path(EsnetPath::Lan),
+            opts: quick_opts(2),
+        },
+        BenchScenario {
+            name: "fig13_kernels_amlight",
+            host: Testbeds::amlight_host(KernelVersion::L5_15),
+            path: Testbeds::amlight_path(AmLightPath::Lan),
+            opts: quick_opts(2),
+        },
+        BenchScenario {
+            name: "table1_esnet_lan",
+            host: amd515.clone(),
+            path: Testbeds::esnet_path(EsnetPath::Lan),
+            opts: quick_opts(2).parallel(8).fq_rate(BitRate::gbps(15.0)),
+        },
+        BenchScenario {
+            name: "table2_esnet_wan",
+            host: amd515,
+            path: Testbeds::esnet_path(EsnetPath::Wan),
+            opts: quick_opts(4).parallel(8).fq_rate(BitRate::gbps(15.0)),
+        },
+        BenchScenario {
+            name: "table3_flow_control",
+            host: Testbeds::prod_dtn_host(),
+            path: Testbeds::prod_dtn_path(),
+            opts: quick_opts(4).parallel(8).fq_rate(BitRate::gbps(10.0)),
+        },
+        BenchScenario {
+            name: "ext_hw_gro",
+            host: {
+                let mut cfg = Testbeds::amlight_host(KernelVersion::L6_11);
+                cfg.nic = NicModel::ConnectX7;
+                cfg.offload = cfg.offload.with_hw_gro(KernelVersion::L6_11);
+                cfg
+            },
+            path: Testbeds::amlight_path(AmLightPath::Lan),
+            opts: quick_opts(2),
+        },
+        BenchScenario {
+            name: "ext_bigtcp_zc",
+            host: {
+                let mut cfg = bigtcp;
+                cfg.offload = cfg.offload.with_max_skb_frags(45, KernelVersion::L6_8);
+                cfg
+            },
+            path: Testbeds::amlight_path(AmLightPath::Lan),
+            opts: quick_opts(2).zerocopy().fq_rate(BitRate::gbps(85.0)),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_paper_artefact_has_a_bench_scenario() {
+        let names: Vec<&str> = paper_scenarios().iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), 15);
+        for prefix in ["fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "table1", "table2", "table3", "ext_hw_gro", "ext_bigtcp_zc"] {
+            assert!(
+                names.iter().any(|n| n.starts_with(prefix)),
+                "no bench scenario for {prefix}"
+            );
+        }
+    }
+
+    #[test]
+    fn scenarios_run_and_move_data() {
+        // Spot-check a cheap one end to end.
+        let scenarios = paper_scenarios();
+        let fig12 = scenarios.iter().find(|s| s.name.starts_with("fig12")).unwrap();
+        let gbps = fig12.run();
+        assert!(gbps > 10.0, "fig12 bench scenario produced {gbps:.1} Gbps");
+    }
+}

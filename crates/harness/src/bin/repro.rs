@@ -1,0 +1,85 @@
+//! `repro` — regenerate the paper's tables and figures from the
+//! command line.
+//!
+//! ```text
+//! repro list                 # what can be reproduced
+//! repro fig05                # one figure
+//! repro table1 table2        # several artefacts
+//! repro all                  # everything (long)
+//! repro ablations            # the design-choice ablations
+//! REPRO_EFFORT=smoke repro fig05    # quick CI-sized run
+//! REPRO_EFFORT=full  repro all      # paper-faithful 60 s × 10 reps
+//! ```
+
+use harness::experiments::{ablations, ExperimentId};
+use harness::Effort;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let effort = Effort::from_env();
+    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
+        usage();
+        return;
+    }
+    if args[0] == "list" {
+        println!("available experiments (set REPRO_EFFORT=smoke|standard|full):");
+        for id in ExperimentId::ALL {
+            println!("  {}", id.name());
+        }
+        println!("  ablations");
+        println!("  all");
+        return;
+    }
+    for arg in &args {
+        match arg.as_str() {
+            "all" => {
+                for id in ExperimentId::ALL {
+                    run_one(id, effort);
+                }
+                println!("{}", ablations::run_all_rendered(effort));
+            }
+            "ablations" => println!("{}", ablations::run_all_rendered(effort)),
+            name => match ExperimentId::ALL.iter().find(|id| id.name() == name) {
+                Some(&id) => run_one(id, effort),
+                None => {
+                    eprintln!("unknown experiment '{name}' — try 'repro list'");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+}
+
+fn run_one(id: ExperimentId, effort: Effort) {
+    eprintln!("running {} at {effort:?} effort...", id.name());
+    let start = std::time::Instant::now();
+    let artifact = id.run(effort);
+    println!("{}", artifact.render_ascii());
+    // Open data: dump CSVs when REPRO_CSV_DIR is set (the paper
+    // releases all collected data; so do we).
+    if let Some(dir) = std::env::var_os("REPRO_CSV_DIR") {
+        let dir = PathBuf::from(dir);
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+        } else {
+            for (name, csv) in artifact.to_csv_files(id.name()) {
+                let path = dir.join(name);
+                if let Err(e) = std::fs::write(&path, csv) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                } else {
+                    eprintln!("wrote {}", path.display());
+                }
+            }
+        }
+    }
+    eprintln!("({} done in {:.1}s)\n", id.name(), start.elapsed().as_secs_f64());
+}
+
+fn usage() {
+    eprintln!(
+        "usage: repro [list | all | ablations | fig04..fig13 | table1..table3 | ext_hw_gro | ext_bigtcp_zc]...\n\
+         environment: REPRO_EFFORT=smoke|standard|full (default standard)\n\
+                      REPRO_CSV_DIR=<dir> to also dump CSV data files"
+    );
+}

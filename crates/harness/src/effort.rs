@@ -1,0 +1,105 @@
+//! Effort levels: how faithfully to reproduce the paper's 60-second,
+//! ≥10-repetition methodology vs how long you're willing to wait.
+
+/// Simulation effort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Effort {
+    /// CI-sized: 2 repetitions, short runs. Shapes hold; stdev columns
+    /// are noisy.
+    Smoke,
+    /// Default: 5 repetitions, mid-length runs (WAN flows reach steady
+    /// state).
+    #[default]
+    Standard,
+    /// Paper-faithful: 10 repetitions of 60-second tests (§III-G).
+    Full,
+}
+
+impl Effort {
+    /// Repetitions per configuration ("run a minimum of 10 times").
+    pub fn repetitions(self) -> usize {
+        match self {
+            Effort::Smoke => 2,
+            Effort::Standard => 5,
+            Effort::Full => 10,
+        }
+    }
+
+    /// Duration (seconds) for single-stream LAN tests.
+    pub fn lan_secs(self) -> u64 {
+        match self {
+            Effort::Smoke => 3,
+            Effort::Standard => 8,
+            Effort::Full => 60,
+        }
+    }
+
+    /// Duration (seconds) for WAN tests — long enough for slow start
+    /// plus CUBIC convergence at 100+ ms RTTs.
+    pub fn wan_secs(self) -> u64 {
+        match self {
+            Effort::Smoke => 6,
+            Effort::Standard => 18,
+            Effort::Full => 60,
+        }
+    }
+
+    /// Duration (seconds) for 8-stream tests (more events per second).
+    pub fn multi_secs(self) -> u64 {
+        match self {
+            Effort::Smoke => 4,
+            Effort::Standard => 14,
+            Effort::Full => 60,
+        }
+    }
+
+    /// Warm-up seconds excluded from measurements (`iperf3 -O`).
+    pub fn omit_secs(self, wan: bool) -> u64 {
+        match self {
+            Effort::Smoke => if wan { 2 } else { 0 },
+            Effort::Standard => if wan { 4 } else { 1 },
+            Effort::Full => if wan { 5 } else { 2 },
+        }
+    }
+
+    /// Read `REPRO_EFFORT` from the environment (`smoke` / `standard` /
+    /// `full`), defaulting to [`Effort::Standard`].
+    pub fn from_env() -> Self {
+        match std::env::var("REPRO_EFFORT").as_deref() {
+            Ok("smoke") => Effort::Smoke,
+            Ok("full") => Effort::Full,
+            _ => Effort::Standard,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_ladder_is_monotone() {
+        let e = [Effort::Smoke, Effort::Standard, Effort::Full];
+        for w in e.windows(2) {
+            assert!(w[0].repetitions() <= w[1].repetitions());
+            assert!(w[0].lan_secs() <= w[1].lan_secs());
+            assert!(w[0].wan_secs() <= w[1].wan_secs());
+            assert!(w[0].multi_secs() <= w[1].multi_secs());
+        }
+    }
+
+    #[test]
+    fn full_matches_paper_methodology() {
+        assert_eq!(Effort::Full.repetitions(), 10);
+        assert_eq!(Effort::Full.lan_secs(), 60);
+        assert_eq!(Effort::Full.wan_secs(), 60);
+    }
+
+    #[test]
+    fn omit_shorter_than_duration() {
+        for e in [Effort::Smoke, Effort::Standard, Effort::Full] {
+            assert!(e.omit_secs(true) < e.wan_secs());
+            assert!(e.omit_secs(false) < e.lan_secs());
+        }
+    }
+}

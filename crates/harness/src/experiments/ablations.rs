@@ -1,0 +1,320 @@
+//! Ablations of the design choices the paper's tuning guide calls out.
+//!
+//! Each of these isolates one knob from §III-A/§III-D and shows its
+//! effect — the "what happens if you skip this step" companion to the
+//! paper's recommendations.
+
+use super::common::{run_row, throughput_figure};
+use crate::effort::Effort;
+use crate::render::{FigureData, TableData};
+use crate::scenario::Scenario;
+use crate::testbeds::{AmLightPath, EsnetPath, Testbeds};
+use iperf3sim::Iperf3Opts;
+use linuxhost::{CoreAllocation, HostConfig, KernelVersion, SysctlConfig};
+use simcore::BitRate;
+use tcpstack::CcAlgorithm;
+
+/// §III-A — core affinity: with `irqbalance` left on, "the performance
+/// of a single 100G flow can vary from 20 Gbps to 55 Gbps on the same
+/// hardware". Reports tuned vs untuned pinning, min–max across runs.
+pub fn core_affinity(effort: Effort) -> TableData {
+    let tuned = Testbeds::amlight_host(KernelVersion::L6_8);
+    let mut untuned = tuned.clone();
+    untuned.cores = CoreAllocation::stock(32);
+    untuned.name = "amlight-intel-irqbalance".into();
+    let path = Testbeds::amlight_path(AmLightPath::Lan);
+    let opts = Iperf3Opts::new(effort.lan_secs()).omit(effort.omit_secs(false));
+    // Extra repetitions: the whole point is the placement lottery.
+    let reps = (effort.repetitions() * 2).max(6);
+    let harness = crate::runner::TestHarness::new(reps);
+    let mut table = TableData::new(
+        "Ablation: IRQ/app core affinity (Intel LAN, single stream)",
+        vec!["Configuration", "Mean", "Min", "Max", "stdev"],
+    );
+    for (label, host) in [("pinned (paper SIII-A)", tuned), ("irqbalance + floating app", untuned)] {
+        let s = harness.run(&Scenario::symmetric(label, host, path.clone(), opts.clone()));
+        table.push_row(vec![
+            label.into(),
+            format!("{:.1} Gbps", s.throughput_gbps.mean),
+            format!("{:.1}", s.throughput_gbps.min),
+            format!("{:.1}", s.throughput_gbps.max),
+            format!("{:.1}", s.throughput_gbps.stdev),
+        ]);
+    }
+    table
+}
+
+/// §III-D — `iommu=pt`: lifted 8-stream throughput from 80 to
+/// 181 Gbps on the ESnet hosts (kernel 5.15).
+pub fn iommu_passthrough(effort: Effort) -> TableData {
+    let on = Testbeds::esnet_host(KernelVersion::L5_15);
+    let mut off = on.clone();
+    off.iommu_pt = false;
+    off.name = "esnet-amd-no-iommu-pt".into();
+    let path = Testbeds::esnet_path(EsnetPath::Lan);
+    let opts = Iperf3Opts::new(effort.multi_secs()).omit(effort.omit_secs(false)).parallel(8);
+    let scenarios = [
+        Scenario::symmetric("iommu=pt", on, path.clone(), opts.clone()),
+        Scenario::symmetric("default IOMMU", off, path, opts),
+    ];
+    let summaries = run_row(&scenarios, effort);
+    let mut table = TableData::new(
+        "Ablation: iommu=pt (AMD, 8 streams, kernel 5.15; paper: 80 -> 181 Gbps)",
+        vec!["Configuration", "Ave Tput", "stdev"],
+    );
+    for s in &summaries {
+        table.push_row(vec![
+            s.label.clone(),
+            format!("{:.0} Gbps", s.throughput_gbps.mean),
+            format!("{:.1}", s.throughput_gbps.stdev),
+        ]);
+    }
+    table
+}
+
+/// §III-D — `tcp_rmem`/`tcp_wmem` ceilings: stock 6 MB buffers
+/// strangle a 104 ms path to under a gigabit.
+pub fn buffer_sysctls(effort: Effort) -> TableData {
+    let tuned = Testbeds::amlight_host(KernelVersion::L6_8);
+    let mut stock = tuned.clone();
+    stock.sysctl = SysctlConfig::stock();
+    // Keep fq so the comparison isolates buffer sizes from pacing.
+    stock.sysctl.default_qdisc = linuxhost::Qdisc::Fq;
+    stock.name = "amlight-intel-stock-buffers".into();
+    let mut table = TableData::new(
+        "Ablation: tcp_rmem/tcp_wmem ceilings (Intel, single stream)",
+        vec!["Path", "stock sysctls", "fasterdata tuned"],
+    );
+    for p in [AmLightPath::Lan, AmLightPath::Wan104ms] {
+        let opts = Iperf3Opts::new(if p == AmLightPath::Lan {
+            effort.lan_secs()
+        } else {
+            effort.wan_secs()
+        })
+        .omit(effort.omit_secs(p != AmLightPath::Lan));
+        let row = run_row(
+            &[
+                Scenario::symmetric("stock", stock.clone(), Testbeds::amlight_path(p), opts.clone()),
+                Scenario::symmetric("tuned", tuned.clone(), Testbeds::amlight_path(p), opts),
+            ],
+            effort,
+        );
+        table.push_row(vec![
+            p.label().into(),
+            format!("{:.2} Gbps", row[0].throughput_gbps.mean),
+            format!("{:.2} Gbps", row[1].throughput_gbps.mean),
+        ]);
+    }
+    table
+}
+
+/// §III-D — RX ring sizing (`ethtool -G rx 8192`): deeper rings absorb
+/// longer line-rate trains before dropping (helped the AMD hosts).
+pub fn ring_size(effort: Effort) -> TableData {
+    let tuned = Testbeds::esnet_host(KernelVersion::L6_8);
+    let mut small = tuned.clone();
+    small.ring_entries = Some(1024);
+    small.name = "esnet-amd-ring1024".into();
+    let path = Testbeds::esnet_path(EsnetPath::Wan);
+    // Unpaced zerocopy pushes line-rate trains at the receiver — the
+    // scenario ring depth protects against.
+    let opts = Iperf3Opts::new(effort.wan_secs()).omit(effort.omit_secs(true)).zerocopy();
+    let scenarios = [
+        Scenario::symmetric("rx ring 8192", tuned, path.clone(), opts.clone()),
+        Scenario::symmetric("rx ring 1024", small, path, opts),
+    ];
+    let summaries = run_row(&scenarios, effort);
+    let mut table = TableData::new(
+        "Ablation: RX ring depth (AMD, single stream, zerocopy unpaced, WAN)",
+        vec!["Configuration", "Ave Tput", "Retr"],
+    );
+    for s in &summaries {
+        table.push_row(vec![
+            s.label.clone(),
+            format!("{:.1} Gbps", s.throughput_gbps.mean),
+            format!("{:.0}", s.retr.mean),
+        ]);
+    }
+    table
+}
+
+/// §IV-F — congestion control: CUBIC vs BBRv1 vs BBRv3 on the clean
+/// testbed WAN. Throughput is similar; BBR (v1 especially)
+/// retransmits more.
+pub fn congestion_control(effort: Effort) -> TableData {
+    let host = Testbeds::esnet_host(KernelVersion::L6_8);
+    let path = Testbeds::esnet_path(EsnetPath::Wan);
+    let mut table = TableData::new(
+        "Ablation: congestion control (AMD, single stream, clean WAN)",
+        vec!["Algorithm", "Ave Tput", "Retr", "stdev"],
+    );
+    let scenarios: Vec<Scenario> = [CcAlgorithm::Cubic, CcAlgorithm::BbrV1, CcAlgorithm::BbrV3]
+        .iter()
+        .map(|&cc| {
+            Scenario::symmetric(
+                cc.name(),
+                host.clone(),
+                path.clone(),
+                Iperf3Opts::new(effort.wan_secs())
+                    .omit(effort.omit_secs(true))
+                    .congestion(cc),
+            )
+        })
+        .collect();
+    for s in &run_row(&scenarios, effort) {
+        table.push_row(vec![
+            s.label.clone(),
+            format!("{:.1} Gbps", s.throughput_gbps.mean),
+            format!("{:.0}", s.retr.mean),
+            format!("{:.1}", s.throughput_gbps.stdev),
+        ]);
+    }
+    table
+}
+
+/// MTU 1500 vs 9000 (§V-C gives the 1500-byte baseline of 24 Gbps).
+pub fn mtu(effort: Effort) -> FigureData {
+    let mk_host = |mtu: u64| {
+        let mut cfg = Testbeds::amlight_host(KernelVersion::L6_8);
+        cfg.offload = linuxhost::OffloadConfig::standard(simcore::Bytes::new(mtu));
+        cfg
+    };
+    let lan = Testbeds::amlight_path(AmLightPath::Lan);
+    let opts = Iperf3Opts::new(effort.lan_secs()).omit(effort.omit_secs(false));
+    let grid = vec![
+        (
+            "MTU 9000".to_string(),
+            vec![Scenario::symmetric("MTU 9000", mk_host(9000), lan.clone(), opts.clone())],
+        ),
+        (
+            "MTU 1500".to_string(),
+            vec![Scenario::symmetric("MTU 1500", mk_host(1500), lan, opts)],
+        ),
+    ];
+    throughput_figure(
+        "Ablation: MTU (Intel LAN, single stream, default settings)",
+        vec!["LAN".into()],
+        grid,
+        effort,
+    )
+}
+
+/// `--skip-rx-copy` (MSG_TRUNC): removes the receiver copy so sender
+/// limits show — the flag patch #1690 adds for exactly this purpose.
+pub fn skip_rx_copy(effort: Effort) -> TableData {
+    let host = Testbeds::amlight_host(KernelVersion::L6_8);
+    let lan = Testbeds::amlight_path(AmLightPath::Lan);
+    let base = Iperf3Opts::new(effort.lan_secs()).omit(effort.omit_secs(false));
+    let scenarios = [
+        Scenario::symmetric("normal receive", host.clone(), lan.clone(), base.clone()),
+        Scenario::symmetric("--skip-rx-copy", host, lan, base.skip_rx_copy()),
+    ];
+    let summaries = run_row(&scenarios, effort);
+    let mut table = TableData::new(
+        "Ablation: --skip-rx-copy (Intel LAN, single stream)",
+        vec!["Configuration", "Ave Tput", "Receiver CPU"],
+    );
+    for s in &summaries {
+        table.push_row(vec![
+            s.label.clone(),
+            format!("{:.1} Gbps", s.throughput_gbps.mean),
+            format!("{:.0}%", s.receiver_cpu_pct.mean),
+        ]);
+    }
+    table
+}
+
+/// §II-C: "We tested BIG TCP for both IPv4 and IPv6, but found no
+/// significant difference" — reproduce that null result.
+pub fn address_family(effort: Effort) -> TableData {
+    let mk = |v6: bool| {
+        let mut cfg = Testbeds::amlight_host(KernelVersion::L6_8);
+        if v6 {
+            cfg.offload = cfg.offload.with_ipv6();
+        }
+        cfg.offload = cfg
+            .offload
+            .with_big_tcp(linuxhost::offload::PAPER_BIG_TCP_SIZE, KernelVersion::L6_8);
+        cfg
+    };
+    let lan = Testbeds::amlight_path(AmLightPath::Lan);
+    let opts = Iperf3Opts::new(effort.lan_secs()).omit(effort.omit_secs(false));
+    let scenarios = [
+        Scenario::symmetric("BIG TCP over IPv4", mk(false), lan.clone(), opts.clone()),
+        Scenario::symmetric("BIG TCP over IPv6", mk(true), lan, opts),
+    ];
+    let summaries = run_row(&scenarios, effort);
+    let mut table = TableData::new(
+        "Ablation: IPv4 vs IPv6 BIG TCP (Intel LAN, single stream; paper: no difference)",
+        vec!["Family", "Ave Tput", "stdev"],
+    );
+    for s in &summaries {
+        table.push_row(vec![
+            s.label.clone(),
+            format!("{:.1} Gbps", s.throughput_gbps.mean),
+            format!("{:.2}", s.throughput_gbps.stdev),
+        ]);
+    }
+    table
+}
+
+/// Pacing-rate sweep around the Fig. 10 operating points: where does
+/// per-flow pacing stop paying?
+pub fn pacing_sweep(effort: Effort) -> FigureData {
+    let host = Testbeds::esnet_host(KernelVersion::L6_8);
+    let path = Testbeds::esnet_path(EsnetPath::Wan);
+    let rates = [5.0, 10.0, 15.0, 20.0, 25.0];
+    let mut fig = FigureData::new(
+        "Ablation: per-flow pacing sweep (AMD WAN, 8 flows, zerocopy)",
+        "Gbps",
+        rates.iter().map(|r| format!("{r:.0}G/flow")).collect(),
+    );
+    let scenarios: Vec<Scenario> = rates
+        .iter()
+        .map(|&g| {
+            Scenario::symmetric(
+                format!("pace {g}G"),
+                host.clone(),
+                path.clone(),
+                Iperf3Opts::new(effort.multi_secs())
+                    .omit(effort.omit_secs(true))
+                    .parallel(8)
+                    .zerocopy()
+                    .fq_rate(BitRate::gbps(g)),
+            )
+        })
+        .collect();
+    let summaries = run_row(&scenarios, effort);
+    fig.push_series(
+        "aggregate throughput",
+        summaries.iter().map(|s| s.throughput_gbps).collect(),
+    );
+    fig
+}
+
+/// Run every ablation and render.
+pub fn run_all_rendered(effort: Effort) -> String {
+    let mut out = String::new();
+    out.push_str(&core_affinity(effort).render_ascii());
+    out.push('\n');
+    out.push_str(&iommu_passthrough(effort).render_ascii());
+    out.push('\n');
+    out.push_str(&buffer_sysctls(effort).render_ascii());
+    out.push('\n');
+    out.push_str(&ring_size(effort).render_ascii());
+    out.push('\n');
+    out.push_str(&congestion_control(effort).render_ascii());
+    out.push('\n');
+    out.push_str(&mtu(effort).render_ascii());
+    out.push('\n');
+    out.push_str(&skip_rx_copy(effort).render_ascii());
+    out.push('\n');
+    out.push_str(&address_family(effort).render_ascii());
+    out.push('\n');
+    out.push_str(&pacing_sweep(effort).render_ascii());
+    out
+}
+
+/// Unused import guard (HostConfig is used in doc positions).
+#[allow(dead_code)]
+fn _t(_: &HostConfig) {}

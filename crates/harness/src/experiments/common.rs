@@ -1,0 +1,60 @@
+//! Shared helpers for the experiment definitions.
+
+use crate::effort::Effort;
+use crate::render::{FigureData, Series};
+use crate::runner::{TestHarness, TestSummary};
+use crate::scenario::Scenario;
+use simcore::{RunningStats, Summary};
+
+/// Run a grid of scenarios (series × x-positions) and assemble a
+/// throughput figure. `grid[s][x]` is the scenario for series `s` at
+/// x-position `x`.
+pub fn throughput_figure(
+    title: &str,
+    x_labels: Vec<String>,
+    grid: Vec<(String, Vec<Scenario>)>,
+    effort: Effort,
+) -> FigureData {
+    let harness = TestHarness::new(effort.repetitions());
+    let mut fig = FigureData::new(title, "Gbps", x_labels);
+    for (name, scenarios) in grid {
+        let points: Vec<Summary> = scenarios
+            .iter()
+            .map(|sc| harness.run(sc).throughput_gbps)
+            .collect();
+        fig.push_series(name, points);
+    }
+    fig
+}
+
+/// Run one row of scenarios and return the summaries (for tables).
+pub fn run_row(scenarios: &[Scenario], effort: Effort) -> Vec<TestSummary> {
+    let harness = TestHarness::new(effort.repetitions());
+    scenarios.iter().map(|sc| harness.run(sc)).collect()
+}
+
+/// Build a CPU-utilisation figure from already-run summaries: for each
+/// series the sender and receiver combined percentages become two
+/// sub-series ("<name> TX cores" / "<name> RX cores"), matching the
+/// paper's Figs. 7–8 presentation.
+pub fn cpu_figure(title: &str, x_labels: Vec<String>, rows: Vec<(String, Vec<TestSummary>)>) -> FigureData {
+    let mut fig = FigureData::new(title, "%", x_labels);
+    for (name, summaries) in &rows {
+        fig.series.push(Series {
+            name: format!("{name} TX cores (sender)"),
+            points: summaries.iter().map(|s| s.sender_cpu_pct).collect(),
+        });
+        fig.series.push(Series {
+            name: format!("{name} RX cores (receiver)"),
+            points: summaries.iter().map(|s| s.receiver_cpu_pct).collect(),
+        });
+    }
+    fig
+}
+
+/// A constant series (the "Max Tput" line in Fig. 10).
+pub fn constant_series(value_gbps: f64, len: usize) -> Vec<Summary> {
+    let mut stats = RunningStats::new();
+    stats.push(value_gbps);
+    vec![stats.summary(); len]
+}

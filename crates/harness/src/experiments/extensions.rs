@@ -1,0 +1,98 @@
+//! §V-C future-work experiments: hardware GRO and the
+//! BIG TCP + MSG_ZEROCOPY custom kernel.
+
+use super::common::throughput_figure;
+use crate::effort::Effort;
+use crate::render::FigureData;
+use crate::scenario::Scenario;
+use iperf3sim::Iperf3Opts;
+use linuxhost::{HostConfig, KernelVersion};
+use nethw::{NicModel, PathSpec};
+use simcore::{BitRate, Bytes};
+
+/// §V-C — receiver-side hardware GRO (SHAMPO, ConnectX-7 + kernel
+/// 6.11): "a 33 % improvement … for single stream tests with a 9 K
+/// MTU … an impressive 160 % improvement" at 1500 B.
+///
+/// The preview hosts are Intel machines fitted with ConnectX-7 (the
+/// AmLight CX-5 has no hardware GRO).
+pub fn hw_gro(effort: Effort) -> Vec<FigureData> {
+    let lan = PathSpec::lan("Intel LAN (CX-7)", BitRate::gbps(100.0));
+    let host = |mtu: u64, hw: bool| -> HostConfig {
+        let kernel = if hw { KernelVersion::L6_11 } else { KernelVersion::L6_8 };
+        let mut cfg = HostConfig::amlight_intel(kernel);
+        cfg.nic = NicModel::ConnectX7;
+        cfg.offload = linuxhost::OffloadConfig::standard(Bytes::new(mtu));
+        if hw {
+            cfg.offload = cfg.offload.with_hw_gro(kernel);
+        }
+        cfg
+    };
+    let opts = Iperf3Opts::new(effort.lan_secs()).omit(effort.omit_secs(false));
+    let mk = |label: &str, hw: bool| {
+        let scenarios = vec![
+            Scenario::symmetric(label, host(9000, hw), lan.clone(), opts.clone()),
+            Scenario::symmetric(label, host(1500, hw), lan.clone(), opts.clone()),
+        ];
+        (label.to_string(), scenarios)
+    };
+    let grid = vec![mk("software GRO (6.8)", false), mk("hardware GRO (6.11)", true)];
+    vec![throughput_figure(
+        "SV-C: Hardware GRO preview (Intel + ConnectX-7, single stream)",
+        vec!["MTU 9000".into(), "MTU 1500".into()],
+        grid,
+        effort,
+    )]
+}
+
+/// §V-C — BIG TCP and MSG_ZEROCOPY combined on a custom
+/// `MAX_SKB_FRAGS=45` kernel: "up to 65 % improved performance".
+pub fn bigtcp_zerocopy(effort: Effort) -> Vec<FigureData> {
+    let lan = PathSpec::lan("AmLight LAN", BitRate::gbps(100.0));
+    let base = HostConfig::amlight_intel(KernelVersion::L6_8);
+    let mut bigtcp = base.clone();
+    bigtcp.offload = bigtcp
+        .offload
+        .with_big_tcp(linuxhost::offload::PAPER_BIG_TCP_SIZE, KernelVersion::L6_8);
+    // The custom kernel build that lets both features coexist.
+    let mut custom = bigtcp.clone();
+    custom.offload = custom.offload.with_max_skb_frags(45, KernelVersion::L6_8);
+    custom.name = "amlight-intel-6.8-maxskbfrags45".into();
+
+    let secs = effort.lan_secs();
+    let opts = || Iperf3Opts::new(secs).omit(effort.omit_secs(false));
+    let grid = vec![
+        (
+            "default".to_string(),
+            vec![Scenario::symmetric("default", base.clone(), lan.clone(), opts())],
+        ),
+        (
+            "BIG TCP".to_string(),
+            vec![Scenario::symmetric("BIG TCP", bigtcp.clone(), lan.clone(), opts())],
+        ),
+        (
+            "zerocopy+pace50".to_string(),
+            vec![Scenario::symmetric(
+                "zerocopy+pace50",
+                base.clone(),
+                lan.clone(),
+                opts().zerocopy().fq_rate(BitRate::gbps(50.0)),
+            )],
+        ),
+        (
+            "BIG TCP + zerocopy (custom kernel)".to_string(),
+            vec![Scenario::symmetric(
+                "BIG TCP + zerocopy",
+                custom,
+                lan.clone(),
+                opts().zerocopy().fq_rate(BitRate::gbps(85.0)),
+            )],
+        ),
+    ];
+    vec![throughput_figure(
+        "SV-C: BIG TCP + MSG_ZEROCOPY on a MAX_SKB_FRAGS=45 kernel (Intel LAN)",
+        vec!["LAN".into()],
+        grid,
+        effort,
+    )]
+}

@@ -1,0 +1,397 @@
+//! Figures 4–13.
+
+use super::common::{constant_series, cpu_figure, run_row, throughput_figure};
+use crate::effort::Effort;
+use crate::render::FigureData;
+use crate::scenario::Scenario;
+use crate::testbeds::{AmLightPath, EsnetPath, Testbeds};
+use iperf3sim::Iperf3Opts;
+use linuxhost::{HostConfig, KernelVersion, SysctlConfig};
+use simcore::BitRate;
+
+/// AmLight zerocopy pacing rate (§IV-A): 50 Gbps.
+const AMLIGHT_PACE: f64 = 50.0;
+/// ESnet zerocopy pacing rate (§IV-A): 40 Gbps.
+const ESNET_PACE: f64 = 40.0;
+
+fn amlight_opts(effort: Effort, path: AmLightPath) -> Iperf3Opts {
+    let wan = path != AmLightPath::Lan;
+    let secs = if wan { effort.wan_secs() } else { effort.lan_secs() };
+    Iperf3Opts::new(secs).omit(effort.omit_secs(wan))
+}
+
+fn esnet_opts(effort: Effort, path: EsnetPath) -> Iperf3Opts {
+    let wan = path == EsnetPath::Wan;
+    let secs = if wan { effort.wan_secs() } else { effort.lan_secs() };
+    Iperf3Opts::new(secs).omit(effort.omit_secs(wan))
+}
+
+fn amlight_single(
+    label: &str,
+    host: &HostConfig,
+    effort: Effort,
+    decorate: impl Fn(Iperf3Opts) -> Iperf3Opts,
+) -> (String, Vec<Scenario>) {
+    let scenarios = AmLightPath::ALL
+        .iter()
+        .map(|&p| {
+            Scenario::symmetric(
+                label,
+                host.clone(),
+                Testbeds::amlight_path(p),
+                decorate(amlight_opts(effort, p)),
+            )
+        })
+        .collect();
+    (label.to_string(), scenarios)
+}
+
+fn amlight_x_labels() -> Vec<String> {
+    AmLightPath::ALL.iter().map(|p| p.label().to_string()).collect()
+}
+
+fn esnet_x_labels() -> Vec<String> {
+    EsnetPath::ALL.iter().map(|p| p.label().to_string()).collect()
+}
+
+/// Fig. 4 — baremetal vs tuned VM on AmLight (Intel, kernel 5.10,
+/// single stream, default and zerocopy+pacing): the two environments
+/// must agree within the run-to-run spread (§III-H).
+pub fn fig04(effort: Effort) -> Vec<FigureData> {
+    let vm = Testbeds::amlight_host(KernelVersion::L5_10);
+    let bm = HostConfig::amlight_intel_baremetal(KernelVersion::L5_10);
+    let zc = |o: Iperf3Opts| o.zerocopy().fq_rate(BitRate::gbps(AMLIGHT_PACE));
+    let grid = vec![
+        amlight_single("baremetal default", &bm, effort, |o| o),
+        amlight_single("VM default", &vm, effort, |o| o),
+        amlight_single("baremetal zc+pace50", &bm, effort, zc),
+        amlight_single("VM zc+pace50", &vm, effort, zc),
+    ];
+    vec![throughput_figure(
+        "Fig. 4: Baremetal vs VM, AmLight (Intel, single stream, kernel 5.10)",
+        amlight_x_labels(),
+        grid,
+        effort,
+    )]
+}
+
+/// Fig. 5 — single-stream results at AmLight (Intel, kernel 6.8):
+/// default, zerocopy alone, zerocopy+pacing(50G), BIG TCP (150 KB).
+pub fn fig05(effort: Effort) -> Vec<FigureData> {
+    let host = Testbeds::amlight_host(KernelVersion::L6_8);
+    let mut bigtcp_host = host.clone();
+    bigtcp_host.offload = bigtcp_host
+        .offload
+        .with_big_tcp(linuxhost::offload::PAPER_BIG_TCP_SIZE, KernelVersion::L6_8);
+    let grid = vec![
+        amlight_single("default", &host, effort, |o| o),
+        amlight_single("zerocopy", &host, effort, |o| o.zerocopy()),
+        amlight_single("zerocopy+pacing 50G", &host, effort, |o| {
+            o.zerocopy().fq_rate(BitRate::gbps(AMLIGHT_PACE))
+        }),
+        amlight_single("BIG TCP 150KB", &bigtcp_host, effort, |o| o),
+    ];
+    vec![throughput_figure(
+        "Fig. 5: Single-stream results at AmLight (Intel host, kernel 6.8)",
+        amlight_x_labels(),
+        grid,
+        effort,
+    )]
+}
+
+/// Fig. 6 — single-stream results at ESnet (AMD, kernel 6.8): default
+/// vs zerocopy+pacing(40G); the WAN catches up to the LAN.
+pub fn fig06(effort: Effort) -> Vec<FigureData> {
+    let host = Testbeds::esnet_host(KernelVersion::L6_8);
+    let mk = |label: &str, zc: bool| {
+        let scenarios = EsnetPath::ALL
+            .iter()
+            .map(|&p| {
+                let mut opts = esnet_opts(effort, p);
+                if zc {
+                    opts = opts.zerocopy().fq_rate(BitRate::gbps(ESNET_PACE));
+                }
+                Scenario::symmetric(label, host.clone(), Testbeds::esnet_path(p), opts)
+            })
+            .collect();
+        (label.to_string(), scenarios)
+    };
+    let grid = vec![mk("default", false), mk("zerocopy+pacing 40G", true)];
+    vec![throughput_figure(
+        "Fig. 6: Single-stream results at ESnet (AMD host, kernel 6.8)",
+        esnet_x_labels(),
+        grid,
+        effort,
+    )]
+}
+
+/// Fig. 7 — CPU utilisation at various latencies (Intel, single
+/// stream, kernel 6.5): on the LAN the receiver is the bottleneck, on
+/// the WAN the sender; zerocopy+pacing collapses the sender CPU.
+/// Returns the CPU figure and the companion throughput figure.
+pub fn fig07(effort: Effort) -> Vec<FigureData> {
+    cpu_latency_figure(
+        "Fig. 7: CPU utilisation at various latencies (Intel, single stream, kernel 6.5)",
+        &Testbeds::amlight_host(KernelVersion::L6_5),
+        effort,
+    )
+}
+
+/// Fig. 8 — same study on the ESnet AMD hosts: the same shape at lower
+/// throughput, with a hotter sender on the WAN.
+pub fn fig08(effort: Effort) -> Vec<FigureData> {
+    let host = Testbeds::esnet_host(KernelVersion::L6_5);
+    let mk = |label: &str, zc: bool| {
+        let scenarios: Vec<Scenario> = EsnetPath::ALL
+            .iter()
+            .map(|&p| {
+                let mut opts = esnet_opts(effort, p);
+                if zc {
+                    opts = opts.zerocopy().fq_rate(BitRate::gbps(ESNET_PACE));
+                }
+                Scenario::symmetric(label, host.clone(), Testbeds::esnet_path(p), opts)
+            })
+            .collect();
+        (label.to_string(), run_row(&scenarios, effort))
+    };
+    let rows = vec![mk("default", false), mk("zc+pace40", true)];
+    let mut figs = vec![cpu_figure(
+        "Fig. 8: CPU utilisation at various latencies (AMD, single stream)",
+        esnet_x_labels(),
+        rows.clone(),
+    )];
+    figs.push(throughput_companion(
+        "Fig. 8 (companion): throughput per configuration",
+        esnet_x_labels(),
+        rows,
+    ));
+    figs
+}
+
+fn cpu_latency_figure(title: &str, host: &HostConfig, effort: Effort) -> Vec<FigureData> {
+    let mk = |label: &str, zc: bool| {
+        let scenarios: Vec<Scenario> = AmLightPath::ALL
+            .iter()
+            .map(|&p| {
+                let mut opts = amlight_opts(effort, p);
+                // The zerocopy runs use "optimal settings for
+                // optmem_max" (§IV-B) — 3.25 MB on kernel 6.5.
+                let mut h = host.clone();
+                if zc {
+                    opts = opts.zerocopy().fq_rate(BitRate::gbps(AMLIGHT_PACE));
+                    h = h.with_optmem(SysctlConfig::optmem_3_25_mb());
+                }
+                Scenario::symmetric(label, h, Testbeds::amlight_path(p), opts)
+            })
+            .collect();
+        (label.to_string(), run_row(&scenarios, effort))
+    };
+    let rows = vec![mk("default", false), mk("zc+pace50", true)];
+    let mut figs = vec![cpu_figure(title, amlight_x_labels(), rows.clone())];
+    figs.push(throughput_companion(
+        "companion: throughput per configuration",
+        amlight_x_labels(),
+        rows,
+    ));
+    figs
+}
+
+fn throughput_companion(
+    title: &str,
+    x_labels: Vec<String>,
+    rows: Vec<(String, Vec<crate::runner::TestSummary>)>,
+) -> FigureData {
+    let mut fig = FigureData::new(title, "Gbps", x_labels);
+    for (name, summaries) in rows {
+        fig.push_series(name, summaries.iter().map(|s| s.throughput_gbps).collect());
+    }
+    fig
+}
+
+/// Fig. 9 — sender performance with zerocopy for various `optmem_max`
+/// values (Intel, kernel 6.5, zerocopy + 50 Gbps pacing). Produces the
+/// throughput figure and the sender-CPU figure.
+pub fn fig09(effort: Effort) -> Vec<FigureData> {
+    let base = Testbeds::amlight_host(KernelVersion::L6_5);
+    let variants = [
+        ("optmem 20KB (default)", simcore::Bytes::kib(20)),
+        ("optmem 1MB", simcore::Bytes::mib(1)),
+        ("optmem 3.25MB", SysctlConfig::optmem_3_25_mb()),
+    ];
+    let mut tput = FigureData::new(
+        "Fig. 9: Sender performance with zerocopy vs optmem_max (Intel, kernel 6.5)",
+        "Gbps",
+        amlight_x_labels(),
+    );
+    let mut cpu = FigureData::new(
+        "Fig. 9 (CPU): Sender TX-core utilisation vs optmem_max",
+        "%",
+        amlight_x_labels(),
+    );
+    for (label, optmem) in variants {
+        let host = base.clone().with_optmem(optmem);
+        let scenarios: Vec<Scenario> = AmLightPath::ALL
+            .iter()
+            .map(|&p| {
+                Scenario::symmetric(
+                    label,
+                    host.clone(),
+                    Testbeds::amlight_path(p),
+                    amlight_opts(effort, p)
+                        .zerocopy()
+                        .fq_rate(BitRate::gbps(AMLIGHT_PACE)),
+                )
+            })
+            .collect();
+        let summaries = run_row(&scenarios, effort);
+        tput.push_series(label, summaries.iter().map(|s| s.throughput_gbps).collect());
+        cpu.push_series(label, summaries.iter().map(|s| s.sender_cpu_pct).collect());
+    }
+    vec![tput, cpu]
+}
+
+/// Fig. 10 — 8 parallel flows on the ESnet testbed (kernel 6.8):
+/// default vs zerocopy at various pacing rates, against the "Max Tput"
+/// line.
+pub fn fig10(effort: Effort) -> Vec<FigureData> {
+    let host = Testbeds::esnet_host(KernelVersion::L6_8);
+    let secs = effort.multi_secs();
+    let mk = |label: &str, zc: bool, pace: Option<f64>| {
+        let scenarios: Vec<Scenario> = EsnetPath::ALL
+            .iter()
+            .map(|&p| {
+                let mut opts = Iperf3Opts::new(secs)
+                    .omit(effort.omit_secs(p == EsnetPath::Wan))
+                    .parallel(8);
+                if zc {
+                    opts = opts.zerocopy();
+                }
+                if let Some(g) = pace {
+                    opts = opts.fq_rate(BitRate::gbps(g));
+                }
+                Scenario::symmetric(label, host.clone(), Testbeds::esnet_path(p), opts)
+            })
+            .collect();
+        (label.to_string(), scenarios)
+    };
+    let grid = vec![
+        mk("default unpaced", false, None),
+        mk("zc+pace 25G/flow", true, Some(25.0)),
+        mk("zc+pace 20G/flow", true, Some(20.0)),
+        mk("zc+pace 15G/flow", true, Some(15.0)),
+    ];
+    let mut fig = throughput_figure(
+        "Fig. 10: 8 parallel flows, ESnet testbed (AMD, kernel 6.8)",
+        esnet_x_labels(),
+        grid,
+        effort,
+    );
+    // The NIC bounds unpaced runs at ~197 Gbps effective.
+    fig.push_series("Max Tput (NIC)", constant_series(197.0, EsnetPath::ALL.len()));
+    vec![fig]
+}
+
+/// Fig. 11 — 8 parallel flows on AmLight (Intel, kernel 6.8): the
+/// default baseline decays with RTT; zerocopy alone suffers from the
+/// ~16 Gbps of production cross traffic; pacing at 10/9 Gbps per flow
+/// is stable at every latency.
+pub fn fig11(effort: Effort) -> Vec<FigureData> {
+    let host = Testbeds::amlight_host(KernelVersion::L6_8);
+    let secs = effort.multi_secs();
+    let mk = |label: &str, zc: bool, pace: Option<f64>| {
+        let scenarios: Vec<Scenario> = AmLightPath::ALL
+            .iter()
+            .map(|&p| {
+                let mut opts = Iperf3Opts::new(secs)
+                    .omit(effort.omit_secs(p != AmLightPath::Lan))
+                    .parallel(8);
+                if zc {
+                    opts = opts.zerocopy();
+                }
+                if let Some(g) = pace {
+                    opts = opts.fq_rate(BitRate::gbps(g));
+                }
+                Scenario::symmetric(label, host.clone(), Testbeds::amlight_path(p), opts)
+            })
+            .collect();
+        (label.to_string(), scenarios)
+    };
+    let grid = vec![
+        mk("default unpaced", false, None),
+        mk("zerocopy unpaced", true, None),
+        mk("zc+pace 10G/flow", true, Some(10.0)),
+        mk("zc+pace 9G/flow", true, Some(9.0)),
+    ];
+    vec![throughput_figure(
+        "Fig. 11: 8 parallel flows, AmLight testbed (Intel, kernel 6.8)",
+        amlight_x_labels(),
+        grid,
+        effort,
+    )]
+}
+
+/// Fig. 12 — kernel version results on ESnet (AMD, single stream,
+/// default settings): 6.5 ≈ +12 % over 5.15, 6.8 ≈ +17 % over 6.5.
+pub fn fig12(effort: Effort) -> Vec<FigureData> {
+    let grid = KernelVersion::STUDY
+        .iter()
+        .map(|&k| {
+            let host = Testbeds::esnet_host(k);
+            let label = format!("kernel {k}");
+            let scenarios = EsnetPath::ALL
+                .iter()
+                .map(|&p| {
+                    Scenario::symmetric(
+                        label.clone(),
+                        host.clone(),
+                        Testbeds::esnet_path(p),
+                        esnet_opts(effort, p),
+                    )
+                })
+                .collect();
+            (label, scenarios)
+        })
+        .collect();
+    vec![throughput_figure(
+        "Fig. 12: Kernel version results, ESnet (AMD, single stream)",
+        esnet_x_labels(),
+        grid,
+        effort,
+    )]
+}
+
+/// Fig. 13 — kernel version results on AmLight (Intel, single stream):
+/// LAN runs use default settings (+27 % from 5.15 to 6.8); WAN runs use
+/// zerocopy+pacing(50G) and are flat across kernels, pinned at the
+/// pacing rate (§IV-E).
+pub fn fig13(effort: Effort) -> Vec<FigureData> {
+    let grid = KernelVersion::STUDY
+        .iter()
+        .map(|&k| {
+            let host = Testbeds::amlight_host(k);
+            let label = format!("kernel {k}");
+            let scenarios = AmLightPath::ALL
+                .iter()
+                .map(|&p| {
+                    let mut opts = amlight_opts(effort, p);
+                    if p != AmLightPath::Lan {
+                        opts = opts.zerocopy().fq_rate(BitRate::gbps(AMLIGHT_PACE));
+                    }
+                    Scenario::symmetric(
+                        label.clone(),
+                        host.clone(),
+                        Testbeds::amlight_path(p),
+                        opts,
+                    )
+                })
+                .collect();
+            (label, scenarios)
+        })
+        .collect();
+    vec![throughput_figure(
+        "Fig. 13: Kernel version results, AmLight (Intel, single stream; WAN paced at 50G)",
+        amlight_x_labels(),
+        grid,
+        effort,
+    )]
+}

@@ -1,0 +1,181 @@
+//! The paper's experiments, one function per table/figure.
+//!
+//! Every function takes an [`Effort`](crate::Effort) and returns
+//! render-ready [`FigureData`](crate::FigureData) /
+//! [`TableData`](crate::TableData). The mapping to the paper:
+//!
+//! | Function | Reproduces |
+//! |---|---|
+//! | [`figures::fig04`] | Fig. 4 — baremetal vs VM validation |
+//! | [`figures::fig05`] | Fig. 5 — single stream, AmLight/Intel |
+//! | [`figures::fig06`] | Fig. 6 — single stream, ESnet/AMD |
+//! | [`figures::fig07`] | Fig. 7 — CPU utilisation, Intel |
+//! | [`figures::fig08`] | Fig. 8 — CPU utilisation, AMD |
+//! | [`figures::fig09`] | Fig. 9 — `optmem_max` sweep |
+//! | [`figures::fig10`] | Fig. 10 — 8 flows, ESnet |
+//! | [`figures::fig11`] | Fig. 11 — 8 flows, AmLight |
+//! | [`figures::fig12`] | Fig. 12 — kernel versions, ESnet |
+//! | [`figures::fig13`] | Fig. 13 — kernel versions, AmLight |
+//! | [`tables::table1`] | Table I — ESnet LAN, no flow control |
+//! | [`tables::table2`] | Table II — ESnet WAN, no flow control |
+//! | [`tables::table3`] | Table III — production DTNs, flow control |
+//! | [`extensions::hw_gro`] | §V-C — hardware GRO preview |
+//! | [`extensions::bigtcp_zerocopy`] | §V-C — BIG TCP + zerocopy custom kernel |
+//! | [`ablations`] | design-choice ablations (affinity, IOMMU, ring, CC, MTU, sysctls) |
+
+pub mod ablations;
+pub mod common;
+pub mod extensions;
+pub mod figures;
+pub mod tables;
+
+use crate::effort::Effort;
+use crate::render::{FigureData, TableData};
+
+/// The output of one experiment: figures or a table.
+#[derive(Debug, Clone)]
+pub enum Artifact {
+    /// One or more figures (a main plot plus companions).
+    Figures(Vec<FigureData>),
+    /// A table.
+    Table(TableData),
+}
+
+impl Artifact {
+    /// Render everything as terminal text.
+    pub fn render_ascii(&self) -> String {
+        match self {
+            Artifact::Figures(figs) => {
+                figs.iter().map(FigureData::render_ascii).collect::<Vec<_>>().join("\n")
+            }
+            Artifact::Table(t) => t.render_ascii(),
+        }
+    }
+
+    /// CSV dumps, one per figure/table, named for file output.
+    pub fn to_csv_files(&self, stem: &str) -> Vec<(String, String)> {
+        match self {
+            Artifact::Figures(figs) => figs
+                .iter()
+                .enumerate()
+                .map(|(i, f)| {
+                    let name = if figs.len() == 1 {
+                        format!("{stem}.csv")
+                    } else {
+                        format!("{stem}_{i}.csv")
+                    };
+                    (name, f.to_csv())
+                })
+                .collect(),
+            Artifact::Table(t) => vec![(format!("{stem}.csv"), t.to_csv())],
+        }
+    }
+}
+
+/// Identifier for one experiment (used by benches and the CLI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExperimentId {
+    /// Fig. 4.
+    Fig04,
+    /// Fig. 5.
+    Fig05,
+    /// Fig. 6.
+    Fig06,
+    /// Fig. 7.
+    Fig07,
+    /// Fig. 8.
+    Fig08,
+    /// Fig. 9.
+    Fig09,
+    /// Fig. 10.
+    Fig10,
+    /// Fig. 11.
+    Fig11,
+    /// Fig. 12.
+    Fig12,
+    /// Fig. 13.
+    Fig13,
+    /// Table I.
+    Table1,
+    /// Table II.
+    Table2,
+    /// Table III.
+    Table3,
+    /// §V-C hardware GRO.
+    ExtHwGro,
+    /// §V-C BIG TCP + zerocopy.
+    ExtBigTcpZc,
+}
+
+impl ExperimentId {
+    /// All paper artefacts in order of appearance.
+    pub const ALL: [ExperimentId; 15] = [
+        ExperimentId::Fig04,
+        ExperimentId::Fig05,
+        ExperimentId::Fig06,
+        ExperimentId::Fig07,
+        ExperimentId::Fig08,
+        ExperimentId::Fig09,
+        ExperimentId::Fig10,
+        ExperimentId::Fig11,
+        ExperimentId::Fig12,
+        ExperimentId::Fig13,
+        ExperimentId::Table1,
+        ExperimentId::Table2,
+        ExperimentId::Table3,
+        ExperimentId::ExtHwGro,
+        ExperimentId::ExtBigTcpZc,
+    ];
+
+    /// Short name ("fig05", "table1", …).
+    pub fn name(self) -> &'static str {
+        match self {
+            ExperimentId::Fig04 => "fig04",
+            ExperimentId::Fig05 => "fig05",
+            ExperimentId::Fig06 => "fig06",
+            ExperimentId::Fig07 => "fig07",
+            ExperimentId::Fig08 => "fig08",
+            ExperimentId::Fig09 => "fig09",
+            ExperimentId::Fig10 => "fig10",
+            ExperimentId::Fig11 => "fig11",
+            ExperimentId::Fig12 => "fig12",
+            ExperimentId::Fig13 => "fig13",
+            ExperimentId::Table1 => "table1",
+            ExperimentId::Table2 => "table2",
+            ExperimentId::Table3 => "table3",
+            ExperimentId::ExtHwGro => "ext_hw_gro",
+            ExperimentId::ExtBigTcpZc => "ext_bigtcp_zc",
+        }
+    }
+
+    /// Run the experiment, returning its artifact.
+    pub fn run(self, effort: Effort) -> Artifact {
+        match self {
+            ExperimentId::Fig04 => Artifact::Figures(figures::fig04(effort)),
+            ExperimentId::Fig05 => Artifact::Figures(figures::fig05(effort)),
+            ExperimentId::Fig06 => Artifact::Figures(figures::fig06(effort)),
+            ExperimentId::Fig07 => Artifact::Figures(figures::fig07(effort)),
+            ExperimentId::Fig08 => Artifact::Figures(figures::fig08(effort)),
+            ExperimentId::Fig09 => Artifact::Figures(figures::fig09(effort)),
+            ExperimentId::Fig10 => Artifact::Figures(figures::fig10(effort)),
+            ExperimentId::Fig11 => Artifact::Figures(figures::fig11(effort)),
+            ExperimentId::Fig12 => Artifact::Figures(figures::fig12(effort)),
+            ExperimentId::Fig13 => Artifact::Figures(figures::fig13(effort)),
+            ExperimentId::Table1 => Artifact::Table(tables::table1(effort)),
+            ExperimentId::Table2 => Artifact::Table(tables::table2(effort)),
+            ExperimentId::Table3 => Artifact::Table(tables::table3(effort)),
+            ExperimentId::ExtHwGro => Artifact::Figures(extensions::hw_gro(effort)),
+            ExperimentId::ExtBigTcpZc => Artifact::Figures(extensions::bigtcp_zerocopy(effort)),
+        }
+    }
+
+    /// Run and render as terminal text.
+    pub fn run_rendered(self, effort: Effort) -> String {
+        self.run(effort).render_ascii()
+    }
+}
+
+/// Run every table of the paper (I–III).
+pub fn all_tables(effort: Effort) -> Vec<TableData> {
+    vec![tables::table1(effort), tables::table2(effort), tables::table3(effort)]
+}

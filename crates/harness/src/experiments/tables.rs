@@ -1,0 +1,120 @@
+//! Tables I–III.
+
+use super::common::run_row;
+use crate::effort::Effort;
+use crate::render::TableData;
+use crate::runner::TestSummary;
+use crate::scenario::Scenario;
+use crate::testbeds::{EsnetPath, Testbeds};
+use iperf3sim::Iperf3Opts;
+use linuxhost::KernelVersion;
+use simcore::BitRate;
+
+/// The pacing ladder of Tables I and II.
+const PACING_ROWS: [(&str, Option<f64>); 4] = [
+    ("unpaced", None),
+    ("25 Gbps / stream", Some(25.0)),
+    ("20 Gbps / stream", Some(20.0)),
+    ("15 Gbps / stream", Some(15.0)),
+];
+
+fn esnet_table(effort: Effort, path: EsnetPath, title: &str) -> TableData {
+    // Tables I/II are kernel 5.15 with default iperf3 settings plus
+    // --fq-rate (§IV-C).
+    let host = Testbeds::esnet_host(KernelVersion::L5_15);
+    let secs = effort.multi_secs();
+    let scenarios: Vec<Scenario> = PACING_ROWS
+        .iter()
+        .map(|(label, pace)| {
+            let mut opts = Iperf3Opts::new(secs)
+                .omit(effort.omit_secs(path == EsnetPath::Wan))
+                .parallel(8);
+            if let Some(g) = pace {
+                opts = opts.fq_rate(BitRate::gbps(*g));
+            }
+            Scenario::symmetric(*label, host.clone(), Testbeds::esnet_path(path), opts)
+        })
+        .collect();
+    let summaries = run_row(&scenarios, effort);
+    let mut table = TableData::new(title, vec!["Test Config", "Ave Tput", "Retr", "Min", "Max", "stdev"]);
+    for s in &summaries {
+        table.push_row(row_5col(s));
+    }
+    table
+}
+
+fn row_5col(s: &TestSummary) -> Vec<String> {
+    vec![
+        s.label.clone(),
+        format!("{:.0} Gbps", s.throughput_gbps.mean),
+        format_retr(s.retr.mean),
+        format!("{:.0}", s.throughput_gbps.min),
+        format!("{:.0}", s.throughput_gbps.max),
+        format!("{:.1}", s.throughput_gbps.stdev),
+    ]
+}
+
+fn format_retr(mean: f64) -> String {
+    if mean >= 1000.0 {
+        format!("{:.0}K", mean / 1000.0)
+    } else {
+        format!("{mean:.0}")
+    }
+}
+
+/// Table I — ESnet testbed LAN results, 8 streams, no flow control.
+pub fn table1(effort: Effort) -> TableData {
+    esnet_table(
+        effort,
+        EsnetPath::Lan,
+        "Table I: ESnet Testbed, LAN results, no Flow Control (8 streams, kernel 5.15)",
+    )
+}
+
+/// Table II — ESnet testbed WAN results, 8 streams, no flow control.
+pub fn table2(effort: Effort) -> TableData {
+    esnet_table(
+        effort,
+        EsnetPath::Wan,
+        "Table II: ESnet Testbed, WAN results, no Flow Control (8 streams, kernel 5.15)",
+    )
+}
+
+/// Table III — ESnet production DTNs with 802.3x flow control
+/// (RTT = 63 ms): pacing trims retransmits and tightens the per-flow
+/// range without changing the average.
+pub fn table3(effort: Effort) -> TableData {
+    let host = Testbeds::prod_dtn_host();
+    let path = Testbeds::prod_dtn_path();
+    let rows: [(&str, Option<f64>); 4] = [
+        ("unpaced", None),
+        ("15 Gbps / stream", Some(15.0)),
+        ("12 Gbps / stream", Some(12.0)),
+        ("10 Gbps / stream", Some(10.0)),
+    ];
+    let secs = effort.multi_secs().max(12);
+    let scenarios: Vec<Scenario> = rows
+        .iter()
+        .map(|(label, pace)| {
+            let mut opts = Iperf3Opts::new(secs).omit(effort.omit_secs(true)).parallel(8);
+            if let Some(g) = pace {
+                opts = opts.fq_rate(BitRate::gbps(*g));
+            }
+            Scenario::symmetric(*label, host.clone(), path.clone(), opts)
+        })
+        .collect();
+    let summaries = run_row(&scenarios, effort);
+    let mut table = TableData::new(
+        "Table III: ESnet Production DTNs, with Flow Control (8 streams, RTT 63 ms)",
+        vec!["Test Config", "Ave Tput", "Retr", "Range"],
+    );
+    for s in &summaries {
+        table.push_row(vec![
+            s.label.clone(),
+            format!("{:.0} Gbps", s.throughput_gbps.mean),
+            format_retr(s.retr.mean),
+            format!("{:.0}-{:.0} Gbps", s.min_stream_gbps, s.max_stream_gbps),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,34 @@
+//! `harness` — the test harness and the paper's experiment suite.
+//!
+//! Modelled on the ESnet "Network Test Harness" the paper uses
+//! (§III-G): every test configuration is run for a fixed duration, a
+//! minimum number of times, with `mpstat` running alongside; results
+//! are reported as mean/stdev/min/max.
+//!
+//! * [`testbeds`] — the AmLight and ESnet testbeds (hosts + paths) as
+//!   calibrated reproductions of Figs. 1–2.
+//! * [`scenario`] — one test configuration (hosts × path × iperf3
+//!   flags).
+//! * [`runner`] — the repetition runner (parallel across seeds via
+//!   crossbeam) producing [`runner::TestSummary`].
+//! * [`render`] — ASCII tables and grouped bar charts for terminal
+//!   reports.
+//! * [`experiments`] — one module per table/figure of the paper, plus
+//!   the §V-C future-work extensions and the ablations called out in
+//!   DESIGN.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod effort;
+pub mod experiments;
+pub mod render;
+pub mod runner;
+pub mod scenario;
+pub mod testbeds;
+
+pub use effort::Effort;
+pub use render::{FigureData, Series, TableData};
+pub use runner::{TestHarness, TestSummary};
+pub use scenario::Scenario;
+pub use testbeds::{AmLightPath, EsnetPath, Testbeds};

@@ -1,0 +1,220 @@
+//! Terminal rendering: grouped bar "figures" and tables.
+//!
+//! The paper's figures are grouped bar charts (configurations × paths)
+//! with one-stdev whiskers; these render as ASCII so every experiment
+//! binary can print exactly what it reproduced.
+
+use simcore::Summary;
+
+/// One plotted series (a bar group), e.g. "zerocopy+pacing".
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend name.
+    pub name: String,
+    /// One summary per x position.
+    pub points: Vec<Summary>,
+}
+
+/// A reproduced figure: x axis (paths) × series (configurations).
+#[derive(Debug, Clone)]
+pub struct FigureData {
+    /// Figure title ("Fig. 5: Single-stream results at AmLight…").
+    pub title: String,
+    /// Unit for the y values ("Gbps", "%").
+    pub unit: String,
+    /// X-axis labels.
+    pub x_labels: Vec<String>,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl FigureData {
+    /// New, empty figure.
+    pub fn new(title: impl Into<String>, unit: impl Into<String>, x_labels: Vec<String>) -> Self {
+        FigureData { title: title.into(), unit: unit.into(), x_labels, series: Vec::new() }
+    }
+
+    /// Append a series; must match the x-axis length.
+    pub fn push_series(&mut self, name: impl Into<String>, points: Vec<Summary>) {
+        assert_eq!(points.len(), self.x_labels.len(), "series length mismatch");
+        self.series.push(Series { name: name.into(), points });
+    }
+
+    /// Largest mean across the figure (for scaling).
+    pub fn max_mean(&self) -> f64 {
+        self.series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.mean))
+            .fold(0.0, f64::max)
+    }
+
+    /// Render as an ASCII grouped bar chart with ±1σ whiskers.
+    pub fn render_ascii(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let scale = self.max_mean().max(1e-9);
+        const WIDTH: usize = 46;
+        let name_w = self
+            .series
+            .iter()
+            .map(|s| s.name.len())
+            .chain(std::iter::once(6))
+            .max()
+            .unwrap_or(6);
+        for (xi, x) in self.x_labels.iter().enumerate() {
+            out.push_str(&format!("{x}:\n"));
+            for s in &self.series {
+                let p = s.points[xi];
+                let bar_len = ((p.mean / scale) * WIDTH as f64).round() as usize;
+                let bar: String = "#".repeat(bar_len.min(WIDTH));
+                out.push_str(&format!(
+                    "  {:<name_w$} |{:<WIDTH$}| {:7.2} ±{:.2} {}\n",
+                    s.name, bar, p.mean, p.stdev, self.unit
+                ));
+            }
+        }
+        out
+    }
+
+    /// Dump as CSV (`x,series,mean,stdev,min,max,n`) for plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("x,series,mean,stdev,min,max,n\n");
+        for (xi, x) in self.x_labels.iter().enumerate() {
+            for s in &self.series {
+                let p = s.points[xi];
+                out.push_str(&format!(
+                    "{x},{},{:.4},{:.4},{:.4},{:.4},{}\n",
+                    s.name, p.mean, p.stdev, p.min, p.max, p.n
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// A reproduced table (Tables I–III).
+#[derive(Debug, Clone)]
+pub struct TableData {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row cells (as preformatted strings).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TableData {
+    /// New table with headers.
+    pub fn new(title: impl Into<String>, columns: Vec<&str>) -> Self {
+        TableData {
+            title: title.into(),
+            columns: columns.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the column count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as an aligned ASCII table.
+    pub fn render_ascii(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = format!("== {} ==\n", self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+            .collect();
+        out.push_str(&header.join(" | "));
+        out.push('\n');
+        out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect();
+            out.push_str(&line.join(" | "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Dump as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = self.columns.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(mean: f64) -> Summary {
+        Summary { n: 5, mean, stdev: mean / 10.0, min: mean * 0.9, max: mean * 1.1 }
+    }
+
+    #[test]
+    fn figure_renders_all_series() {
+        let mut fig = FigureData::new("Fig. X", "Gbps", vec!["LAN".into(), "WAN".into()]);
+        fig.push_series("default", vec![summary(55.0), summary(38.0)]);
+        fig.push_series("zc+pace", vec![summary(48.0), summary(48.0)]);
+        let text = fig.render_ascii();
+        assert!(text.contains("Fig. X"));
+        assert!(text.contains("default"));
+        assert!(text.contains("zc+pace"));
+        assert!(text.contains("LAN:"));
+        assert!(text.contains("55.00"));
+        let csv = fig.to_csv();
+        assert_eq!(csv.lines().count(), 1 + 4);
+        assert!(csv.contains("WAN,zc+pace,48.0000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_series_rejected() {
+        let mut fig = FigureData::new("f", "Gbps", vec!["a".into()]);
+        fig.push_series("s", vec![summary(1.0), summary(2.0)]);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TableData::new("Table I", vec!["Test Config", "Ave Tput", "Retr"]);
+        t.push_row(vec!["unpaced".into(), "166 Gbps".into(), "242".into()]);
+        t.push_row(vec!["25 Gbps / stream".into(), "166 Gbps".into(), "70".into()]);
+        let text = t.render_ascii();
+        assert!(text.contains("Table I"));
+        assert!(text.contains("unpaced"));
+        assert!(text.contains("25 Gbps / stream"));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("Test Config,Ave Tput,Retr"));
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let mut fig = FigureData::new("f", "Gbps", vec!["x".into()]);
+        fig.push_series("big", vec![summary(100.0)]);
+        fig.push_series("half", vec![summary(50.0)]);
+        let text = fig.render_ascii();
+        let lines: Vec<&str> = text.lines().filter(|l| l.contains('#')).collect();
+        let count = |l: &str| l.matches('#').count();
+        assert!(count(lines[0]) > count(lines[1]) * 3 / 2);
+        assert_eq!(fig.max_mean(), 100.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! The repetition runner.
+//!
+//! The paper's methodology (§III-G): run every configuration for 60
+//! seconds, at least 10 times, with `mpstat` sampling CPU alongside;
+//! report mean, stdev, min and max. Repetitions only differ by seed
+//! here, and are independent simulations — so they run on parallel
+//! threads via `crossbeam::scope`.
+
+use crate::scenario::Scenario;
+use iperf3sim::Iperf3Report;
+use parking_lot::Mutex;
+use simcore::{RunningStats, Summary};
+
+/// Aggregated results for one scenario across repetitions.
+#[derive(Debug, Clone)]
+pub struct TestSummary {
+    /// Scenario label.
+    pub label: String,
+    /// Aggregate throughput (Gbps) across repetitions.
+    pub throughput_gbps: Summary,
+    /// Total retransmitted packets per run.
+    pub retr: Summary,
+    /// Lowest single-stream rate seen in any repetition (Gbps).
+    pub min_stream_gbps: f64,
+    /// Highest single-stream rate seen in any repetition (Gbps).
+    pub max_stream_gbps: f64,
+    /// Sender combined CPU ("TX cores", %) across repetitions.
+    pub sender_cpu_pct: Summary,
+    /// Receiver combined CPU ("RX cores", %) across repetitions.
+    pub receiver_cpu_pct: Summary,
+    /// Zerocopy fallback fraction (mean across repetitions).
+    pub zc_fallback: f64,
+    /// The individual reports (one per repetition).
+    pub reports: Vec<Iperf3Report>,
+}
+
+impl TestSummary {
+    /// Mean throughput in Gbps.
+    pub fn mean_gbps(&self) -> f64 {
+        self.throughput_gbps.mean
+    }
+
+    /// Mean retransmitted packets per run (what the paper's `Retr`
+    /// column shows).
+    pub fn mean_retr(&self) -> f64 {
+        self.retr.mean
+    }
+}
+
+/// The harness: repetition count and seeding policy.
+#[derive(Debug, Clone)]
+pub struct TestHarness {
+    /// Number of repetitions per scenario.
+    pub repetitions: usize,
+    /// Base seed; repetition `i` runs with `base_seed + i`.
+    pub base_seed: u64,
+    /// Run repetitions on parallel threads.
+    pub parallel: bool,
+}
+
+impl Default for TestHarness {
+    fn default() -> Self {
+        TestHarness { repetitions: 5, base_seed: 1000, parallel: true }
+    }
+}
+
+impl TestHarness {
+    /// Harness with `repetitions` runs per scenario.
+    pub fn new(repetitions: usize) -> Self {
+        assert!(repetitions > 0, "need at least one repetition");
+        TestHarness { repetitions, ..Default::default() }
+    }
+
+    /// Builder: set the base seed.
+    pub fn with_base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Builder: disable thread-level parallelism (deterministic
+    /// ordering for debugging; results are identical either way).
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Run all repetitions of one scenario and aggregate.
+    ///
+    /// Panics if the scenario is invalid (flag/kernel mismatches are
+    /// experiment-definition bugs, reported with the iperf3 error).
+    pub fn run(&self, scenario: &Scenario) -> TestSummary {
+        let reports = Mutex::new(vec![None::<Iperf3Report>; self.repetitions]);
+        let run_one = |i: usize| {
+            let opts = scenario.opts.clone().seed(self.base_seed + i as u64);
+            let report = iperf3sim::run(&scenario.client, &scenario.server, &scenario.path, &opts)
+                .unwrap_or_else(|e| panic!("scenario '{}': {e}", scenario.label));
+            reports.lock()[i] = Some(report);
+        };
+        if self.parallel && self.repetitions > 1 {
+            crossbeam::thread::scope(|s| {
+                for i in 0..self.repetitions {
+                    s.spawn(move |_| run_one(i));
+                }
+            })
+            .expect("repetition thread panicked");
+        } else {
+            for i in 0..self.repetitions {
+                run_one(i);
+            }
+        }
+        let reports: Vec<Iperf3Report> =
+            reports.into_inner().into_iter().map(|r| r.expect("missing repetition")).collect();
+        Self::aggregate(&scenario.label, reports)
+    }
+
+    fn aggregate(label: &str, reports: Vec<Iperf3Report>) -> TestSummary {
+        let mut tput = RunningStats::new();
+        let mut retr = RunningStats::new();
+        let mut snd_cpu = RunningStats::new();
+        let mut rcv_cpu = RunningStats::new();
+        let mut min_stream = f64::INFINITY;
+        let mut max_stream = f64::NEG_INFINITY;
+        let mut zc_fallback = 0.0;
+        for r in &reports {
+            tput.push(r.sum_bitrate().as_gbps());
+            retr.push(r.sum_retr() as f64);
+            snd_cpu.push(r.sender_cpu.combined_pct());
+            rcv_cpu.push(r.receiver_cpu.combined_pct());
+            min_stream = min_stream.min(r.min_stream_gbps());
+            max_stream = max_stream.max(r.max_stream_gbps());
+            zc_fallback += r.zc_fallback_fraction;
+        }
+        TestSummary {
+            label: label.to_string(),
+            throughput_gbps: tput.summary(),
+            retr: retr.summary(),
+            min_stream_gbps: min_stream,
+            max_stream_gbps: max_stream,
+            sender_cpu_pct: snd_cpu.summary(),
+            receiver_cpu_pct: rcv_cpu.summary(),
+            zc_fallback: zc_fallback / reports.len() as f64,
+            reports,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbeds::{EsnetPath, Testbeds};
+    use iperf3sim::Iperf3Opts;
+    use linuxhost::KernelVersion;
+
+    fn scenario() -> Scenario {
+        Scenario::symmetric(
+            "default",
+            Testbeds::esnet_host(KernelVersion::L6_8),
+            Testbeds::esnet_path(EsnetPath::Lan),
+            Iperf3Opts::new(2).omit(0),
+        )
+    }
+
+    #[test]
+    fn aggregates_across_repetitions() {
+        let h = TestHarness::new(3);
+        let s = h.run(&scenario());
+        assert_eq!(s.throughput_gbps.n, 3);
+        assert_eq!(s.reports.len(), 3);
+        assert!(s.mean_gbps() > 20.0, "AMD LAN default ≈ 42, got {}", s.mean_gbps());
+        assert!(s.throughput_gbps.min <= s.throughput_gbps.mean);
+        assert!(s.throughput_gbps.mean <= s.throughput_gbps.max);
+        assert!(s.receiver_cpu_pct.mean > 50.0);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let sc = scenario();
+        let par = TestHarness::new(2).run(&sc);
+        let seq = TestHarness::new(2).sequential().run(&sc);
+        assert_eq!(par.throughput_gbps.mean, seq.throughput_gbps.mean);
+        assert_eq!(par.retr.mean, seq.retr.mean);
+    }
+
+    #[test]
+    fn seeds_differ_across_repetitions() {
+        let s = TestHarness::new(3).run(&scenario());
+        // Distinct seeds ⇒ stdev strictly positive (service jitter).
+        assert!(s.throughput_gbps.stdev > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn zero_repetitions_rejected() {
+        let _ = TestHarness::new(0);
+    }
+}

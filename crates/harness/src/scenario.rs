@@ -1,0 +1,82 @@
+//! One test configuration: hosts × path × iperf3 flags.
+
+use iperf3sim::Iperf3Opts;
+use linuxhost::HostConfig;
+use nethw::PathSpec;
+
+/// A named, runnable test configuration.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Short label ("default", "zc+pace50", …).
+    pub label: String,
+    /// Sending host.
+    pub client: HostConfig,
+    /// Receiving host.
+    pub server: HostConfig,
+    /// Network between them.
+    pub path: PathSpec,
+    /// iperf3 flags.
+    pub opts: Iperf3Opts,
+}
+
+impl Scenario {
+    /// Construct.
+    pub fn new(
+        label: impl Into<String>,
+        client: HostConfig,
+        server: HostConfig,
+        path: PathSpec,
+        opts: Iperf3Opts,
+    ) -> Self {
+        Scenario { label: label.into(), client, server, path, opts }
+    }
+
+    /// Symmetric hosts (the common case on both testbeds).
+    pub fn symmetric(
+        label: impl Into<String>,
+        host: HostConfig,
+        path: PathSpec,
+        opts: Iperf3Opts,
+    ) -> Self {
+        Scenario {
+            label: label.into(),
+            client: host.clone(),
+            server: host,
+            path,
+            opts,
+        }
+    }
+
+    /// Full description for logs.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} | {} -> {} over {} | {}",
+            self.label,
+            self.client.name,
+            self.server.name,
+            self.path.name,
+            self.opts.command_line(&self.server.name)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbeds::{EsnetPath, Testbeds};
+    use linuxhost::KernelVersion;
+
+    #[test]
+    fn describe_is_informative() {
+        let s = Scenario::symmetric(
+            "default",
+            Testbeds::esnet_host(KernelVersion::L6_8),
+            Testbeds::esnet_path(EsnetPath::Lan),
+            Iperf3Opts::new(10),
+        );
+        let d = s.describe();
+        assert!(d.contains("default"));
+        assert!(d.contains("ESnet LAN"));
+        assert!(d.contains("iperf3 -c"));
+    }
+}

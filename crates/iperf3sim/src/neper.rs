@@ -1,0 +1,240 @@
+//! A model of Google's `neper` (`tcp_stream`) — the tool whose
+//! zerocopy/MSG_TRUNC options inspired iperf3 patch #1690 (§III-B).
+//!
+//! neper differs from iperf3 in its threading model: `-T` threads
+//! serve `-F` flows, so several flows can share one sender thread —
+//! useful for studying CPU-bound many-flow workloads without one
+//! core per flow.
+
+use crate::report::Iperf3Report;
+use crate::runner::RunError;
+use linuxhost::HostConfig;
+use nethw::PathSpec;
+use netsim::{SimConfig, Simulation, WorkloadSpec};
+use simcore::{BitRate, SimDuration};
+use std::fmt;
+
+/// Options for `tcp_stream`.
+#[derive(Debug, Clone)]
+pub struct NeperOpts {
+    /// `-F`: total number of flows.
+    pub num_flows: usize,
+    /// `-T`: number of worker threads (flows are striped over them).
+    pub num_threads: usize,
+    /// `-Z`: use MSG_ZEROCOPY.
+    pub zerocopy: bool,
+    /// `--skip-rx-copy` equivalent (MSG_TRUNC receive).
+    pub skip_rx_copy: bool,
+    /// Test length in seconds (`-l`).
+    pub length_secs: u64,
+    /// Run seed.
+    pub seed: u64,
+}
+
+impl Default for NeperOpts {
+    fn default() -> Self {
+        NeperOpts {
+            num_flows: 1,
+            num_threads: 1,
+            zerocopy: false,
+            skip_rx_copy: false,
+            length_secs: 10,
+            seed: 1,
+        }
+    }
+}
+
+impl NeperOpts {
+    /// `tcp_stream -l secs`.
+    pub fn new(length_secs: u64) -> Self {
+        NeperOpts { length_secs, ..Default::default() }
+    }
+
+    /// Builder: `-F n` flows.
+    pub fn flows(mut self, n: usize) -> Self {
+        self.num_flows = n;
+        self
+    }
+
+    /// Builder: `-T n` threads.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builder: `-Z`.
+    pub fn zerocopy(mut self) -> Self {
+        self.zerocopy = true;
+        self
+    }
+
+    /// Builder: MSG_TRUNC receive.
+    pub fn skip_rx_copy(mut self) -> Self {
+        self.skip_rx_copy = true;
+        self
+    }
+
+    /// Builder: seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The command line this corresponds to.
+    pub fn command_line(&self, host: &str) -> String {
+        let mut cmd = format!(
+            "tcp_stream -c -H {host} -l {} -F {} -T {}",
+            self.length_secs, self.num_flows, self.num_threads
+        );
+        if self.zerocopy {
+            cmd.push_str(" -Z");
+        }
+        if self.skip_rx_copy {
+            cmd.push_str(" --skip-rx-copy");
+        }
+        cmd
+    }
+
+    /// Validation.
+    pub fn validate(&self) -> Vec<String> {
+        let mut errors = Vec::new();
+        if self.num_flows == 0 {
+            errors.push("-F must be at least 1".into());
+        }
+        if self.num_threads == 0 {
+            errors.push("-T must be at least 1".into());
+        }
+        if self.num_threads > self.num_flows {
+            errors.push("-T must not exceed -F (idle threads)".into());
+        }
+        if self.length_secs == 0 {
+            errors.push("-l must be positive".into());
+        }
+        errors
+    }
+}
+
+/// neper's closing summary.
+#[derive(Debug, Clone)]
+pub struct NeperReport {
+    /// The command line.
+    pub command: String,
+    /// Aggregate goodput.
+    pub throughput: BitRate,
+    /// Retransmitted MTU segments.
+    pub retransmits: u64,
+    /// Underlying per-flow detail (shares the iperf3 report shape).
+    pub detail: Iperf3Report,
+}
+
+impl fmt::Display for NeperReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "$ {}", self.command)?;
+        writeln!(f, "num_transactions=0")?;
+        writeln!(f, "throughput_units=Mbit/s")?;
+        writeln!(f, "throughput={:.2}", self.throughput.as_bps() / 1e6)?;
+        writeln!(f, "retransmits={}", self.retransmits)
+    }
+}
+
+/// Run `tcp_stream` between two hosts.
+pub fn run_tcp_stream(
+    client: &HostConfig,
+    server: &HostConfig,
+    path: &PathSpec,
+    opts: &NeperOpts,
+) -> Result<NeperReport, RunError> {
+    let errors = opts.validate();
+    if !errors.is_empty() {
+        return Err(RunError { errors });
+    }
+    // -T threads: flows stripe over that many sender/receiver cores.
+    let mut client = client.clone();
+    let mut server = server.clone();
+    let threads = opts.num_threads.min(client.cores.app_cores.len());
+    client.cores.app_cores.truncate(threads);
+    server.cores.app_cores.truncate(threads);
+
+    let workload = WorkloadSpec {
+        num_flows: opts.num_flows,
+        duration: SimDuration::from_secs(opts.length_secs),
+        omit: SimDuration::from_secs(if opts.length_secs > 6 { 2 } else { 0 }),
+        zerocopy: opts.zerocopy,
+        sendfile: false,
+        skip_rx_copy: opts.skip_rx_copy,
+        user_checksum: false,
+        fq_rate: None,
+        cc: tcpstack::CcAlgorithm::Cubic,
+        seed: opts.seed,
+    };
+    let cfg = SimConfig { sender: client, receiver: server.clone(), path: path.clone(), workload };
+    let problems = cfg.validate();
+    if !problems.is_empty() {
+        return Err(RunError { errors: problems });
+    }
+    let result = Simulation::new(cfg).run();
+    let detail = Iperf3Report::from_run(opts.command_line(&server.name), &result);
+    Ok(NeperReport {
+        command: opts.command_line(&server.name),
+        throughput: detail.sum_bitrate(),
+        retransmits: detail.sum_retr(),
+        detail,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linuxhost::KernelVersion;
+
+    fn setup() -> (HostConfig, PathSpec) {
+        (
+            HostConfig::esnet_amd(KernelVersion::L6_8),
+            PathSpec::lan("lan", BitRate::gbps(200.0)),
+        )
+    }
+
+    #[test]
+    fn basic_tcp_stream() {
+        let (host, path) = setup();
+        let r = run_tcp_stream(&host, &host, &path, &NeperOpts::new(3).flows(2).threads(2))
+            .expect("run");
+        assert!(r.throughput.as_gbps() > 10.0);
+        let text = r.to_string();
+        assert!(text.contains("throughput_units=Mbit/s"));
+        assert!(text.contains("tcp_stream -c"));
+    }
+
+    #[test]
+    fn thread_striping_matters() {
+        // 8 flows on 1 thread vs 8 threads: the multi-threaded run
+        // must be faster (one shared app core vs eight).
+        let (host, path) = setup();
+        let one = run_tcp_stream(&host, &host, &path, &NeperOpts::new(3).flows(8).threads(1))
+            .unwrap();
+        let eight = run_tcp_stream(&host, &host, &path, &NeperOpts::new(3).flows(8).threads(8))
+            .unwrap();
+        assert!(
+            eight.throughput.as_gbps() > one.throughput.as_gbps() * 1.5,
+            "-T 8 {:.1} should beat -T 1 {:.1}",
+            eight.throughput.as_gbps(),
+            one.throughput.as_gbps()
+        );
+    }
+
+    #[test]
+    fn validation() {
+        assert!(!NeperOpts::new(0).validate().is_empty());
+        assert!(!NeperOpts::new(5).flows(0).validate().is_empty());
+        assert!(!NeperOpts::new(5).flows(2).threads(4).validate().is_empty());
+        assert!(NeperOpts::new(5).flows(4).threads(2).validate().is_empty());
+    }
+
+    #[test]
+    fn zerocopy_flag_passes_through() {
+        let (host, path) = setup();
+        let r = run_tcp_stream(&host, &host, &path, &NeperOpts::new(3).zerocopy()).unwrap();
+        assert!(r.command.contains("-Z"));
+        assert!(r.throughput.as_gbps() > 10.0);
+    }
+}

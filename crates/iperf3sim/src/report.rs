@@ -1,0 +1,209 @@
+//! iperf3-style result reports.
+
+use linuxhost::CpuReport;
+use netsim::RunResult;
+use simcore::{BitRate, Bytes, SimDuration};
+use std::fmt;
+
+/// Per-stream results (one `[ ID ]` line).
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// Stream id (iperf3 numbers sockets from 5).
+    pub id: usize,
+    /// Bytes transferred in the measured window.
+    pub bytes: Bytes,
+    /// Mean bitrate.
+    pub bitrate: BitRate,
+    /// Retransmitted MTU segments.
+    pub retr: u64,
+    /// Per-second bitrate samples.
+    pub intervals: Vec<BitRate>,
+}
+
+/// A full test report (the `-J` document, in struct form).
+#[derive(Debug, Clone)]
+pub struct Iperf3Report {
+    /// The command line that produced this.
+    pub command: String,
+    /// Per-stream rows.
+    pub streams: Vec<StreamReport>,
+    /// Measured window.
+    pub window: SimDuration,
+    /// Sender-host CPU (mpstat companion data, §III-G).
+    pub sender_cpu: CpuReport,
+    /// Receiver-host CPU.
+    pub receiver_cpu: CpuReport,
+    /// Zerocopy sends that fell back to copying (fraction 0–1).
+    pub zc_fallback_fraction: f64,
+}
+
+impl Iperf3Report {
+    /// Build from a simulation result.
+    pub fn from_run(command: String, run: &RunResult) -> Self {
+        Iperf3Report {
+            command,
+            streams: run
+                .flows
+                .iter()
+                .map(|f| StreamReport {
+                    id: 5 + f.id,
+                    bytes: f.bytes,
+                    bitrate: f.goodput,
+                    retr: f.retr_packets,
+                    intervals: f.intervals.clone(),
+                })
+                .collect(),
+            window: run.window,
+            sender_cpu: run.sender_cpu.clone(),
+            receiver_cpu: run.receiver_cpu.clone(),
+            zc_fallback_fraction: run.zc_fallback_fraction(),
+        }
+    }
+
+    /// Aggregate bitrate (the `[SUM]` line).
+    pub fn sum_bitrate(&self) -> BitRate {
+        BitRate::from_bps(self.streams.iter().map(|s| s.bitrate.as_bps()).sum())
+    }
+
+    /// Total retransmissions.
+    pub fn sum_retr(&self) -> u64 {
+        self.streams.iter().map(|s| s.retr).sum()
+    }
+
+    /// Lowest per-stream bitrate (Gbps) — the paper's "Range" column.
+    pub fn min_stream_gbps(&self) -> f64 {
+        self.streams.iter().map(|s| s.bitrate.as_gbps()).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Highest per-stream bitrate (Gbps).
+    pub fn max_stream_gbps(&self) -> f64 {
+        self.streams.iter().map(|s| s.bitrate.as_gbps()).fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// A compact JSON rendering (subset of iperf3 `-J`; hand-rolled so
+    /// the workspace needs no JSON dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"title\": {:?},\n", self.command));
+        out.push_str(&format!(
+            "  \"end\": {{\n    \"sum_received\": {{\"seconds\": {:.3}, \"bits_per_second\": {:.1}, \"retransmits\": {}}},\n",
+            self.window.as_secs_f64(),
+            self.sum_bitrate().as_bps(),
+            self.sum_retr()
+        ));
+        out.push_str("    \"streams\": [\n");
+        for (i, s) in self.streams.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"socket\": {}, \"bytes\": {}, \"bits_per_second\": {:.1}, \"retransmits\": {}}}{}\n",
+                s.id,
+                s.bytes.as_u64(),
+                s.bitrate.as_bps(),
+                s.retr,
+                if i + 1 == self.streams.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("    ],\n");
+        out.push_str(&format!(
+            "    \"cpu_utilization_percent\": {{\"host_total\": {:.1}, \"remote_total\": {:.1}}},\n",
+            self.sender_cpu.combined_pct(),
+            self.receiver_cpu.combined_pct()
+        ));
+        out.push_str(&format!(
+            "    \"zerocopy_fallback_fraction\": {:.4}\n  }}\n}}\n",
+            self.zc_fallback_fraction
+        ));
+        out
+    }
+}
+
+impl fmt::Display for Iperf3Report {
+    /// The human-readable closing lines of an iperf3 run.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "$ {}", self.command)?;
+        for s in &self.streams {
+            writeln!(
+                f,
+                "[{:3}]  0.00-{:.2} sec  {:>10}  {:>7.2} Gbits/sec  {:>6}  sender",
+                s.id,
+                self.window.as_secs_f64(),
+                format!("{}", s.bytes),
+                s.bitrate.as_gbps(),
+                s.retr
+            )?;
+        }
+        if self.streams.len() > 1 {
+            writeln!(
+                f,
+                "[SUM]  0.00-{:.2} sec  {:>7.2} Gbits/sec  {:>6}  sender",
+                self.window.as_secs_f64(),
+                self.sum_bitrate().as_gbps(),
+                self.sum_retr()
+            )?;
+        }
+        writeln!(
+            f,
+            "CPU: local {:.0}%, remote {:.0}%",
+            self.sender_cpu.combined_pct(),
+            self.receiver_cpu.combined_pct()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> Iperf3Report {
+        Iperf3Report {
+            command: "iperf3 -c host -t 10 -P 2 -J".into(),
+            streams: vec![
+                StreamReport {
+                    id: 5,
+                    bytes: Bytes::gib(10),
+                    bitrate: BitRate::gbps(10.0),
+                    retr: 12,
+                    intervals: vec![BitRate::gbps(10.0); 10],
+                },
+                StreamReport {
+                    id: 6,
+                    bytes: Bytes::gib(12),
+                    bitrate: BitRate::gbps(12.0),
+                    retr: 3,
+                    intervals: vec![BitRate::gbps(12.0); 10],
+                },
+            ],
+            window: SimDuration::from_secs(10),
+            sender_cpu: CpuReport::zero(4),
+            receiver_cpu: CpuReport::zero(4),
+            zc_fallback_fraction: 0.25,
+        }
+    }
+
+    #[test]
+    fn sums_and_ranges() {
+        let r = report();
+        assert!((r.sum_bitrate().as_gbps() - 22.0).abs() < 1e-9);
+        assert_eq!(r.sum_retr(), 15);
+        assert_eq!(r.min_stream_gbps(), 10.0);
+        assert_eq!(r.max_stream_gbps(), 12.0);
+    }
+
+    #[test]
+    fn json_contains_key_fields() {
+        let j = report().to_json();
+        assert!(j.contains("\"bits_per_second\""));
+        assert!(j.contains("\"retransmits\": 15"));
+        assert!(j.contains("\"socket\": 5"));
+        assert!(j.contains("zerocopy_fallback_fraction"));
+        // Balanced braces (cheap well-formedness check).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn display_has_sum_line_for_parallel() {
+        let text = report().to_string();
+        assert!(text.contains("[SUM]"));
+        assert!(text.contains("Gbits/sec"));
+    }
+}

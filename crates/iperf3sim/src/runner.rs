@@ -1,0 +1,144 @@
+//! Execute an iperf3 run over the simulator.
+
+use crate::opts::Iperf3Opts;
+use crate::report::Iperf3Report;
+use linuxhost::HostConfig;
+use nethw::PathSpec;
+use netsim::{SimConfig, Simulation, WorkloadSpec};
+use simcore::SimDuration;
+use std::fmt;
+
+/// Why a run could not start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunError {
+    /// The iperf3-style error messages.
+    pub errors: Vec<String>,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "iperf3 error: {}", self.errors.join("; "))
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Run `iperf3 -c server` from `client` to `server` across `path`.
+///
+/// Validates the flags against the tool version (patches #1690/#1728)
+/// and the kernel/offload configuration, then executes the
+/// discrete-event simulation and renders an [`Iperf3Report`].
+pub fn run(
+    client: &HostConfig,
+    server: &HostConfig,
+    path: &PathSpec,
+    opts: &Iperf3Opts,
+) -> Result<Iperf3Report, RunError> {
+    let mut errors = opts.validate();
+
+    // Pre-3.16 builds run all streams on one thread: emulate by pinning
+    // every stream's app work onto a single core.
+    let mut client = client.clone();
+    let mut server = server.clone();
+    if !opts.version.multithreaded() && opts.parallel > 1 {
+        client.cores.app_cores.truncate(1);
+        server.cores.app_cores.truncate(1);
+    }
+
+    let workload = WorkloadSpec {
+        num_flows: opts.parallel,
+        duration: opts.duration(),
+        omit: SimDuration::from_secs(opts.omit_secs),
+        zerocopy: opts.zerocopy,
+        sendfile: opts.sendfile,
+        skip_rx_copy: opts.skip_rx_copy,
+        user_checksum: false,
+        fq_rate: opts.fq_rate,
+        cc: opts.congestion,
+        seed: opts.seed,
+    };
+    let cfg = SimConfig {
+        sender: client,
+        receiver: server.clone(),
+        path: path.clone(),
+        workload,
+    };
+    errors.extend(cfg.validate());
+    if !errors.is_empty() {
+        return Err(RunError { errors });
+    }
+    let result = Simulation::new(cfg).run();
+    Ok(Iperf3Report::from_run(opts.command_line(&server.name), &result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::version::Iperf3Version;
+    use linuxhost::KernelVersion;
+    use simcore::BitRate;
+
+    fn hosts_and_path() -> (HostConfig, HostConfig, PathSpec) {
+        (
+            HostConfig::esnet_amd(KernelVersion::L6_8),
+            HostConfig::esnet_amd(KernelVersion::L6_8),
+            PathSpec::lan("lan", BitRate::gbps(200.0)),
+        )
+    }
+
+    #[test]
+    fn basic_run_produces_report() {
+        let (c, s, p) = hosts_and_path();
+        let report = run(&c, &s, &p, &Iperf3Opts::new(3).omit(0)).expect("run");
+        assert_eq!(report.streams.len(), 1);
+        let gbps = report.sum_bitrate().as_gbps();
+        assert!((30.0..50.0).contains(&gbps), "AMD LAN default: {gbps:.1}");
+        assert!(report.command.contains("iperf3 -c"));
+    }
+
+    #[test]
+    fn invalid_flags_refused() {
+        let (c, s, p) = hosts_and_path();
+        let mut opts = Iperf3Opts::new(3).zerocopy();
+        opts.version = Iperf3Version::v3_17(); // no patch 1690
+        let err = run(&c, &s, &p, &opts).unwrap_err();
+        assert!(err.to_string().contains("1690"));
+    }
+
+    #[test]
+    fn fq_rate_requires_fq_qdisc() {
+        let (mut c, s, p) = hosts_and_path();
+        c.sysctl = linuxhost::SysctlConfig::stock();
+        let opts = Iperf3Opts::new(3).fq_rate(BitRate::gbps(2.0));
+        let err = run(&c, &s, &p, &opts).unwrap_err();
+        assert!(err.to_string().contains("fq"), "{err}");
+    }
+
+    #[test]
+    fn single_threaded_parallel_is_slower() {
+        // v3.13 runs -P 4 on one core; the paper's v3.16+ uses four.
+        let (c, s, p) = hosts_and_path();
+        let mut old = Iperf3Opts::new(4).omit(0).parallel(4).seed(3);
+        old.version = Iperf3Version { patch_1690: true, patch_1728: true, minor: 13 };
+        let new = Iperf3Opts::new(4).omit(0).parallel(4).seed(3);
+        let r_old = run(&c, &s, &p, &old).expect("old run");
+        let r_new = run(&c, &s, &p, &new).expect("new run");
+        assert!(
+            r_new.sum_bitrate().as_gbps() > r_old.sum_bitrate().as_gbps() * 1.5,
+            "multithreaded {:.1} should beat single-threaded {:.1}",
+            r_new.sum_bitrate().as_gbps(),
+            r_old.sum_bitrate().as_gbps()
+        );
+    }
+
+    #[test]
+    fn seeds_vary_results_slightly() {
+        let (c, s, p) = hosts_and_path();
+        let a = run(&c, &s, &p, &Iperf3Opts::new(2).omit(0).seed(1)).unwrap();
+        let b = run(&c, &s, &p, &Iperf3Opts::new(2).omit(0).seed(2)).unwrap();
+        assert_ne!(a.sum_bitrate().as_bps(), b.sum_bitrate().as_bps());
+        // ... but within the same ballpark (service jitter, not chaos).
+        let ratio = a.sum_bitrate().as_bps() / b.sum_bitrate().as_bps();
+        assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");
+    }
+}

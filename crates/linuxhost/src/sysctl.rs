@@ -1,0 +1,155 @@
+//! The sysctl configuration from §III-D.
+//!
+//! ```text
+//! net.core.rmem_max=2147483647
+//! net.core.wmem_max=2147483647
+//! net.ipv4.tcp_rmem=4096 131072 2147483647
+//! net.ipv4.tcp_wmem=4096 16384 2147483647
+//! net.ipv4.tcp_no_metrics_save=1
+//! net.core.default_qdisc=fq
+//! net.core.optmem_max=1048576   # needed for MSG_ZEROCOPY
+//! ```
+//!
+//! Stock Ubuntu defaults are much smaller (`tcp_rmem` max of 6 MB,
+//! `optmem_max` of 20 KB) — the difference between a working 100G DTN
+//! and a sub-gigabit WAN transfer.
+
+use simcore::Bytes;
+
+/// Queueing discipline installed on the egress interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Qdisc {
+    /// `fq` — per-flow fair queueing with pacing support; the paper's
+    /// recommendation for high-throughput hosts.
+    Fq,
+    /// `fq_codel` — Ubuntu's default; no fine-grained pacing.
+    FqCodel,
+}
+
+/// TCP buffer triple: `min default max` as in `tcp_rmem`/`tcp_wmem`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufTriple {
+    /// Floor.
+    pub min: Bytes,
+    /// Initial allocation.
+    pub default: Bytes,
+    /// Autotuning ceiling.
+    pub max: Bytes,
+}
+
+impl BufTriple {
+    /// Construct, validating ordering.
+    pub fn new(min: Bytes, default: Bytes, max: Bytes) -> Self {
+        assert!(min <= default && default <= max, "buffer triple must be ordered");
+        BufTriple { min, default, max }
+    }
+}
+
+/// The sysctl set the simulation honours.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SysctlConfig {
+    /// `net.ipv4.tcp_rmem` — receive buffer autotuning triple.
+    pub tcp_rmem: BufTriple,
+    /// `net.ipv4.tcp_wmem` — send buffer autotuning triple.
+    pub tcp_wmem: BufTriple,
+    /// `net.core.rmem_max` (socket receive ceiling; the autotuner is
+    /// bounded by `tcp_rmem.max`, SO_RCVBUF by this).
+    pub rmem_max: Bytes,
+    /// `net.core.wmem_max`.
+    pub wmem_max: Bytes,
+    /// `net.core.optmem_max` — ancillary buffer budget per socket;
+    /// bounds MSG_ZEROCOPY completion notifications in flight (§IV-B).
+    pub optmem_max: Bytes,
+    /// `net.core.default_qdisc`.
+    pub default_qdisc: Qdisc,
+    /// `net.ipv4.tcp_no_metrics_save` — don't seed cwnd from cached
+    /// route metrics (keeps repetitions independent).
+    pub tcp_no_metrics_save: bool,
+}
+
+impl SysctlConfig {
+    /// Stock Ubuntu 22.04 defaults.
+    pub fn stock() -> Self {
+        SysctlConfig {
+            tcp_rmem: BufTriple::new(Bytes::new(4096), Bytes::kib(128), Bytes::new(6_291_456)),
+            tcp_wmem: BufTriple::new(Bytes::new(4096), Bytes::kib(16), Bytes::new(4_194_304)),
+            rmem_max: Bytes::new(212_992),
+            wmem_max: Bytes::new(212_992),
+            optmem_max: Bytes::kib(20),
+            default_qdisc: Qdisc::FqCodel,
+            tcp_no_metrics_save: false,
+        }
+    }
+
+    /// The paper's tuned configuration (§III-D, from fasterdata.es.net).
+    pub fn paper_tuned() -> Self {
+        let two_gb = Bytes::new(2_147_483_647);
+        SysctlConfig {
+            tcp_rmem: BufTriple::new(Bytes::new(4096), Bytes::kib(128), two_gb),
+            tcp_wmem: BufTriple::new(Bytes::new(4096), Bytes::kib(16), two_gb),
+            rmem_max: two_gb,
+            wmem_max: two_gb,
+            optmem_max: Bytes::mib(1),
+            default_qdisc: Qdisc::Fq,
+            tcp_no_metrics_save: true,
+        }
+    }
+
+    /// Tuned, with a specific `optmem_max` (the Fig. 9 sweep).
+    pub fn paper_tuned_with_optmem(optmem: Bytes) -> Self {
+        let mut cfg = Self::paper_tuned();
+        cfg.optmem_max = optmem;
+        cfg
+    }
+
+    /// The ~3.25 MB value the authors found optimal on kernel 6.5
+    /// (§IV-B: 3405376 bytes).
+    pub fn optmem_3_25_mb() -> Bytes {
+        Bytes::new(3_405_376)
+    }
+
+    /// Whether pacing via fq is available.
+    pub fn supports_fq_pacing(&self) -> bool {
+        self.default_qdisc == Qdisc::Fq
+    }
+}
+
+impl Default for SysctlConfig {
+    fn default() -> Self {
+        Self::paper_tuned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_vs_tuned_ceilings() {
+        let stock = SysctlConfig::stock();
+        let tuned = SysctlConfig::paper_tuned();
+        assert!(stock.tcp_rmem.max < tuned.tcp_rmem.max);
+        assert_eq!(tuned.tcp_rmem.max.as_u64(), 2_147_483_647);
+        assert_eq!(stock.optmem_max, Bytes::kib(20));
+        assert_eq!(tuned.optmem_max, Bytes::mib(1));
+    }
+
+    #[test]
+    fn qdisc_gates_pacing() {
+        assert!(!SysctlConfig::stock().supports_fq_pacing());
+        assert!(SysctlConfig::paper_tuned().supports_fq_pacing());
+    }
+
+    #[test]
+    fn optmem_sweep_values() {
+        let small = SysctlConfig::paper_tuned_with_optmem(Bytes::kib(20));
+        assert_eq!(small.optmem_max, Bytes::kib(20));
+        assert_eq!(SysctlConfig::optmem_3_25_mb().as_u64(), 3_405_376);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn unordered_triple_rejected() {
+        let _ = BufTriple::new(Bytes::kib(64), Bytes::kib(16), Bytes::mib(1));
+    }
+}

@@ -1,0 +1,59 @@
+//! Point-to-point link model: serialisation plus propagation.
+
+use simcore::{BitRate, Bytes, SimDuration};
+
+/// A unidirectional link.
+#[derive(Debug, Clone, Copy)]
+pub struct Link {
+    /// Transmission rate.
+    pub rate: BitRate,
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+}
+
+impl Link {
+    /// New link.
+    pub fn new(rate: BitRate, delay: SimDuration) -> Self {
+        assert!(rate.as_bps() > 0.0, "link rate must be positive");
+        Link { rate, delay }
+    }
+
+    /// A LAN link: full rate, sub-100 µs delay.
+    pub fn lan(rate: BitRate) -> Self {
+        Link::new(rate, SimDuration::from_micros(25))
+    }
+
+    /// Total latency for a burst: serialisation + propagation.
+    pub fn transit_time(&self, bytes: Bytes) -> SimDuration {
+        self.rate.serialize_time(bytes) + self.delay
+    }
+
+    /// Serialisation time only.
+    pub fn serialize_time(&self, bytes: Bytes) -> SimDuration {
+        self.rate.serialize_time(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transit_combines_serialisation_and_propagation() {
+        let l = Link::new(BitRate::gbps(100.0), SimDuration::from_millis(10));
+        let t = l.transit_time(Bytes::kib(64));
+        assert_eq!(t.as_nanos(), 10_000_000 + 5_243);
+    }
+
+    #[test]
+    fn lan_link_has_small_delay() {
+        let l = Link::lan(BitRate::gbps(100.0));
+        assert!(l.delay < SimDuration::from_millis(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = Link::new(BitRate::ZERO, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,123 @@
+//! IEEE 802.3x pause-frame flow control.
+//!
+//! When a switch egress queue (or the receiving host's NIC) backs up
+//! past a high-water mark, the device emits a *pause frame* telling the
+//! upstream sender to stop transmitting; when occupancy falls below a
+//! low-water mark it resumes (§II-D). The paper's testbed switches do
+//! **not** support 802.3x (results show drops instead), but the ESnet
+//! production DTNs in Table III do — both modes are modelled.
+
+use simcore::Bytes;
+
+/// High/low-water marks for pause emission, as fractions of capacity.
+#[derive(Debug, Clone, Copy)]
+pub struct PauseThresholds {
+    /// Occupancy fraction above which XOFF (pause) is asserted.
+    pub xoff: f64,
+    /// Occupancy fraction below which XON (resume) is sent.
+    pub xon: f64,
+}
+
+impl Default for PauseThresholds {
+    /// Typical switch defaults: pause at 80 % full, resume at 60 %.
+    fn default() -> Self {
+        PauseThresholds { xoff: 0.80, xon: 0.60 }
+    }
+}
+
+impl PauseThresholds {
+    /// Validate and construct.
+    pub fn new(xoff: f64, xon: f64) -> Self {
+        assert!(
+            0.0 < xon && xon < xoff && xoff <= 1.0,
+            "need 0 < xon < xoff <= 1, got xon={xon} xoff={xoff}"
+        );
+        PauseThresholds { xoff, xon }
+    }
+}
+
+/// The pause state machine for one flow-controlled hop.
+#[derive(Debug, Clone)]
+pub struct PauseState {
+    thresholds: PauseThresholds,
+    capacity: Bytes,
+    paused: bool,
+    pause_events: u64,
+}
+
+impl PauseState {
+    /// New state machine over a buffer of `capacity` bytes.
+    pub fn new(capacity: Bytes, thresholds: PauseThresholds) -> Self {
+        assert!(!capacity.is_zero(), "pause domain needs a buffer");
+        PauseState { thresholds, capacity, paused: false, pause_events: 0 }
+    }
+
+    /// Update with the current buffer occupancy; returns the (possibly
+    /// changed) paused state. Hysteresis: once paused, stays paused
+    /// until occupancy falls below the XON mark.
+    pub fn update(&mut self, occupancy: Bytes) -> bool {
+        let frac = occupancy.as_f64() / self.capacity.as_f64();
+        if self.paused {
+            if frac < self.thresholds.xon {
+                self.paused = false;
+            }
+        } else if frac > self.thresholds.xoff {
+            self.paused = true;
+            self.pause_events += 1;
+        }
+        self.paused
+    }
+
+    /// Is the upstream currently paused?
+    pub fn is_paused(&self) -> bool {
+        self.paused
+    }
+
+    /// How many XOFF transitions have occurred (diagnostics).
+    pub fn pause_events(&self) -> u64 {
+        self.pause_events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> PauseState {
+        PauseState::new(Bytes::new(1000), PauseThresholds::default())
+    }
+
+    #[test]
+    fn pauses_above_xoff_resumes_below_xon() {
+        let mut s = state();
+        assert!(!s.update(Bytes::new(500)));
+        assert!(s.update(Bytes::new(850))); // > 80 %
+        // Hysteresis: 70 % is below xoff but above xon — stays paused.
+        assert!(s.update(Bytes::new(700)));
+        assert!(!s.update(Bytes::new(500))); // < 60 %
+        assert_eq!(s.pause_events(), 1);
+    }
+
+    #[test]
+    fn repeated_congestion_counts_events() {
+        let mut s = state();
+        for _ in 0..3 {
+            s.update(Bytes::new(900));
+            s.update(Bytes::new(100));
+        }
+        assert_eq!(s.pause_events(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "xon < xoff")]
+    fn bad_thresholds_rejected() {
+        let _ = PauseThresholds::new(0.5, 0.9);
+    }
+
+    #[test]
+    fn boundary_is_exclusive() {
+        let mut s = state();
+        assert!(!s.update(Bytes::new(800))); // exactly 80 %: not yet paused
+        assert!(s.update(Bytes::new(801)));
+    }
+}

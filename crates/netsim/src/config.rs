@@ -1,0 +1,223 @@
+//! Simulation configuration: hosts, path, workload.
+
+use linuxhost::HostConfig;
+use nethw::PathSpec;
+use simcore::{BitRate, SimDuration};
+use tcpstack::CcAlgorithm;
+
+/// What traffic to generate — the iperf3 command line, in effect.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Number of parallel TCP streams (`-P`).
+    pub num_flows: usize,
+    /// Test duration (`-t`), including the omitted warm-up.
+    pub duration: SimDuration,
+    /// Warm-up to exclude from results (`-O`); lets WAN flows finish
+    /// slow start before measurement begins.
+    pub omit: SimDuration,
+    /// Send with MSG_ZEROCOPY (`--zerocopy=z`).
+    pub zerocopy: bool,
+    /// Send with `sendfile()` (`iperf3 -Z`, the classic zerocopy).
+    pub sendfile: bool,
+    /// Receiver discards with MSG_TRUNC (`--skip-rx-copy`).
+    pub skip_rx_copy: bool,
+    /// Both applications checksum every byte in user space
+    /// (Globus-style data movers, §V-B).
+    pub user_checksum: bool,
+    /// Per-flow pacing cap (`--fq-rate`).
+    pub fq_rate: Option<BitRate>,
+    /// Congestion control algorithm.
+    pub cc: CcAlgorithm,
+    /// RNG seed; a (config, seed) pair reproduces a run bit-for-bit.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Single default-settings stream for `secs` seconds.
+    pub fn single_stream(secs: u64) -> Self {
+        WorkloadSpec {
+            num_flows: 1,
+            duration: SimDuration::from_secs(secs),
+            omit: SimDuration::from_secs(if secs > 6 { 2 } else { 0 }),
+            zerocopy: false,
+            sendfile: false,
+            skip_rx_copy: false,
+            user_checksum: false,
+            fq_rate: None,
+            cc: CcAlgorithm::Cubic,
+            seed: 1,
+        }
+    }
+
+    /// `-P n` parallel streams for `secs` seconds.
+    pub fn parallel(n: usize, secs: u64) -> Self {
+        WorkloadSpec { num_flows: n, ..Self::single_stream(secs) }
+    }
+
+    /// Builder: enable zerocopy.
+    pub fn with_zerocopy(mut self) -> Self {
+        self.zerocopy = true;
+        self
+    }
+
+    /// Builder: enable sendfile-based sending.
+    pub fn with_sendfile(mut self) -> Self {
+        self.sendfile = true;
+        self
+    }
+
+    /// Builder: enable `--skip-rx-copy`.
+    pub fn with_skip_rx_copy(mut self) -> Self {
+        self.skip_rx_copy = true;
+        self
+    }
+
+    /// Builder: enable user-level checksumming.
+    pub fn with_user_checksum(mut self) -> Self {
+        self.user_checksum = true;
+        self
+    }
+
+    /// Builder: set a per-flow pacing rate.
+    pub fn with_fq_rate(mut self, rate: BitRate) -> Self {
+        self.fq_rate = Some(rate);
+        self
+    }
+
+    /// Builder: choose the congestion controller.
+    pub fn with_cc(mut self, cc: CcAlgorithm) -> Self {
+        self.cc = cc;
+        self
+    }
+
+    /// Builder: set the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Measured window (duration − omit).
+    pub fn measured_window(&self) -> SimDuration {
+        self.duration.saturating_sub(self.omit)
+    }
+}
+
+/// A complete simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Sending host.
+    pub sender: HostConfig,
+    /// Receiving host.
+    pub receiver: HostConfig,
+    /// The network between them.
+    pub path: PathSpec,
+    /// Traffic to generate.
+    pub workload: WorkloadSpec,
+}
+
+impl SimConfig {
+    /// Validate the combination, returning problems (empty = ok).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = self.sender.validate();
+        problems.extend(self.receiver.validate());
+        if self.workload.num_flows == 0 {
+            problems.push("need at least one flow".into());
+        }
+        if self.workload.duration.is_zero() {
+            problems.push("zero duration".into());
+        }
+        if self.workload.omit >= self.workload.duration {
+            problems.push("omit window swallows the whole test".into());
+        }
+        if self.workload.zerocopy && self.workload.sendfile {
+            problems.push("--zerocopy=z and -Z (sendfile) are mutually exclusive".into());
+        }
+        if self.workload.zerocopy && !self.sender.offload.zerocopy_compatible() {
+            problems.push(
+                "MSG_ZEROCOPY with BIG TCP requires a MAX_SKB_FRAGS=45 kernel build".into(),
+            );
+        }
+        if self.workload.fq_rate.is_some() && !self.sender.sysctl.supports_fq_pacing() {
+            problems.push("--fq-rate requires net.core.default_qdisc=fq".into());
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linuxhost::KernelVersion;
+    use nethw::PathSpec;
+    use simcore::Bytes;
+
+    fn base() -> SimConfig {
+        SimConfig {
+            sender: HostConfig::esnet_amd(KernelVersion::L6_8),
+            receiver: HostConfig::esnet_amd(KernelVersion::L6_8),
+            path: PathSpec::lan("lan", BitRate::gbps(200.0)),
+            workload: WorkloadSpec::single_stream(10),
+        }
+    }
+
+    #[test]
+    fn valid_baseline() {
+        assert!(base().validate().is_empty());
+    }
+
+    #[test]
+    fn zerocopy_bigtcp_conflict_detected() {
+        let mut cfg = base();
+        cfg.sender.offload = cfg
+            .sender
+            .offload
+            .with_big_tcp(Bytes::new(150_000), KernelVersion::L6_8);
+        cfg.workload = cfg.workload.with_zerocopy();
+        let problems = cfg.validate();
+        assert!(problems.iter().any(|p| p.contains("MAX_SKB_FRAGS")), "{problems:?}");
+    }
+
+    #[test]
+    fn custom_kernel_resolves_conflict() {
+        let mut cfg = base();
+        cfg.sender.offload = cfg
+            .sender
+            .offload
+            .with_big_tcp(Bytes::new(150_000), KernelVersion::L6_8)
+            .with_max_skb_frags(45, KernelVersion::L6_8);
+        cfg.workload = cfg.workload.with_zerocopy();
+        assert!(cfg.validate().is_empty());
+    }
+
+    #[test]
+    fn fq_rate_needs_fq_qdisc() {
+        let mut cfg = base();
+        cfg.sender.sysctl = linuxhost::SysctlConfig::stock();
+        cfg.workload = cfg.workload.with_fq_rate(BitRate::gbps(10.0));
+        assert!(!cfg.validate().is_empty());
+    }
+
+    #[test]
+    fn workload_builders() {
+        let w = WorkloadSpec::parallel(8, 20)
+            .with_zerocopy()
+            .with_skip_rx_copy()
+            .with_fq_rate(BitRate::gbps(15.0))
+            .with_cc(CcAlgorithm::BbrV1)
+            .with_seed(99);
+        assert_eq!(w.num_flows, 8);
+        assert!(w.zerocopy && w.skip_rx_copy);
+        assert_eq!(w.seed, 99);
+        assert_eq!(w.measured_window(), SimDuration::from_secs(18));
+    }
+
+    #[test]
+    fn degenerate_workloads_rejected() {
+        let mut cfg = base();
+        cfg.workload.num_flows = 0;
+        assert!(!cfg.validate().is_empty());
+        let mut cfg2 = base();
+        cfg2.workload.omit = cfg2.workload.duration;
+        assert!(!cfg2.validate().is_empty());
+    }
+}

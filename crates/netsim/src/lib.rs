@@ -1,0 +1,36 @@
+//! `netsim` — the discrete-event simulation that ties everything
+//! together.
+//!
+//! A run wires two [`linuxhost::HostConfig`]s (sender, receiver) across
+//! a [`nethw::PathSpec`] and pushes `num_flows` TCP flows through the
+//! full pipeline, at GSO-burst granularity:
+//!
+//! ```text
+//!  app core ──write/sendmsg──► fq pacer ──► TX softirq core ──► NIC
+//!     ▲  (copy | zerocopy | fallback)                            │
+//!     │                                                          ▼
+//!  ACKs ◄── IRQ core ◄── one-way delay ◄── shared-buffer switch ─┤
+//!                                          (tail drop / pause)   │
+//!                                                                ▼
+//!  rx app core ◄── RX softirq core (GRO) ◄── RX ring ◄── one-way delay
+//!  (copy | MSG_TRUNC)        │
+//!                            └─ overflow ⇒ receiver drop (no FC)
+//! ```
+//!
+//! Every CPU stage is a FIFO server fed by the
+//! [`linuxhost::CostModel`]; a per-host *fabric* server models shared
+//! memory/DMA bandwidth. Throughput limits, retransmits, CPU
+//! utilisation and run-to-run variance all emerge from the event loop —
+//! there is no formula anywhere that "decides" the throughput.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod host;
+pub mod result;
+pub mod sim;
+
+pub use config::{SimConfig, WorkloadSpec};
+pub use result::{FlowResult, RunResult};
+pub use sim::Simulation;

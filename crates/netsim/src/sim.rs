@@ -1,0 +1,691 @@
+//! The discrete-event simulation loop.
+//!
+//! See the crate docs for the pipeline diagram. Design notes:
+//!
+//! * **One app-write chain per flow.** `AppWrite → AppWriteDone →
+//!   AppWrite …` — the application core's FIFO server is what spaces
+//!   the writes, exactly like a busy `iperf3` thread. The chain parks
+//!   when the socket buffer fills and is revived by an ACK.
+//! * **Loss points.** Random path loss (production WANs), shared-buffer
+//!   tail drop at the switch, and RX-ring overflow at the receiver.
+//!   With 802.3x flow control the receiver *parks* arrivals instead of
+//!   dropping them (pause frames hold the data upstream) — Table III
+//!   vs Tables I/II.
+//! * **Lazy RTO timers.** One pending `RtoCheck` per flow that
+//!   re-validates the deadline when it fires, so ACK processing never
+//!   needs to cancel events.
+
+use crate::config::SimConfig;
+use crate::host::SimHost;
+use crate::result::{FlowResult, RunResult};
+use linuxhost::{Pacer, SendOutcome, TxMode, ZerocopyAccounting};
+use nethw::{EnqueueOutcome, SharedBufferSwitch};
+use simcore::{BitRate, Bytes, EventQueue, SimDuration, SimRng, SimTime};
+use tcpstack::{SendSlot, TcpReceiver, TcpSender, TimerKind};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Propagation of the host↔switch edge hop.
+const EDGE_DELAY: SimDuration = SimDuration::from_micros(5);
+
+/// TCP Small Queues horizon: a flow parks at most this much transmit
+/// time in the qdisc; more data stays in the socket until the pacer
+/// drains (prevents unbounded qdisc queues and keeps the RTO clock
+/// honest).
+const TSQ_HORIZON: SimDuration = SimDuration::from_millis(2);
+
+#[derive(Debug)]
+enum Ev {
+    AppWrite(usize),
+    AppWriteDone(usize, TxMode),
+    TxDequeue { flow: usize, idx: u64 },
+    SwitchArrive { flow: usize, idx: u64 },
+    SwitchDepart { flow: usize, idx: u64 },
+    RxArrive { flow: usize, idx: u64 },
+    RxSoftirqDone { flow: usize, idx: u64 },
+    RxAppReadDone(usize),
+    AckArrive { flow: usize, cum: u64, idx: u64, rwnd: Bytes },
+    RtoCheck(usize),
+    PacerResume(usize),
+    CrossToggle,
+    IntervalTick,
+    OmitBoundary,
+}
+
+struct FlowState {
+    sender: TcpSender,
+    receiver: TcpReceiver,
+    pacer: Pacer,
+    zc: Option<ZerocopyAccounting>,
+    /// Modes of app-written bursts not yet assigned a sequence index.
+    pending_modes: VecDeque<TxMode>,
+    /// Mode per in-flight burst index (drained as cum-ack advances).
+    burst_modes: BTreeMap<u64, TxMode>,
+    app_waiting: bool,
+    rx_app_busy: bool,
+    rto_scheduled: bool,
+    pacer_resume_pending: bool,
+    /// Bytes handed to the driver (TxDequeue → wire) — the TSQ ledger.
+    driver_bytes: Bytes,
+    /// Waiting for the driver queue to drain before sending more.
+    tx_gated: bool,
+    delivered_bursts: u64,
+    delivered_at_omit: u64,
+    interval_mark: u64,
+    intervals: Vec<BitRate>,
+    rng: SimRng,
+}
+
+/// A configured, runnable simulation.
+pub struct Simulation {
+    cfg: SimConfig,
+    burst: Bytes,
+}
+
+impl Simulation {
+    /// Prepare a simulation; panics on an invalid configuration (an
+    /// invalid experiment definition is a programming error).
+    pub fn new(cfg: SimConfig) -> Self {
+        let problems = cfg.validate();
+        assert!(problems.is_empty(), "invalid SimConfig: {problems:?}");
+        let burst = cfg.sender.offload.gso_max_size;
+        Simulation { cfg, burst }
+    }
+
+    /// The burst (GSO super-packet) size in use.
+    pub fn burst_size(&self) -> Bytes {
+        self.burst
+    }
+
+    /// Run to completion and report.
+    pub fn run(self) -> RunResult {
+        Runner::new(self.cfg, self.burst).run()
+    }
+}
+
+struct Runner {
+    cfg: SimConfig,
+    burst: Bytes,
+    q: EventQueue<Ev>,
+    flows: Vec<FlowState>,
+    snd_host: SimHost,
+    rcv_host: SimHost,
+    switch: SharedBufferSwitch,
+    /// Bursts parked by pause-frame flow control (receiver side).
+    parked: VecDeque<(usize, u64)>,
+    rng: SimRng,
+    switch_drops: u64,
+    ring_drops: u64,
+    random_drops: u64,
+    cross_on: bool,
+    cross_until: SimTime,
+    /// Busy snapshots at the last interval tick (mpstat deltas).
+    snd_busy_mark: Vec<SimDuration>,
+    rcv_busy_mark: Vec<SimDuration>,
+    cpu_intervals: Vec<(f64, f64)>,
+    last_tick: SimTime,
+    snd_cpu_at_omit: Vec<SimDuration>,
+    rcv_cpu_at_omit: Vec<SimDuration>,
+    omit_time: SimTime,
+    end_time: SimTime,
+}
+
+impl Runner {
+    fn new(cfg: SimConfig, burst: Bytes) -> Self {
+        let mut rng = SimRng::seed_from_u64(cfg.workload.seed);
+        let n = cfg.workload.num_flows;
+        let snd_host = SimHost::new(&cfg.sender, n, &mut rng.fork());
+        let rcv_host = SimHost::new(&cfg.receiver, n, &mut rng.fork());
+        let mut switch = SharedBufferSwitch::new(
+            cfg.path.switch_buffer,
+            &[cfg.path.usable_rate()],
+            // The bottleneck switch itself never runs 802.3x end to
+            // end; `flow_control` protects the receiver edge (see
+            // RxArrive handling).
+            false,
+        );
+        if cfg.path.red {
+            switch = switch.with_red(nethw::switch::RedParams::default());
+        }
+        let mut flows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let flow_rng = rng.fork();
+            let cc = cfg
+                .workload
+                .cc
+                .build(cfg.sender.offload.mtu, Bytes::new(10 * cfg.sender.offload.mtu.as_u64()));
+            let rcv_buf = cfg.receiver.sysctl.tcp_rmem.max;
+            let receiver = TcpReceiver::new(burst, rcv_buf.max(burst));
+            let sender = TcpSender::new(
+                cc,
+                burst,
+                cfg.sender.offload.mtu,
+                cfg.sender.sysctl.tcp_wmem.max,
+                receiver.rwnd(),
+            );
+            let pacer = Pacer::new(cfg.sender.sysctl.default_qdisc, cfg.workload.fq_rate);
+            let zc = cfg.workload.zerocopy.then(|| {
+                ZerocopyAccounting::for_kernel(cfg.sender.sysctl.optmem_max, cfg.sender.kernel)
+            });
+            flows.push(FlowState {
+                sender,
+                receiver,
+                pacer,
+                zc,
+                pending_modes: VecDeque::new(),
+                burst_modes: BTreeMap::new(),
+                app_waiting: false,
+                rx_app_busy: false,
+                rto_scheduled: false,
+                pacer_resume_pending: false,
+                driver_bytes: Bytes::ZERO,
+                tx_gated: false,
+                delivered_bursts: 0,
+                delivered_at_omit: 0,
+                interval_mark: 0,
+                intervals: Vec::new(),
+                rng: flow_rng,
+            });
+        }
+        let omit_time = SimTime::ZERO + cfg.workload.omit;
+        let end_time = SimTime::ZERO + cfg.workload.duration;
+        Runner {
+            cfg,
+            burst,
+            q: EventQueue::new(),
+            flows,
+            snd_host,
+            rcv_host,
+            switch,
+            parked: VecDeque::new(),
+            rng,
+            switch_drops: 0,
+            ring_drops: 0,
+            random_drops: 0,
+            cross_on: false,
+            cross_until: SimTime::ZERO,
+            snd_busy_mark: Vec::new(),
+            rcv_busy_mark: Vec::new(),
+            cpu_intervals: Vec::new(),
+            last_tick: SimTime::ZERO,
+            snd_cpu_at_omit: Vec::new(),
+            rcv_cpu_at_omit: Vec::new(),
+            omit_time,
+            end_time,
+        }
+    }
+
+    fn run(mut self) -> RunResult {
+        // Kick off: one write chain per flow, staggered within 1 ms the
+        // way parallel iperf3 threads start.
+        for f in 0..self.flows.len() {
+            let jitter = SimDuration::from_nanos(self.rng.uniform_u64(0, 1_000_000));
+            self.q.push(SimTime::ZERO + jitter, Ev::AppWrite(f));
+        }
+        self.q.push(self.omit_time, Ev::OmitBoundary);
+        self.q
+            .push(self.omit_time + SimDuration::from_secs(1), Ev::IntervalTick);
+        if self.cfg.path.cross_traffic.is_some() {
+            self.q.push(SimTime::ZERO, Ev::CrossToggle);
+        }
+
+        while let Some(next) = self.q.peek_time() {
+            if next > self.end_time {
+                break;
+            }
+            let (now, ev) = self.q.pop().expect("peeked event vanished");
+            self.dispatch(now, ev);
+        }
+        self.finish()
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::AppWrite(f) => self.on_app_write(now, f),
+            Ev::AppWriteDone(f, mode) => self.on_app_write_done(now, f, mode),
+            Ev::TxDequeue { flow, idx } => self.on_tx_dequeue(now, flow, idx),
+            Ev::SwitchArrive { flow, idx } => self.on_switch_arrive(now, flow, idx),
+            Ev::SwitchDepart { flow, idx } => self.on_switch_depart(now, flow, idx),
+            Ev::RxArrive { flow, idx } => self.on_rx_arrive(now, flow, idx),
+            Ev::RxSoftirqDone { flow, idx } => self.on_rx_softirq_done(now, flow, idx),
+            Ev::RxAppReadDone(f) => self.on_rx_app_read_done(now, f),
+            Ev::AckArrive { flow, cum, idx, rwnd } => self.on_ack(now, flow, cum, idx, rwnd),
+            Ev::RtoCheck(f) => self.on_rto_check(now, f),
+            Ev::PacerResume(f) => self.on_pacer_resume(now, f),
+            Ev::CrossToggle => self.on_cross_toggle(now),
+            Ev::IntervalTick => self.on_interval(now),
+            Ev::OmitBoundary => self.on_omit(now),
+        }
+    }
+
+    // ---- sender application ------------------------------------------------
+
+    fn on_app_write(&mut self, now: SimTime, f: usize) {
+        let flow = &mut self.flows[f];
+        if !flow.sender.app_can_write() {
+            flow.app_waiting = true;
+            return;
+        }
+        let mode = match &mut flow.zc {
+            Some(acct) => match acct.try_send() {
+                SendOutcome::Zerocopy => TxMode::Zerocopy,
+                SendOutcome::CopiedFallback => TxMode::ZerocopyFallback,
+            },
+            None if self.cfg.workload.sendfile => TxMode::Sendfile,
+            None => TxMode::Copy,
+        };
+        let window = flow.sender.inflight();
+        let mut svc = self
+            .snd_host
+            .cost
+            .tx_app_service(self.burst, mode, window, &mut flow.rng);
+        if self.cfg.workload.user_checksum {
+            svc += self.snd_host.cost.checksum_service(self.burst, &mut flow.rng);
+        }
+        let done = self.snd_host.serve_app(f, now, svc);
+        self.q.push(done, Ev::AppWriteDone(f, mode));
+    }
+
+    fn on_app_write_done(&mut self, now: SimTime, f: usize, mode: TxMode) {
+        {
+            let flow = &mut self.flows[f];
+            flow.sender.app_wrote();
+            flow.pending_modes.push_back(mode);
+        }
+        self.try_transmit(now, f);
+        // Continue the write chain immediately; the app core's FIFO
+        // spacing throttles the actual rate.
+        self.on_app_write(now, f);
+    }
+
+    // ---- transmission path -------------------------------------------------
+
+    fn try_transmit(&mut self, now: SimTime, f: usize) {
+        loop {
+            let flow = &mut self.flows[f];
+            if !flow.sender.can_send() {
+                break;
+            }
+            // TSQ: once the qdisc (or the driver TX path behind it)
+            // holds a couple of milliseconds of data, stop feeding it
+            // and resume when it drains.
+            // TSQ is per flow, like Linux: at most ~1 ms of data at the
+            // flow's pacing rate (min two bursts) may sit in the
+            // qdisc+driver. fq's per-flow round robin means one flow's
+            // backlog never gates another.
+            let pacer_backlog = flow.pacer.backlog(now);
+            if pacer_backlog >= TSQ_HORIZON {
+                if !flow.pacer_resume_pending {
+                    flow.pacer_resume_pending = true;
+                    let resume = now + pacer_backlog.saturating_sub(TSQ_HORIZON / 2);
+                    self.q.push(resume, Ev::PacerResume(f));
+                }
+                break;
+            }
+            let rate = flow
+                .pacer
+                .current_rate(flow.sender.tcp_pacing_rate(), self.snd_host.nic_rate());
+            let driver_limit = rate
+                .bytes_in(SimDuration::from_millis(2))
+                .max(self.burst * 2);
+            if flow.driver_bytes >= driver_limit {
+                flow.tx_gated = true; // resumed when the driver drains
+                break;
+            }
+            let auto_rate = flow.sender.tcp_pacing_rate();
+            match flow.sender.next_slot(now) {
+                SendSlot::Blocked => break,
+                SendSlot::New(idx) => {
+                    let mode = flow
+                        .pending_modes
+                        .pop_front()
+                        .expect("app_buffered and pending_modes out of sync");
+                    flow.burst_modes.insert(idx, mode);
+                    let depart =
+                        flow.pacer
+                            .schedule(now, self.burst, auto_rate, self.snd_host.nic_rate());
+                    self.q.push(depart, Ev::TxDequeue { flow: f, idx });
+                }
+                SendSlot::Retransmit(idx) => {
+                    let depart =
+                        flow.pacer
+                            .schedule(now, self.burst, auto_rate, self.snd_host.nic_rate());
+                    self.q.push(depart, Ev::TxDequeue { flow: f, idx });
+                }
+            }
+        }
+        self.ensure_rto(now, f);
+    }
+
+    fn on_tx_dequeue(&mut self, now: SimTime, f: usize, idx: u64) {
+        // The burst leaves the qdisc now: restart its RTT/RTO clock so
+        // pacer residence time doesn't masquerade as network delay.
+        self.flows[f].sender.mark_transmitted(idx, now);
+        self.flows[f].driver_bytes += self.burst;
+        let mode = *self.flows[f].burst_modes.get(&idx).unwrap_or(&TxMode::Copy);
+        let svc = self
+            .snd_host
+            .cost
+            .tx_softirq_service(self.burst, &mut self.flows[f].rng);
+        let t_irq = self.snd_host.serve_irq(f, now, svc);
+        let window = self.flows[f].sender.inflight();
+        let fab = self.snd_host.cost.fabric_tx_service(self.burst, mode, window);
+        let t_fab = self.snd_host.serve_fabric(now, fab);
+        let wire = self.cfg.sender.offload.wire_bytes(self.burst);
+        let wire_done = self.snd_host.nic_transmit(t_irq.max(t_fab), wire);
+        // Edge hop to the switch, then the switch-arrival logic runs
+        // inline at that instant.
+        self.q
+            .push(wire_done + EDGE_DELAY, Ev::SwitchArrive { flow: f, idx });
+    }
+
+    fn on_switch_arrive(&mut self, now: SimTime, f: usize, idx: u64) {
+        // The burst left the sender's driver/NIC: credit the TSQ ledger
+        // and resume a gated flow.
+        {
+            let flow = &mut self.flows[f];
+            flow.driver_bytes = flow.driver_bytes.saturating_sub(self.burst);
+            if flow.tx_gated {
+                flow.tx_gated = false;
+                self.try_transmit(now, f);
+            }
+        }
+        let loss_p = self.cfg.path.random_loss;
+        if loss_p > 0.0 && self.flows[f].rng.chance(loss_p) {
+            self.random_drops += 1;
+            return;
+        }
+        if self.switch.red_drop(&mut self.flows[f].rng) {
+            self.switch_drops += 1;
+            return;
+        }
+        let wire = self.cfg.sender.offload.wire_bytes(self.burst);
+        match self.switch.enqueue(0, wire, now) {
+            EnqueueOutcome::Dropped => {
+                self.switch_drops += 1;
+            }
+            EnqueueOutcome::Queued { departs_at } => {
+                self.q.push(departs_at, Ev::SwitchDepart { flow: f, idx });
+            }
+        }
+    }
+
+    fn on_switch_depart(&mut self, now: SimTime, f: usize, idx: u64) {
+        let wire = self.cfg.sender.offload.wire_bytes(self.burst);
+        self.switch.departed(0, wire);
+        self.q
+            .push(now + self.cfg.path.one_way_delay(), Ev::RxArrive { flow: f, idx });
+    }
+
+    // ---- receiver ------------------------------------------------------------
+
+    fn on_rx_arrive(&mut self, now: SimTime, f: usize, idx: u64) {
+        if !self.rcv_host.ring.offer(self.burst) {
+            if self.cfg.path.flow_control {
+                // 802.3x: pause frames hold the burst upstream instead
+                // of dropping it; it re-enters when the ring drains.
+                self.parked.push_back((f, idx));
+            } else {
+                self.ring_drops += 1;
+            }
+            return;
+        }
+        let svc = self
+            .rcv_host
+            .cost
+            .rx_softirq_service(self.burst, &mut self.flows[f].rng);
+        let t_irq = self.rcv_host.serve_irq(f, now, svc);
+        let fab = self
+            .rcv_host
+            .cost
+            .fabric_rx_service(self.burst, self.cfg.workload.skip_rx_copy);
+        let t_fab = self.rcv_host.serve_fabric(now, fab);
+        self.q
+            .push(t_irq.max(t_fab), Ev::RxSoftirqDone { flow: f, idx });
+    }
+
+    fn on_rx_softirq_done(&mut self, now: SimTime, f: usize, idx: u64) {
+        self.rcv_host.ring.drain(self.burst);
+        // A descriptor freed: un-park one flow-controlled burst.
+        if let Some((pf, pidx)) = self.parked.pop_front() {
+            self.on_rx_arrive(now, pf, pidx);
+        }
+        let ack = self.flows[f].receiver.on_burst(idx);
+        self.q.push(
+            now + self.cfg.path.one_way_delay() + EDGE_DELAY,
+            Ev::AckArrive { flow: f, cum: ack.cum_ack, idx: ack.acked_idx, rwnd: ack.rwnd },
+        );
+        self.maybe_start_rx_app(now, f);
+    }
+
+    fn maybe_start_rx_app(&mut self, now: SimTime, f: usize) {
+        let flow = &mut self.flows[f];
+        if flow.rx_app_busy || flow.receiver.readable_bursts() == 0 {
+            return;
+        }
+        flow.rx_app_busy = true;
+        let mut svc = self.rcv_host.cost.rx_app_service(
+            self.burst,
+            self.cfg.workload.skip_rx_copy,
+            &mut flow.rng,
+        );
+        if self.cfg.workload.user_checksum {
+            svc += self.rcv_host.cost.checksum_service(self.burst, &mut flow.rng);
+        }
+        let done = self.rcv_host.serve_app(f, now, svc);
+        self.q.push(done, Ev::RxAppReadDone(f));
+    }
+
+    fn on_rx_app_read_done(&mut self, now: SimTime, f: usize) {
+        let flow = &mut self.flows[f];
+        let read = flow.receiver.app_read();
+        debug_assert!(read, "read completion without readable data");
+        flow.delivered_bursts += 1;
+        flow.rx_app_busy = false;
+        self.maybe_start_rx_app(now, f);
+    }
+
+    // ---- ACK path --------------------------------------------------------------
+
+    fn on_ack(&mut self, now: SimTime, f: usize, cum: u64, idx: u64, rwnd: Bytes) {
+        {
+            let svc = self.snd_host.cost.ack_service(&mut self.flows[f].rng);
+            self.snd_host.charge_irq(f, svc);
+        }
+        let flow = &mut self.flows[f];
+        let _outcome = flow.sender.on_ack(cum, idx, rwnd, now);
+        // Zerocopy completions: everything cumulatively ACKed releases
+        // its optmem charge.
+        while let Some((&first, &mode)) = flow.burst_modes.first_key_value() {
+            if first >= cum {
+                break;
+            }
+            flow.burst_modes.remove(&first);
+            if mode == TxMode::Zerocopy {
+                if let Some(acct) = &mut flow.zc {
+                    acct.complete();
+                }
+            }
+        }
+        let wake_app = flow.app_waiting && flow.sender.app_can_write();
+        if wake_app {
+            flow.app_waiting = false;
+        }
+        self.try_transmit(now, f);
+        if wake_app {
+            self.on_app_write(now, f);
+        }
+    }
+
+    fn ensure_rto(&mut self, now: SimTime, f: usize) {
+        let flow = &mut self.flows[f];
+        if flow.rto_scheduled {
+            return;
+        }
+        if let Some((deadline, _)) = flow.sender.timer_deadline() {
+            flow.rto_scheduled = true;
+            self.q.push(deadline.max(now), Ev::RtoCheck(f));
+        }
+    }
+
+    fn on_pacer_resume(&mut self, now: SimTime, f: usize) {
+        self.flows[f].pacer_resume_pending = false;
+        self.try_transmit(now, f);
+    }
+
+    fn on_rto_check(&mut self, now: SimTime, f: usize) {
+        self.flows[f].rto_scheduled = false;
+        match self.flows[f].sender.timer_deadline() {
+            None => {}
+            Some((d, kind)) if d <= now => {
+                match kind {
+                    TimerKind::Tlp => self.flows[f].sender.on_tlp(now),
+                    TimerKind::Rto => self.flows[f].sender.on_rto(now),
+                }
+                self.try_transmit(now, f);
+            }
+            Some((d, _)) => {
+                self.flows[f].rto_scheduled = true;
+                self.q.push(d, Ev::RtoCheck(f));
+            }
+        }
+    }
+
+    // ---- environment ------------------------------------------------------------
+
+    /// Cross-traffic driver. ON/OFF periods are exponential, but while
+    /// ON the egress occupancy is booked in ~250 µs slices so that
+    /// production bursts *interleave* with test traffic (occupying a
+    /// share of the port) rather than blocking it outright — a blocked
+    /// port would release multi-millisecond line-rate trains that no
+    /// receiver could absorb.
+    fn on_cross_toggle(&mut self, now: SimTime) {
+        let Some(spec) = self.cfg.path.cross_traffic else { return };
+        if now >= self.cross_until {
+            self.cross_on = !self.cross_on;
+            let mean = if self.cross_on {
+                spec.mean_burst.as_secs_f64()
+            } else {
+                spec.mean_gap().as_secs_f64().max(1e-9)
+            };
+            self.cross_until =
+                now + SimDuration::from_secs_f64(self.rng.exponential(mean));
+        }
+        if self.cross_on {
+            let slice = SimDuration::from_micros(250).min(self.cross_until - now);
+            let ratio = (spec.burst_rate.as_bps() / self.cfg.path.usable_rate().as_bps())
+                .min(0.95);
+            self.switch.consume_egress(0, slice.mul_f64(ratio), now);
+            self.q.push(now + slice.max(SimDuration::from_micros(1)), Ev::CrossToggle);
+        } else {
+            self.q.push(self.cross_until, Ev::CrossToggle);
+        }
+    }
+
+    fn on_interval(&mut self, now: SimTime) {
+        // mpstat-style sample: utilisation over the last interval.
+        if !self.snd_busy_mark.is_empty() {
+            let snd = self
+                .snd_host
+                .cpu_report_since(&self.snd_busy_mark, self.last_tick, now)
+                .combined_pct();
+            let rcv = self
+                .rcv_host
+                .cpu_report_since(&self.rcv_busy_mark, self.last_tick, now)
+                .combined_pct();
+            self.cpu_intervals.push((snd, rcv));
+        }
+        self.snd_busy_mark = self.snd_host.busy_snapshot();
+        self.rcv_busy_mark = self.rcv_host.busy_snapshot();
+        self.last_tick = now;
+        for flow in &mut self.flows {
+            let delta = flow.delivered_bursts - flow.interval_mark;
+            flow.interval_mark = flow.delivered_bursts;
+            flow.intervals.push(BitRate::average(
+                Bytes::new(delta * self.burst.as_u64()),
+                SimDuration::from_secs(1),
+            ));
+        }
+        let next = now + SimDuration::from_secs(1);
+        if next <= self.end_time {
+            self.q.push(next, Ev::IntervalTick);
+        }
+    }
+
+    fn on_omit(&mut self, now: SimTime) {
+        for flow in &mut self.flows {
+            flow.delivered_at_omit = flow.delivered_bursts;
+            flow.interval_mark = flow.delivered_bursts;
+        }
+        self.snd_cpu_at_omit = self.snd_host.busy_snapshot();
+        self.rcv_cpu_at_omit = self.rcv_host.busy_snapshot();
+        self.snd_busy_mark = self.snd_host.busy_snapshot();
+        self.rcv_busy_mark = self.rcv_host.busy_snapshot();
+        self.last_tick = now;
+    }
+
+    fn finish(self) -> RunResult {
+        if std::env::var_os("NETSIM_DEBUG_FLOWS").is_some() {
+            for (i, flow) in self.flows.iter().enumerate() {
+                eprintln!(
+                    "flow {i}: cwnd={} inflight={} ss={} srtt={:?} buffered={} waiting={} retr={} tlp={} rto={} rcv_rwnd={} readable={}",
+                    flow.sender.cc().cwnd(),
+                    flow.sender.inflight(),
+                    flow.sender.cc().in_slow_start(),
+                    flow.sender.rtt.srtt(),
+                    flow.sender.app_buffered(),
+                    flow.app_waiting,
+                    flow.sender.retr_packets(),
+                    flow.sender.tlp_events(),
+                    flow.sender.rto_events(),
+                    flow.receiver.rwnd(),
+                    flow.receiver.readable_bursts(),
+                );
+            }
+        }
+        let window = self.end_time.saturating_since(self.omit_time);
+        let flows = self
+            .flows
+            .iter()
+            .enumerate()
+            .map(|(id, flow)| {
+                let bursts = flow.delivered_bursts - flow.delivered_at_omit;
+                let bytes = Bytes::new(bursts * self.burst.as_u64());
+                FlowResult {
+                    id,
+                    bytes,
+                    goodput: BitRate::average(bytes, window),
+                    // iperf3's Retr column counts the whole test,
+                    // including slow-start losses before the omit mark.
+                    retr_packets: flow.sender.retr_packets(),
+                    rto_events: flow.sender.rto_events(),
+                    zc_sends: flow.zc.as_ref().map_or(0, |z| z.zerocopy_sends()),
+                    zc_fallbacks: flow.zc.as_ref().map_or(0, |z| z.fallback_sends()),
+                    intervals: flow.intervals.clone(),
+                }
+            })
+            .collect();
+        let sender_cpu = if self.snd_cpu_at_omit.is_empty() {
+            self.snd_host.cpu_report(SimTime::ZERO, self.end_time)
+        } else {
+            self.snd_host
+                .cpu_report_since(&self.snd_cpu_at_omit, self.omit_time, self.end_time)
+        };
+        let receiver_cpu = if self.rcv_cpu_at_omit.is_empty() {
+            self.rcv_host.cpu_report(SimTime::ZERO, self.end_time)
+        } else {
+            self.rcv_host
+                .cpu_report_since(&self.rcv_cpu_at_omit, self.omit_time, self.end_time)
+        };
+        RunResult {
+            flows,
+            window,
+            sender_cpu,
+            receiver_cpu,
+            cpu_intervals: self.cpu_intervals,
+            switch_drops: self.switch_drops,
+            ring_drops: self.ring_drops,
+            random_drops: self.random_drops,
+            events: self.q.total_popped(),
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Tests for the mpstat-style per-second CPU sampling.
+
+use linuxhost::{HostConfig, KernelVersion};
+use nethw::PathSpec;
+use netsim::{SimConfig, Simulation, WorkloadSpec};
+use simcore::BitRate;
+
+fn run(secs: u64) -> netsim::RunResult {
+    let host = HostConfig::esnet_amd(KernelVersion::L6_8);
+    let cfg = SimConfig {
+        sender: host.clone(),
+        receiver: host,
+        path: PathSpec::lan("lan", BitRate::gbps(200.0)),
+        workload: WorkloadSpec::single_stream(secs),
+    };
+    Simulation::new(cfg).run()
+}
+
+#[test]
+fn one_sample_per_second() {
+    let res = run(6); // no omit at 6 s → ticks at t = 1..6
+    assert!(
+        (4..=6).contains(&res.cpu_intervals.len()),
+        "expected ~5-6 samples, got {}",
+        res.cpu_intervals.len()
+    );
+    // With a 2 s omit (8 s run) the warm-up samples are excluded.
+    let res8 = run(8);
+    assert!(
+        res8.cpu_intervals.len() <= 6,
+        "omit must swallow warm-up samples, got {}",
+        res8.cpu_intervals.len()
+    );
+}
+
+#[test]
+fn samples_reflect_load() {
+    let res = run(6);
+    for (i, (snd, rcv)) in res.cpu_intervals.iter().enumerate() {
+        // AMD LAN default: both sides busy, receiver the busier host.
+        assert!(*snd > 50.0, "sample {i}: sender {snd:.0}% too idle");
+        assert!(*rcv > *snd, "sample {i}: receiver {rcv:.0}% should exceed sender {snd:.0}%");
+        assert!(*rcv < 1600.0, "sample {i}: receiver {rcv:.0}% exceeds 16 cores");
+    }
+}
+
+#[test]
+fn steady_state_samples_are_stable() {
+    let res = run(8);
+    let snd: Vec<f64> = res.cpu_intervals.iter().map(|s| s.0).collect();
+    let mean = snd.iter().sum::<f64>() / snd.len() as f64;
+    for s in &snd {
+        assert!(
+            (s - mean).abs() < mean * 0.25,
+            "steady-state mpstat samples should be stable: {snd:?}"
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! End-to-end smoke tests for the simulator.
+//!
+//! These are short runs (seconds of simulated time) that check the
+//! *mechanisms*; the full paper-anchor calibration lives in the
+//! workspace-level `tests/calibration.rs` and runs in release mode.
+
+use linuxhost::{HostConfig, KernelVersion};
+use netsim::{SimConfig, Simulation, WorkloadSpec};
+use nethw::PathSpec;
+use simcore::{BitRate, SimDuration};
+
+fn amlight_lan(workload: WorkloadSpec) -> SimConfig {
+    SimConfig {
+        sender: HostConfig::amlight_intel(KernelVersion::L6_8),
+        receiver: HostConfig::amlight_intel(KernelVersion::L6_8),
+        path: PathSpec::lan("amlight-lan", BitRate::gbps(100.0)),
+        workload,
+    }
+}
+
+fn amlight_wan(rtt_ms: u64, workload: WorkloadSpec) -> SimConfig {
+    SimConfig {
+        sender: HostConfig::amlight_intel(KernelVersion::L6_8),
+        receiver: HostConfig::amlight_intel(KernelVersion::L6_8),
+        path: PathSpec::wan(
+            format!("amlight-{rtt_ms}ms"),
+            BitRate::gbps(100.0),
+            SimDuration::from_millis(rtt_ms),
+        )
+        .with_policy_cap(BitRate::gbps(80.0)),
+        workload,
+    }
+}
+
+#[test]
+fn lan_single_stream_reaches_tens_of_gbps() {
+    let cfg = amlight_lan(WorkloadSpec::single_stream(3));
+    let res = Simulation::new(cfg).run();
+    let gbps = res.total_goodput().as_gbps();
+    assert!(
+        (30.0..70.0).contains(&gbps),
+        "Intel LAN default single stream: {gbps:.1} Gbps (events {})",
+        res.events
+    );
+}
+
+#[test]
+fn zerocopy_with_pacing_hits_the_pacing_rate_on_wan() {
+    let wl = WorkloadSpec::single_stream(12)
+        .with_zerocopy()
+        .with_fq_rate(BitRate::gbps(50.0));
+    let cfg = amlight_wan(25, wl);
+    let res = Simulation::new(cfg).run();
+    let gbps = res.total_goodput().as_gbps();
+    assert!(
+        (42.0..51.0).contains(&gbps),
+        "zc+pace50 at 25 ms should run near 48: {gbps:.1} Gbps"
+    );
+}
+
+#[test]
+fn wan_default_is_slower_than_lan_default() {
+    let lan = Simulation::new(amlight_lan(WorkloadSpec::single_stream(6)))
+        .run()
+        .total_goodput()
+        .as_gbps();
+    let wan = Simulation::new(amlight_wan(104, WorkloadSpec::single_stream(15)))
+        .run()
+        .total_goodput()
+        .as_gbps();
+    assert!(
+        wan < lan,
+        "WAN default ({wan:.1}) must trail LAN default ({lan:.1}) — sender window penalty"
+    );
+    assert!(wan > 5.0, "WAN default should still move data: {wan:.1}");
+}
+
+#[test]
+fn run_is_deterministic_per_seed() {
+    let mk = |seed| {
+        let wl = WorkloadSpec::single_stream(2).with_seed(seed);
+        Simulation::new(amlight_lan(wl)).run()
+    };
+    let a = mk(7);
+    let b = mk(7);
+    let c = mk(8);
+    assert_eq!(a.total_goodput().as_bps(), b.total_goodput().as_bps());
+    assert_eq!(a.total_retr(), b.total_retr());
+    assert_eq!(a.events, b.events);
+    assert_ne!(
+        (a.total_goodput().as_bps(), a.events),
+        (c.total_goodput().as_bps(), c.events),
+        "different seeds should differ somewhere"
+    );
+}
+
+#[test]
+fn parallel_streams_share_the_path() {
+    let wl = WorkloadSpec::parallel(4, 3).with_fq_rate(BitRate::gbps(5.0));
+    let cfg = amlight_lan(wl);
+    let res = Simulation::new(cfg).run();
+    assert_eq!(res.flows.len(), 4);
+    let total = res.total_goodput().as_gbps();
+    assert!(
+        (15.0..21.0).contains(&total),
+        "4 × 5 Gbps paced flows ≈ 19 Gbps total, got {total:.1}"
+    );
+    for f in &res.flows {
+        let g = f.goodput.as_gbps();
+        assert!((3.5..5.3).contains(&g), "flow {} at {g:.2} Gbps", f.id);
+    }
+}
+
+#[test]
+fn small_rmem_caps_wan_throughput() {
+    // Stock tcp_rmem (6 MB) on a 104 ms path caps the window:
+    // 6 MB / 104 ms ≈ 0.46 Gbps.
+    let mut cfg = amlight_wan(104, WorkloadSpec::single_stream(10));
+    cfg.receiver.sysctl = linuxhost::SysctlConfig::stock();
+    cfg.sender.sysctl.optmem_max = simcore::Bytes::mib(1); // keep sender tuned otherwise
+    let res = Simulation::new(cfg).run();
+    let gbps = res.total_goodput().as_gbps();
+    assert!(
+        gbps < 1.5,
+        "stock 6 MB rmem must strangle a 104 ms path, got {gbps:.2} Gbps"
+    );
+}
+
+#[test]
+fn cpu_reports_are_populated() {
+    let cfg = amlight_lan(WorkloadSpec::single_stream(3));
+    let res = Simulation::new(cfg).run();
+    assert!(res.sender_cpu.combined_pct() > 10.0);
+    assert!(res.receiver_cpu.combined_pct() > 10.0);
+    // LAN default: the receiver side is the busier host (§IV-B).
+    assert!(
+        res.receiver_cpu.peak_core_pct > res.sender_cpu.peak_core_pct * 0.8,
+        "receiver {} vs sender {}",
+        res.receiver_cpu.peak_core_pct,
+        res.sender_cpu.peak_core_pct
+    );
+}
+
+#[test]
+fn intervals_recorded_per_second() {
+    let cfg = amlight_lan(WorkloadSpec::single_stream(4));
+    let res = Simulation::new(cfg).run();
+    // 4 s run with 0 omit (short run): at least 3 full interval samples.
+    assert!(res.flows[0].intervals.len() >= 3, "got {}", res.flows[0].intervals.len());
+}

@@ -1,0 +1,34 @@
+//! `simcore` — foundation for the discrete-event network simulation.
+//!
+//! This crate provides the building blocks shared by every other crate in
+//! the workspace:
+//!
+//! * [`time`] — nanosecond-resolution simulated time ([`SimTime`],
+//!   [`SimDuration`]).
+//! * [`units`] — strongly-typed byte counts and bit rates ([`Bytes`],
+//!   [`BitRate`]) with the conversions the rest of the simulator needs
+//!   (serialisation delays, bandwidth-delay products, …).
+//! * [`engine`] — a generic discrete-event queue ([`EventQueue`]) with
+//!   deterministic FIFO tie-breaking for simultaneous events.
+//! * [`rng`] — a seedable random source ([`SimRng`]) so that every
+//!   simulation run is exactly reproducible from its seed.
+//! * [`stats`] — streaming statistics ([`RunningStats`], [`Summary`])
+//!   matching what the paper's harness reports (mean / stdev / min / max).
+//!
+//! Nothing in this crate knows about TCP, Linux, or NICs; it is the
+//! domain-neutral substrate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod units;
+
+pub use engine::EventQueue;
+pub use rng::SimRng;
+pub use stats::{RunningStats, Summary};
+pub use time::{SimDuration, SimTime};
+pub use units::{BitRate, Bytes};

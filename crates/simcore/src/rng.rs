@@ -1,0 +1,145 @@
+//! Seedable randomness for reproducible runs.
+//!
+//! Every simulation run owns one [`SimRng`], seeded by the harness. All
+//! stochastic elements — service-time jitter, cross-traffic burst
+//! arrivals, flow start offsets, `irqbalance` core placement — draw from
+//! it, so a (config, seed) pair fully determines a run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The simulation's random source.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Create from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Derive an independent child generator (e.g. one per flow) so that
+    /// adding draws in one component does not perturb another.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from_u64(self.inner.gen())
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi, "uniform bounds inverted");
+        if lo == hi {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi, "uniform_u64 needs a non-empty range");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// A multiplicative jitter factor in `[1-amplitude, 1+amplitude]`.
+    ///
+    /// Used to perturb CPU service times a few percent per burst, which
+    /// is what gives repeated runs the run-to-run variance the paper's
+    /// stdev columns report.
+    pub fn jitter(&mut self, amplitude: f64) -> f64 {
+        debug_assert!((0.0..1.0).contains(&amplitude), "jitter amplitude out of range");
+        if amplitude == 0.0 {
+            return 1.0;
+        }
+        1.0 + self.inner.gen_range(-amplitude..amplitude)
+    }
+
+    /// Exponentially distributed value with the given mean (burst/idle
+    /// durations for on-off cross traffic).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0, "exponential mean must be positive");
+        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        -mean * u.ln()
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.inner.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Raw u64 (for deriving seeds).
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "independent streams should not match");
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let mut parent1 = SimRng::seed_from_u64(7);
+        let mut parent2 = SimRng::seed_from_u64(7);
+        let mut c1 = parent1.fork();
+        let mut c2 = parent2.fork();
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        // The parents stay in sync regardless of child usage.
+        for _ in 0..10 {
+            c1.next_u64();
+        }
+        assert_eq!(parent1.next_u64(), parent2.next_u64());
+    }
+
+    #[test]
+    fn jitter_bounds() {
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let j = rng.jitter(0.05);
+            assert!((0.95..=1.05).contains(&j), "jitter {j} out of bounds");
+        }
+        assert_eq!(rng.jitter(0.0), 1.0);
+    }
+
+    #[test]
+    fn exponential_mean_approximate() {
+        let mut rng = SimRng::seed_from_u64(9);
+        let n = 20_000;
+        let mean = 5.0;
+        let sum: f64 = (0..n).map(|_| rng.exponential(mean)).sum();
+        let est = sum / n as f64;
+        assert!((est - mean).abs() < 0.2, "estimated mean {est} too far from {mean}");
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = SimRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let v = rng.uniform(2.0, 3.0);
+            assert!((2.0..3.0).contains(&v));
+        }
+        assert_eq!(rng.uniform(4.0, 4.0), 4.0);
+        for _ in 0..100 {
+            let v = rng.uniform_u64(5, 8);
+            assert!((5..8).contains(&v));
+        }
+    }
+}

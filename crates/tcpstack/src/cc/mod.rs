@@ -1,0 +1,124 @@
+//! Congestion-control algorithms.
+//!
+//! The paper runs CUBIC for all reported results and notes (§IV-F)
+//! that BBRv1/BBRv3 performed similarly on their loss-free testbeds,
+//! ramped faster on the WAN, retransmitted more (especially BBRv1),
+//! and benefited strongly from pacing in parallel-stream runs. All
+//! three are provided so those comparisons can be reproduced.
+
+pub mod bbr;
+pub mod cubic;
+
+use simcore::{BitRate, Bytes, SimDuration, SimTime};
+
+pub use bbr::Bbr;
+pub use cubic::Cubic;
+
+/// Selector for a congestion-control algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CcAlgorithm {
+    /// CUBIC (Linux default; the paper's choice).
+    #[default]
+    Cubic,
+    /// BBR version 1.
+    BbrV1,
+    /// BBR version 3 (simplified: adds loss response and headroom).
+    BbrV3,
+}
+
+impl CcAlgorithm {
+    /// Instantiate the algorithm. `mss` is the wire segment size,
+    /// `init_cwnd` the initial window in bytes.
+    pub fn build(self, mss: Bytes, init_cwnd: Bytes) -> Box<dyn CongestionControl> {
+        match self {
+            CcAlgorithm::Cubic => Box::new(Cubic::new(mss, init_cwnd)),
+            CcAlgorithm::BbrV1 => Box::new(Bbr::v1(mss, init_cwnd)),
+            CcAlgorithm::BbrV3 => Box::new(Bbr::v3(mss, init_cwnd)),
+        }
+    }
+
+    /// sysctl-style name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CcAlgorithm::Cubic => "cubic",
+            CcAlgorithm::BbrV1 => "bbr",
+            CcAlgorithm::BbrV3 => "bbr3",
+        }
+    }
+}
+
+/// The interface `TcpSender` drives.
+pub trait CongestionControl: std::fmt::Debug + Send {
+    /// Bytes newly acknowledged; `rtt` is the sample for this ACK (if
+    /// usable), `inflight` the bytes outstanding after the ACK.
+    /// `cwnd_limited` reports whether the flow was actually using its
+    /// whole window — loss-based algorithms must not grow cwnd while
+    /// application- or pacing-limited (Linux's `is_cwnd_limited`).
+    fn on_ack(
+        &mut self,
+        acked: Bytes,
+        rtt: Option<SimDuration>,
+        now: SimTime,
+        inflight: Bytes,
+        cwnd_limited: bool,
+    );
+
+    /// A loss episode began (at most once per round trip).
+    fn on_loss(&mut self, now: SimTime);
+
+    /// Retransmission timeout fired.
+    fn on_rto(&mut self, now: SimTime);
+
+    /// Current congestion window in bytes.
+    fn cwnd(&self) -> Bytes;
+
+    /// Whether the algorithm is still in its startup phase.
+    fn in_slow_start(&self) -> bool;
+
+    /// The rate TCP paces itself at through fq (before any `--fq-rate`
+    /// cap). `srtt` is the current smoothed RTT.
+    fn pacing_rate(&self, srtt: SimDuration) -> BitRate;
+
+    /// Algorithm name.
+    fn name(&self) -> &'static str;
+}
+
+/// Shared helper: rate = window / srtt × ratio.
+pub(crate) fn window_rate(cwnd: Bytes, srtt: SimDuration, ratio: f64) -> BitRate {
+    if srtt.is_zero() {
+        return BitRate::gbps(1000.0); // effectively unpaced until an RTT exists
+    }
+    BitRate::from_bps(cwnd.bits() as f64 / srtt.as_secs_f64() * ratio)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_each_algorithm() {
+        let mss = Bytes::new(9000);
+        let iw = Bytes::kib(128);
+        for (alg, name) in [
+            (CcAlgorithm::Cubic, "cubic"),
+            (CcAlgorithm::BbrV1, "bbr"),
+            (CcAlgorithm::BbrV3, "bbr3"),
+        ] {
+            let cc = alg.build(mss, iw);
+            assert_eq!(cc.name(), name);
+            assert_eq!(alg.name(), name);
+            assert!(cc.cwnd() >= iw);
+            assert!(cc.in_slow_start());
+        }
+    }
+
+    #[test]
+    fn window_rate_math() {
+        let r = window_rate(Bytes::new(1_250_000), SimDuration::from_millis(1), 1.0);
+        assert!((r.as_gbps() - 10.0).abs() < 1e-9);
+        let r2 = window_rate(Bytes::new(1_250_000), SimDuration::from_millis(1), 1.2);
+        assert!((r2.as_gbps() - 12.0).abs() < 1e-9);
+        // Zero srtt: effectively unlimited.
+        assert!(window_rate(Bytes::kib(64), SimDuration::ZERO, 2.0).as_gbps() > 500.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Receiver-side TCP state: cumulative ACK, out-of-order queue, and
+//! receive-window advertisement.
+//!
+//! The receiver ACKs every burst it processes (GRO already coalesces
+//! wire packets, so "one ACK per super-packet" matches Linux). The
+//! advertised window is the autotuned receive buffer minus unread
+//! data, with the buffer ceiling set by `tcp_rmem[2]` — the sysctl that
+//! separates a 6 MB stock ceiling from the paper's 2 GB tuned value.
+
+use simcore::Bytes;
+use std::collections::BTreeSet;
+
+/// The information carried by one ACK back to the sender.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AckInfo {
+    /// Next in-order burst expected (cumulative ACK, burst index).
+    pub cum_ack: u64,
+    /// The specific burst this ACK acknowledges (SACK-style).
+    pub acked_idx: u64,
+    /// Advertised receive window in bytes.
+    pub rwnd: Bytes,
+}
+
+/// Receiver state for one flow.
+#[derive(Debug, Clone)]
+pub struct TcpReceiver {
+    burst: Bytes,
+    /// Next expected in-order burst index.
+    rcv_nxt: u64,
+    /// Bursts received above `rcv_nxt`.
+    ooo: BTreeSet<u64>,
+    /// Receive-buffer ceiling (`tcp_rmem[2]`, bounded by what autotune
+    /// will actually grant).
+    rcv_buf: Bytes,
+    /// Bytes held in the receive queue (in-order unread + out-of-order).
+    buffered: Bytes,
+    /// In-order bursts ready for the application to read.
+    readable: u64,
+    /// Totals for reporting.
+    total_bursts: u64,
+    duplicate_bursts: u64,
+}
+
+impl TcpReceiver {
+    /// New receiver with the given burst size and buffer ceiling.
+    pub fn new(burst: Bytes, rcv_buf: Bytes) -> Self {
+        assert!(!burst.is_zero(), "burst size must be positive");
+        assert!(rcv_buf >= burst, "receive buffer smaller than one burst");
+        TcpReceiver {
+            burst,
+            rcv_nxt: 0,
+            ooo: BTreeSet::new(),
+            rcv_buf,
+            buffered: Bytes::ZERO,
+            readable: 0,
+            total_bursts: 0,
+            duplicate_bursts: 0,
+        }
+    }
+
+    /// A burst survived the NIC/softirq path. Returns the ACK to send.
+    pub fn on_burst(&mut self, idx: u64) -> AckInfo {
+        self.total_bursts += 1;
+        if idx < self.rcv_nxt || self.ooo.contains(&idx) {
+            // Duplicate (spurious retransmit): ACK again, buffer nothing.
+            self.duplicate_bursts += 1;
+            return self.ack_for(idx);
+        }
+        self.buffered += self.burst;
+        if idx == self.rcv_nxt {
+            self.rcv_nxt += 1;
+            self.readable += 1;
+            // Pull any contiguous out-of-order data in.
+            while self.ooo.remove(&self.rcv_nxt) {
+                self.rcv_nxt += 1;
+                self.readable += 1;
+            }
+        } else {
+            self.ooo.insert(idx);
+        }
+        self.ack_for(idx)
+    }
+
+    fn ack_for(&self, idx: u64) -> AckInfo {
+        AckInfo { cum_ack: self.rcv_nxt, acked_idx: idx, rwnd: self.rwnd() }
+    }
+
+    /// Current advertised window.
+    pub fn rwnd(&self) -> Bytes {
+        self.rcv_buf.saturating_sub(self.buffered)
+    }
+
+    /// Bursts the application can read right now.
+    pub fn readable_bursts(&self) -> u64 {
+        self.readable
+    }
+
+    /// The application read one burst; frees buffer space.
+    pub fn app_read(&mut self) -> bool {
+        if self.readable == 0 {
+            return false;
+        }
+        self.readable -= 1;
+        self.buffered = self.buffered.saturating_sub(self.burst);
+        true
+    }
+
+    /// Total bursts that arrived (including duplicates).
+    pub fn total_bursts(&self) -> u64 {
+        self.total_bursts
+    }
+
+    /// Duplicate bursts (spurious retransmissions received).
+    pub fn duplicate_bursts(&self) -> u64 {
+        self.duplicate_bursts
+    }
+
+    /// Next expected in-order burst.
+    pub fn rcv_nxt(&self) -> u64 {
+        self.rcv_nxt
+    }
+
+    /// Bursts currently held out of order.
+    pub fn ooo_len(&self) -> usize {
+        self.ooo.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rx() -> TcpReceiver {
+        TcpReceiver::new(Bytes::kib(64), Bytes::mib(8))
+    }
+
+    #[test]
+    fn in_order_delivery() {
+        let mut r = rx();
+        for i in 0..4 {
+            let ack = r.on_burst(i);
+            assert_eq!(ack.cum_ack, i + 1);
+            assert_eq!(ack.acked_idx, i);
+        }
+        assert_eq!(r.readable_bursts(), 4);
+        assert_eq!(r.ooo_len(), 0);
+    }
+
+    #[test]
+    fn out_of_order_held_then_released() {
+        let mut r = rx();
+        r.on_burst(0);
+        let ack = r.on_burst(2); // hole at 1
+        assert_eq!(ack.cum_ack, 1);
+        assert_eq!(ack.acked_idx, 2);
+        assert_eq!(r.readable_bursts(), 1);
+        assert_eq!(r.ooo_len(), 1);
+        // Retransmit fills the hole: everything becomes readable.
+        let ack2 = r.on_burst(1);
+        assert_eq!(ack2.cum_ack, 3);
+        assert_eq!(r.readable_bursts(), 3);
+        assert_eq!(r.ooo_len(), 0);
+    }
+
+    #[test]
+    fn duplicates_do_not_double_buffer() {
+        let mut r = rx();
+        r.on_burst(0);
+        let before = r.rwnd();
+        r.on_burst(0);
+        assert_eq!(r.rwnd(), before);
+        assert_eq!(r.duplicate_bursts(), 1);
+        assert_eq!(r.readable_bursts(), 1);
+    }
+
+    #[test]
+    fn rwnd_shrinks_with_unread_data_and_recovers_on_read() {
+        let mut r = rx();
+        let full = r.rwnd();
+        for i in 0..8 {
+            r.on_burst(i);
+        }
+        assert_eq!(r.rwnd(), full.saturating_sub(Bytes::kib(64 * 8)));
+        for _ in 0..8 {
+            assert!(r.app_read());
+        }
+        assert_eq!(r.rwnd(), full);
+        assert!(!r.app_read());
+    }
+
+    #[test]
+    fn small_buffer_limits_window() {
+        // A stock 6 MB tcp_rmem ceiling advertises at most 6 MB.
+        let r = TcpReceiver::new(Bytes::kib(64), Bytes::new(6_291_456));
+        assert_eq!(r.rwnd().as_u64(), 6_291_456);
+    }
+
+    #[test]
+    fn ooo_counts_toward_buffer() {
+        let mut r = rx();
+        let full = r.rwnd();
+        r.on_burst(5); // pure OOO
+        assert_eq!(r.rwnd(), full.saturating_sub(Bytes::kib(64)));
+        assert_eq!(r.readable_bursts(), 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! RTT estimation and RTO computation (RFC 6298).
+
+use simcore::SimDuration;
+
+/// Linux's minimum RTO (200 ms).
+pub const MIN_RTO: SimDuration = SimDuration::from_millis(200);
+
+/// Maximum RTO we allow (Linux caps at 120 s; tests never get there).
+pub const MAX_RTO: SimDuration = SimDuration::from_secs(120);
+
+/// SRTT/RTTVAR estimator.
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    min_rtt: SimDuration,
+}
+
+impl RttEstimator {
+    /// New estimator with no samples yet.
+    pub fn new() -> Self {
+        RttEstimator {
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            min_rtt: SimDuration::from_secs(3600),
+        }
+    }
+
+    /// Feed one RTT sample (from a never-retransmitted burst — Karn's
+    /// algorithm is the caller's responsibility).
+    pub fn on_sample(&mut self, sample: SimDuration) {
+        self.min_rtt = self.min_rtt.min(sample);
+        match self.srtt {
+            None => {
+                self.srtt = Some(sample);
+                self.rttvar = sample / 2;
+            }
+            Some(srtt) => {
+                // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - sample|
+                let err = if sample > srtt { sample - srtt } else { srtt - sample };
+                self.rttvar = SimDuration::from_nanos(
+                    (3 * self.rttvar.as_nanos() + err.as_nanos()) / 4,
+                );
+                // SRTT = 7/8 SRTT + 1/8 sample
+                self.srtt = Some(SimDuration::from_nanos(
+                    (7 * srtt.as_nanos() + sample.as_nanos()) / 8,
+                ));
+            }
+        }
+    }
+
+    /// Smoothed RTT; `fallback` before the first sample.
+    pub fn srtt_or(&self, fallback: SimDuration) -> SimDuration {
+        self.srtt.unwrap_or(fallback)
+    }
+
+    /// Smoothed RTT if at least one sample has arrived.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+
+    /// Lowest RTT observed (the propagation estimate BBR and HyStart
+    /// rely on).
+    pub fn min_rtt(&self) -> SimDuration {
+        self.min_rtt
+    }
+
+    /// Retransmission timeout: `SRTT + 4×RTTVAR`, clamped.
+    pub fn rto(&self) -> SimDuration {
+        match self.srtt {
+            None => SimDuration::from_secs(1), // RFC 6298 initial RTO
+            Some(srtt) => (srtt + self.rttvar * 4).max(MIN_RTO).min(MAX_RTO),
+        }
+    }
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initialises() {
+        let mut e = RttEstimator::new();
+        assert_eq!(e.rto(), SimDuration::from_secs(1));
+        e.on_sample(SimDuration::from_millis(100));
+        assert_eq!(e.srtt(), Some(SimDuration::from_millis(100)));
+        assert_eq!(e.min_rtt(), SimDuration::from_millis(100));
+        // RTO = 100 + 4*50 = 300 ms.
+        assert_eq!(e.rto(), SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn smoothing_converges() {
+        let mut e = RttEstimator::new();
+        for _ in 0..100 {
+            e.on_sample(SimDuration::from_millis(50));
+        }
+        let srtt = e.srtt().unwrap();
+        assert!((srtt.as_millis_f64() - 50.0).abs() < 0.5);
+        // Stable samples → rttvar → 0 → RTO clamps at the 200 ms floor.
+        assert_eq!(e.rto(), MIN_RTO);
+    }
+
+    #[test]
+    fn min_rtt_tracks_floor() {
+        let mut e = RttEstimator::new();
+        e.on_sample(SimDuration::from_millis(30));
+        e.on_sample(SimDuration::from_millis(10));
+        e.on_sample(SimDuration::from_millis(40));
+        assert_eq!(e.min_rtt(), SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn variance_raises_rto() {
+        let mut e = RttEstimator::new();
+        for i in 0..50 {
+            let ms = if i % 2 == 0 { 20 } else { 80 };
+            e.on_sample(SimDuration::from_millis(ms));
+        }
+        assert!(e.rto() > SimDuration::from_millis(100));
+    }
+}

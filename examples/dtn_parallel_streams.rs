@@ -1,0 +1,62 @@
+//! The DTN use case (§V-B): a production data-transfer node pushing 8
+//! parallel streams across a 63 ms path with 802.3x flow control —
+//! what per-flow pacing rate should it use?
+//!
+//! ```text
+//! cargo run --release --example dtn_parallel_streams
+//! ```
+//!
+//! Reproduces the Table III trade-off: unpaced streams interfere
+//! (retransmits, wide per-flow spread); pacing to ~the fair share
+//! keeps the same aggregate with almost no retransmits and perfectly
+//! even flows.
+
+use dtnperf::prelude::*;
+
+fn main() {
+    let host = Testbeds::prod_dtn_host();
+    let path = Testbeds::prod_dtn_path();
+    println!(
+        "DTN: {} x2 over {} (flow control: {})\n",
+        host.name, path.name, path.flow_control
+    );
+    println!(
+        "{:<18} {:>10} {:>10} {:>16} {:>8}",
+        "pacing", "aggregate", "retr", "per-flow range", "stdev"
+    );
+
+    let harness = TestHarness::new(4);
+    let mut best: Option<(String, f64, f64)> = None;
+    for pace in [None, Some(15.0), Some(12.0), Some(10.0), Some(8.0)] {
+        let label = match pace {
+            None => "unpaced".to_string(),
+            Some(g) => format!("{g:.0} Gbps/flow"),
+        };
+        let mut opts = Iperf3Opts::new(16).omit(4).parallel(8);
+        if let Some(g) = pace {
+            opts = opts.fq_rate(BitRate::gbps(g));
+        }
+        let s = harness.run(&Scenario::symmetric(&label, host.clone(), path.clone(), opts));
+        println!(
+            "{label:<18} {:>7.1} G {:>10.0} {:>8.1}-{:<7.1} {:>8.1}",
+            s.throughput_gbps.mean,
+            s.retr.mean,
+            s.min_stream_gbps,
+            s.max_stream_gbps,
+            s.throughput_gbps.stdev,
+        );
+        // "Best" = highest aggregate among low-retransmit settings.
+        let clean = s.retr.mean < 1000.0;
+        if clean && best.as_ref().is_none_or(|(_, g, _)| s.throughput_gbps.mean > *g) {
+            best = Some((label.clone(), s.throughput_gbps.mean, s.retr.mean));
+        }
+    }
+
+    if let Some((label, gbps, retr)) = best {
+        println!(
+            "\nrecommendation: pace at {label} — {gbps:.0} Gbps aggregate with ~{retr:.0} retransmits."
+        );
+    }
+    println!("paper guidance (SV-B): 5-8 Gbps/flow toward 100G peers, ~1 Gbps toward 10G clients;");
+    println!("hosts low on CPU should use MSG_ZEROCOPY-capable tools.");
+}

@@ -1,0 +1,54 @@
+//! "Should we upgrade the kernel on our DTNs?" — the Figs. 12/13
+//! question, answered for both testbeds in one run.
+//!
+//! ```text
+//! cargo run --release --example kernel_upgrade_study
+//! ```
+
+use dtnperf::prelude::*;
+
+fn main() {
+    let harness = TestHarness::new(4);
+    println!("single-stream LAN throughput by kernel (default settings)\n");
+
+    println!("ESnet (AMD EPYC 73F3, ConnectX-7, 200G LAN):");
+    let mut amd_515 = 0.0;
+    for k in KernelVersion::STUDY {
+        let s = harness.run(&Scenario::symmetric(
+            format!("amd-{k}"),
+            Testbeds::esnet_host(k),
+            Testbeds::esnet_path(EsnetPath::Lan),
+            Iperf3Opts::new(8).omit(1),
+        ));
+        if k == KernelVersion::L5_15 {
+            amd_515 = s.throughput_gbps.mean;
+        }
+        println!(
+            "  kernel {k:<5} {:6.1} Gbps  (+{:.0}% vs 5.15)",
+            s.throughput_gbps.mean,
+            (s.throughput_gbps.mean / amd_515 - 1.0) * 100.0
+        );
+    }
+
+    println!("\nAmLight (Intel Xeon 6346, ConnectX-5, 100G LAN):");
+    let mut intel_515 = 0.0;
+    for k in KernelVersion::STUDY {
+        let s = harness.run(&Scenario::symmetric(
+            format!("intel-{k}"),
+            Testbeds::amlight_host(k),
+            Testbeds::amlight_path(AmLightPath::Lan),
+            Iperf3Opts::new(8).omit(1),
+        ));
+        if k == KernelVersion::L5_15 {
+            intel_515 = s.throughput_gbps.mean;
+        }
+        println!(
+            "  kernel {k:<5} {:6.1} Gbps  (+{:.0}% vs 5.15)",
+            s.throughput_gbps.mean,
+            (s.throughput_gbps.mean / intel_515 - 1.0) * 100.0
+        );
+    }
+
+    println!("\npaper: 6.8 is up to 30% faster on the LAN and 38% on the WAN than 5.15 (SIV-E);");
+    println!("on Ubuntu 22.04: apt install linux-image-generic-hwe-22.04-edge");
+}

@@ -1,0 +1,55 @@
+//! The Fig. 9 mechanism, interactively: sweep `net.core.optmem_max`
+//! and watch MSG_ZEROCOPY silently degrade into copies on long paths.
+//!
+//! ```text
+//! cargo run --release --example optmem_sweep
+//! ```
+//!
+//! `optmem_max` bounds the completion notifications a zerocopy socket
+//! may hold in flight; once a path's bandwidth-delay product outgrows
+//! what that budget can pin, sends fall back to copying
+//! (`SO_EE_CODE_ZEROCOPY_COPIED`) — throughput sags and the sender
+//! CPU climbs, which is exactly what the sweep shows.
+
+use dtnperf::prelude::*;
+
+fn main() {
+    let kernel = KernelVersion::L6_5; // the kernel the paper swept (SIV-B)
+    let base = Testbeds::amlight_host(kernel);
+    let harness = TestHarness::new(3);
+    let opts = Iperf3Opts::new(14).omit(4).zerocopy().fq_rate(BitRate::gbps(50.0));
+
+    let optmems: [(&str, Bytes); 5] = [
+        ("20 KB (kernel default)", Bytes::kib(20)),
+        ("256 KB", Bytes::kib(256)),
+        ("1 MB (fasterdata)", Bytes::mib(1)),
+        ("3.25 MB (paper's 6.5 optimum)", SysctlConfig::optmem_3_25_mb()),
+        ("8 MB", Bytes::mib(8)),
+    ];
+
+    for path_sel in [AmLightPath::Wan25ms, AmLightPath::Wan104ms] {
+        let path = Testbeds::amlight_path(path_sel);
+        println!(
+            "\nzerocopy + 50G pacing over {} (BDP at 50G: {})",
+            path.name,
+            path.usable_rate().bdp(path.rtt)
+        );
+        println!(
+            "{:<32} {:>10} {:>12} {:>10}",
+            "optmem_max", "tput", "sender CPU", "fallbacks"
+        );
+        for (label, optmem) in optmems {
+            let host = base.clone().with_optmem(optmem);
+            let s = harness.run(&Scenario::symmetric(label, host, path.clone(), opts.clone()));
+            println!(
+                "{label:<32} {:>7.1} G {:>10.0}% {:>9.0}%",
+                s.throughput_gbps.mean,
+                s.sender_cpu_pct.mean,
+                s.zc_fallback * 100.0
+            );
+        }
+    }
+
+    println!("\nrule of thumb: optmem_max must cover (BDP / send size) notifications,");
+    println!("or MSG_ZEROCOPY quietly turns back into memcpy (SIV-B).");
+}

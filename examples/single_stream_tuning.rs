@@ -1,0 +1,73 @@
+//! The paper as a tuning walkthrough: start from a completely untuned
+//! host on a 104 ms path and apply the §III/§V recommendations one at
+//! a time, measuring after each step.
+//!
+//! ```text
+//! cargo run --release --example single_stream_tuning
+//! ```
+//!
+//! Expected progression (single stream, Intel hosts, 104 ms WAN):
+//! stock sysctls strangle the window to well under a gigabit;
+//! buffer tuning unlocks tens of Gbps but leaves the sender CPU-bound;
+//! core pinning removes the scheduler lottery; and MSG_ZEROCOPY with
+//! `optmem_max` and 50 G pacing reaches the paced rate with the sender
+//! CPU mostly idle.
+
+use dtnperf::prelude::*;
+
+fn measure(label: &str, host: &HostConfig, opts: &Iperf3Opts, path: &PathSpec) {
+    // A few repetitions so the irqbalance lottery is visible.
+    let harness = TestHarness::new(4);
+    let summary = harness.run(&Scenario::symmetric(label, host.clone(), path.clone(), opts.clone()));
+    println!(
+        "{label:<44} {:6.2} Gbps  (min {:5.2}, max {:5.2})  sender CPU {:3.0}%",
+        summary.throughput_gbps.mean,
+        summary.throughput_gbps.min,
+        summary.throughput_gbps.max,
+        summary.sender_cpu_pct.mean,
+    );
+}
+
+fn main() {
+    let path = Testbeds::amlight_path(AmLightPath::Wan104ms);
+    let opts = Iperf3Opts::new(12).omit(3);
+    println!("single TCP stream over {} (RTT {})\n", path.name, path.rtt);
+
+    // Step 0: completely untuned Ubuntu box: stock sysctls (6 MB
+    // tcp_rmem ceiling!), irqbalance on, no iommu=pt, powersave
+    // governor.
+    let step0 = HostConfig::untuned(
+        CpuArch::IntelXeon6346,
+        NicModel::ConnectX5,
+        KernelVersion::L6_8,
+    );
+    measure("0. stock Ubuntu (nothing tuned)", &step0, &opts, &path);
+
+    // Step 1: fasterdata sysctls — 2 GB buffer ceilings, fq qdisc,
+    // optmem_max 1 MB (SIII-D).
+    let mut step1 = step0.clone();
+    step1.sysctl = SysctlConfig::paper_tuned();
+    measure("1. + fasterdata sysctls (buffers, fq)", &step1, &opts, &path);
+
+    // Step 2: pin NIC IRQs to cores 0-7 and iperf3 to 8-15, disable
+    // irqbalance; performance governor; iommu=pt (SIII-A/D).
+    let mut step2 = step1.clone();
+    step2.cores = CoreAllocation::paper_tuned();
+    step2.performance_governor = true;
+    step2.iommu_pt = true;
+    step2.smt_off = true;
+    measure("2. + core pinning, governor, iommu=pt", &step2, &opts, &path);
+
+    // Step 3: MSG_ZEROCOPY + pacing at 50 Gbps (SIV-A). optmem_max is
+    // already 1 MB from step 1.
+    let zc_opts = opts.clone().zerocopy().fq_rate(BitRate::gbps(50.0));
+    measure("3. + --zerocopy=z --fq-rate 50G", &step2, &zc_opts, &path);
+
+    // Step 4: the 3.25 MB optmem_max the authors found best on 6.5
+    // (SIV-B) — on long paths it removes the remaining fallbacks.
+    let step4 = step2.clone().with_optmem(SysctlConfig::optmem_3_25_mb());
+    measure("4. + optmem_max=3.25MB", &step4, &zc_opts, &path);
+
+    println!("\npaper checklist (SV-A): tuned sysctls; separate IRQ/app cores;");
+    println!("MSG_ZEROCOPY + optmem_max + pacing; kernel 6.8; flow control or pacing.");
+}

@@ -1,0 +1,2 @@
+//! Root facade; see README. Re-exports the `dtnperf` public API.
+pub use dtnperf::*;

@@ -1,0 +1,180 @@
+//! Property-based tests: invariants that must hold for *any*
+//! configuration, checked over randomly drawn scenarios.
+//!
+//! Runs are short (1–2 simulated seconds) and the case count modest —
+//! each case is a full discrete-event simulation.
+
+use dtnperf::prelude::*;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct AnyScenario {
+    amd: bool,
+    kernel: KernelVersion,
+    rtt_ms: u64,
+    flows: usize,
+    pace_gbps: Option<f64>,
+    zerocopy: bool,
+    skip_rx_copy: bool,
+    cc: CcAlgorithm,
+    seed: u64,
+}
+
+fn any_scenario() -> impl Strategy<Value = AnyScenario> {
+    (
+        any::<bool>(),
+        prop_oneof![
+            Just(KernelVersion::L5_15),
+            Just(KernelVersion::L6_5),
+            Just(KernelVersion::L6_8),
+        ],
+        0u64..60,
+        1usize..4,
+        prop_oneof![Just(None), (2u64..30).prop_map(|g| Some(g as f64))],
+        any::<bool>(),
+        any::<bool>(),
+        prop_oneof![
+            Just(CcAlgorithm::Cubic),
+            Just(CcAlgorithm::BbrV1),
+            Just(CcAlgorithm::BbrV3),
+        ],
+        0u64..1_000_000,
+    )
+        .prop_map(
+            |(amd, kernel, rtt_ms, flows, pace_gbps, zerocopy, skip_rx_copy, cc, seed)| {
+                AnyScenario {
+                    amd,
+                    kernel,
+                    rtt_ms,
+                    flows,
+                    pace_gbps,
+                    zerocopy,
+                    skip_rx_copy,
+                    cc,
+                    seed,
+                }
+            },
+        )
+}
+
+fn build(s: &AnyScenario) -> (HostConfig, PathSpec, Iperf3Opts) {
+    let host = if s.amd {
+        Testbeds::esnet_host(s.kernel)
+    } else {
+        Testbeds::amlight_host(s.kernel)
+    };
+    let rate = if s.amd { 200.0 } else { 100.0 };
+    let path = if s.rtt_ms == 0 {
+        PathSpec::lan("prop-lan", BitRate::gbps(rate))
+    } else {
+        PathSpec::wan("prop-wan", BitRate::gbps(rate), SimDuration::from_millis(s.rtt_ms))
+    };
+    let mut opts = Iperf3Opts::new(2).omit(0).parallel(s.flows).congestion(s.cc).seed(s.seed);
+    if let Some(g) = s.pace_gbps {
+        opts = opts.fq_rate(BitRate::gbps(g));
+    }
+    if s.zerocopy {
+        opts = opts.zerocopy();
+    }
+    if s.skip_rx_copy {
+        opts = opts.skip_rx_copy();
+    }
+    (host, path, opts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 10,
+        max_shrink_iters: 0,
+        .. ProptestConfig::default()
+    })]
+
+    /// Goodput can never exceed the narrowest physical limit.
+    #[test]
+    fn goodput_bounded_by_physics(s in any_scenario()) {
+        let (host, path, opts) = build(&s);
+        let report = iperf3_run(&host, &host, &path, &opts).unwrap();
+        let nic = dtnperf::nethw::Nic::new(host.nic, host.offload.mtu).effective_rate().as_gbps();
+        let mut limit = path.usable_rate().as_gbps().min(nic);
+        if let Some(g) = s.pace_gbps {
+            limit = limit.min(g * s.flows as f64);
+        }
+        let got = report.sum_bitrate().as_gbps();
+        prop_assert!(
+            got <= limit * 1.02 + 0.1,
+            "goodput {got:.2} exceeds physical limit {limit:.2} ({s:?})"
+        );
+    }
+
+    /// Same (config, seed) ⇒ bit-identical results.
+    #[test]
+    fn runs_are_deterministic(s in any_scenario()) {
+        let (host, path, opts) = build(&s);
+        let a = iperf3_run(&host, &host, &path, &opts).unwrap();
+        let b = iperf3_run(&host, &host, &path, &opts).unwrap();
+        prop_assert_eq!(a.sum_bitrate().as_bps(), b.sum_bitrate().as_bps());
+        prop_assert_eq!(a.sum_retr(), b.sum_retr());
+        prop_assert!((a.sender_cpu.combined_pct() - b.sender_cpu.combined_pct()).abs() < 1e-9);
+    }
+
+    /// Per-stream rates respect the per-flow pacing cap.
+    #[test]
+    fn pacing_caps_each_stream(s in any_scenario()) {
+        let (host, path, opts) = build(&s);
+        let report = iperf3_run(&host, &host, &path, &opts).unwrap();
+        if let Some(g) = s.pace_gbps {
+            for stream in &report.streams {
+                prop_assert!(
+                    stream.bitrate.as_gbps() <= g * 1.02 + 0.05,
+                    "stream {} at {:.2} beats its {g} G cap ({s:?})",
+                    stream.id,
+                    stream.bitrate.as_gbps()
+                );
+            }
+        }
+    }
+
+    /// CPU accounting stays within physical bounds and data moves.
+    #[test]
+    fn cpu_and_liveness_sane(s in any_scenario()) {
+        let (host, path, opts) = build(&s);
+        let report = iperf3_run(&host, &host, &path, &opts).unwrap();
+        let n_cores = (host.cores.app_cores.len() + host.cores.irq_cores.len()) as f64;
+        for cpu in [&report.sender_cpu, &report.receiver_cpu] {
+            prop_assert!(cpu.combined_pct() >= 0.0);
+            prop_assert!(
+                cpu.combined_pct() <= n_cores * 100.0 + 1e-6,
+                "CPU {:.0}% exceeds {} cores ({s:?})",
+                cpu.combined_pct(),
+                n_cores
+            );
+            prop_assert!(cpu.peak_core_pct <= 100.0 + 1e-6);
+        }
+        // Liveness: every configuration must move *some* data.
+        prop_assert!(
+            report.sum_bitrate().as_gbps() > 0.01,
+            "no data moved ({s:?})"
+        );
+        // Stream accounting adds up.
+        prop_assert_eq!(report.streams.len(), s.flows);
+        let sum: f64 = report.streams.iter().map(|f| f.bitrate.as_bps()).sum();
+        prop_assert!((sum - report.sum_bitrate().as_bps()).abs() < 1.0);
+    }
+
+    /// A clean path (no drops anywhere) must not retransmit more than
+    /// the occasional tail-loss probe.
+    #[test]
+    fn clean_paths_barely_retransmit(s in any_scenario()) {
+        // Only meaningful when nothing is overloaded: pace gently.
+        let (host, path, mut opts) = build(&s);
+        let per_flow = 4.0 / s.flows as f64;
+        opts = opts.fq_rate(BitRate::gbps(per_flow));
+        let report = iperf3_run(&host, &host, &path, &opts).unwrap();
+        let pkts_per_burst = host.offload.packets_per_burst();
+        prop_assert!(
+            report.sum_retr() <= 4 * pkts_per_burst * s.flows as u64,
+            "gently-paced clean path retransmitted {} packets ({s:?})",
+            report.sum_retr()
+        );
+    }
+}
