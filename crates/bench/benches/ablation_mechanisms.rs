@@ -3,8 +3,8 @@
 //! These benchmark the *simulation* of each mechanism (and double as a
 //! performance regression net for the hot paths each mechanism adds).
 
+use bench::timing::BenchGroup;
 use bench::{quick_opts, BenchScenario};
-use criterion::{criterion_group, criterion_main, Criterion};
 use dtnperf::prelude::*;
 
 fn base() -> BenchScenario {
@@ -13,42 +13,44 @@ fn base() -> BenchScenario {
         host: Testbeds::amlight_host(KernelVersion::L6_8),
         path: Testbeds::amlight_path(AmLightPath::Wan25ms),
         opts: quick_opts(2),
+        faults: FaultPlan::none(),
     }
 }
 
-fn bench_mechanisms(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mechanisms");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(3));
+fn main() {
+    let mut group = BenchGroup::new("mechanisms", 1, 3);
 
     let copy = base();
-    group.bench_function("copy_send_path", |b| b.iter(|| copy.run()));
+    group.bench("copy_send_path", || copy.run());
 
     let mut zc = base();
     zc.opts = zc.opts.zerocopy();
-    group.bench_function("zerocopy_send_path", |b| b.iter(|| zc.run()));
+    group.bench("zerocopy_send_path", || zc.run());
 
     let mut paced = base();
     paced.opts = paced.opts.fq_rate(BitRate::gbps(30.0));
-    group.bench_function("fq_pacing", |b| b.iter(|| paced.run()));
+    group.bench("fq_pacing", || paced.run());
 
     let mut trunc = base();
     trunc.opts = trunc.opts.skip_rx_copy();
-    group.bench_function("skip_rx_copy", |b| b.iter(|| trunc.run()));
+    group.bench("skip_rx_copy", || trunc.run());
 
     let mut bbr = base();
     bbr.opts = bbr.opts.congestion(CcAlgorithm::BbrV1);
-    group.bench_function("bbr_congestion_control", |b| b.iter(|| bbr.run()));
+    group.bench("bbr_congestion_control", || bbr.run());
 
     // Loss recovery: a path with random loss exercises SACK/fast
     // retransmit/TLP continuously.
     let mut lossy = base();
     lossy.path = lossy.path.with_random_loss(1e-4);
-    group.bench_function("loss_recovery", |b| b.iter(|| lossy.run()));
+    group.bench("loss_recovery", || lossy.run());
 
-    group.finish();
+    // Fault injection: a mid-run link flap exercises the fault
+    // machinery plus RTO-driven recovery.
+    let mut flapped = base();
+    flapped.faults = FaultPlan::none().with_link_flap(
+        SimDuration::from_millis(800),
+        SimDuration::from_millis(100),
+    );
+    group.bench("fault_link_flap", || flapped.run());
 }
-
-criterion_group!(benches, bench_mechanisms);
-criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! One Criterion target per paper table/figure.
+//! One bench target per paper table/figure.
 //!
 //! Each target runs that artefact's *headline scenario* end to end
 //! (single repetition, short duration) so `cargo bench` exercises and
@@ -11,24 +11,15 @@
 //! ```
 
 use bench::paper_scenarios;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::timing::BenchGroup;
 
-fn bench_paper_artefacts(c: &mut Criterion) {
-    let mut group = c.benchmark_group("experiments");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(3));
+fn main() {
+    let mut group = BenchGroup::new("experiments", 1, 3);
     for scenario in paper_scenarios() {
-        group.bench_function(scenario.name, |b| {
-            b.iter(|| {
-                let gbps = scenario.run();
-                assert!(gbps > 0.1, "{} produced {gbps:.2} Gbps", scenario.name);
-                gbps
-            })
+        group.bench(scenario.name, || {
+            let gbps = scenario.run();
+            assert!(gbps > 0.1, "{} produced {gbps:.2} Gbps", scenario.name);
+            gbps
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_paper_artefacts);
-criterion_main!(benches);

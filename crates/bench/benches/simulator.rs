@@ -3,8 +3,8 @@
 //! simulated test; the event counts are printed by `--nocapture`
 //! diagnostics elsewhere).
 
+use bench::timing::BenchGroup;
 use bench::{quick_opts, BenchScenario};
-use criterion::{criterion_group, criterion_main, Criterion};
 use dtnperf::prelude::*;
 
 fn scenario_lan_single() -> BenchScenario {
@@ -13,6 +13,7 @@ fn scenario_lan_single() -> BenchScenario {
         host: Testbeds::esnet_host(KernelVersion::L6_8),
         path: Testbeds::esnet_path(EsnetPath::Lan),
         opts: quick_opts(1),
+        faults: FaultPlan::none(),
     }
 }
 
@@ -22,6 +23,7 @@ fn scenario_wan_paced() -> BenchScenario {
         host: Testbeds::amlight_host(KernelVersion::L6_8),
         path: Testbeds::amlight_path(AmLightPath::Wan25ms),
         opts: quick_opts(2).zerocopy().fq_rate(BitRate::gbps(50.0)),
+        faults: FaultPlan::none(),
     }
 }
 
@@ -31,42 +33,30 @@ fn scenario_multiflow() -> BenchScenario {
         host: Testbeds::esnet_host(KernelVersion::L5_15),
         path: Testbeds::esnet_path(EsnetPath::Lan),
         opts: quick_opts(1).parallel(8),
+        faults: FaultPlan::none(),
     }
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(3));
+fn main() {
+    let mut group = BenchGroup::new("simulator", 1, 5);
     for scenario in [scenario_lan_single(), scenario_wan_paced(), scenario_multiflow()] {
-        group.bench_function(scenario.name, |b| {
-            b.iter(|| {
-                let gbps = scenario.run();
-                assert!(gbps > 0.5, "{}: {gbps}", scenario.name);
-                gbps
-            })
+        group.bench(scenario.name, || {
+            let gbps = scenario.run();
+            assert!(gbps > 0.5, "{}: {gbps}", scenario.name);
+            gbps
         });
     }
-    group.finish();
-}
 
-fn bench_event_queue(c: &mut Criterion) {
     use dtnperf::simcore::{EventQueue, SimTime};
-    c.bench_function("event_queue_push_pop_100k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..100_000u64 {
-                q.push(SimTime::from_nanos((i * 7919) % 1_000_000), i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, v)) = q.pop() {
-                acc = acc.wrapping_add(v);
-            }
-            acc
-        })
+    group.bench("event_queue_push_pop_100k", || {
+        let mut q = EventQueue::new();
+        for i in 0..100_000u64 {
+            q.push(SimTime::from_nanos((i * 7919) % 1_000_000), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, v)) = q.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        acc
     });
 }
-
-criterion_group!(benches, bench_engine, bench_event_queue);
-criterion_main!(benches);

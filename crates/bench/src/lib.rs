@@ -1,4 +1,5 @@
-//! `bench` — benchmark scenarios shared by the Criterion targets.
+//! `bench` — benchmark scenarios and the timing harness shared by the
+//! bench targets (plain `main()` binaries, `harness = false`).
 //!
 //! Three bench suites live in `benches/`:
 //!
@@ -12,10 +13,14 @@
 //!   (zerocopy accounting, pacing, loss recovery) measured by toggling
 //!   them on one fixed scenario.
 
+#![deny(unreachable_pub)]
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use dtnperf::prelude::*;
+
+pub mod timing;
 
 /// A named, ready-to-run single scenario for benches.
 pub struct BenchScenario {
@@ -27,16 +32,25 @@ pub struct BenchScenario {
     pub path: PathSpec,
     /// iperf3 flags.
     pub opts: Iperf3Opts,
+    /// Injected faults (none for most scenarios).
+    pub faults: FaultPlan,
 }
 
 impl BenchScenario {
-    /// Execute once, returning total goodput in Gbps (so Criterion can
-    /// assert the run really happened).
+    /// Execute once, returning total goodput in Gbps (so the timing
+    /// loop can assert the run really happened).
     pub fn run(&self) -> f64 {
-        iperf3_run(&self.host, &self.host, &self.path, &self.opts)
-            .expect("bench scenario must be valid")
-            .sum_bitrate()
-            .as_gbps()
+        dtnperf::iperf3::run_with_faults(
+            &self.host,
+            &self.host,
+            &self.path,
+            &self.opts,
+            &self.faults,
+            None,
+        )
+        .expect("bench scenario must be valid")
+        .sum_bitrate()
+        .as_gbps()
     }
 }
 
@@ -63,78 +77,91 @@ pub fn paper_scenarios() -> Vec<BenchScenario> {
             host: intel510,
             path: Testbeds::amlight_path(AmLightPath::Lan),
             opts: quick_opts(2),
+            faults: FaultPlan::none(),
         },
         BenchScenario {
             name: "fig05_single_stream_amlight",
             host: intel68.clone(),
             path: Testbeds::amlight_path(AmLightPath::Wan25ms),
             opts: quick_opts(4).zerocopy().fq_rate(BitRate::gbps(50.0)),
+            faults: FaultPlan::none(),
         },
         BenchScenario {
             name: "fig06_single_stream_esnet",
             host: amd68.clone(),
             path: Testbeds::esnet_path(EsnetPath::Wan),
             opts: quick_opts(4).zerocopy().fq_rate(BitRate::gbps(40.0)),
+            faults: FaultPlan::none(),
         },
         BenchScenario {
             name: "fig07_cpu_intel",
             host: intel65.clone(),
             path: Testbeds::amlight_path(AmLightPath::Lan),
             opts: quick_opts(2),
+            faults: FaultPlan::none(),
         },
         BenchScenario {
             name: "fig08_cpu_amd",
             host: Testbeds::esnet_host(KernelVersion::L6_5),
             path: Testbeds::esnet_path(EsnetPath::Lan),
             opts: quick_opts(2),
+            faults: FaultPlan::none(),
         },
         BenchScenario {
             name: "fig09_optmem_sweep",
             host: intel65.with_optmem(Bytes::mib(1)),
             path: Testbeds::amlight_path(AmLightPath::Wan104ms),
             opts: quick_opts(5).zerocopy().fq_rate(BitRate::gbps(50.0)),
+            faults: FaultPlan::none(),
         },
         BenchScenario {
             name: "fig10_multistream_esnet",
             host: amd68.clone(),
             path: Testbeds::esnet_path(EsnetPath::Wan),
             opts: quick_opts(3).parallel(8).zerocopy().fq_rate(BitRate::gbps(15.0)),
+            faults: FaultPlan::none(),
         },
         BenchScenario {
             name: "fig11_multistream_amlight",
             host: intel68.clone(),
             path: Testbeds::amlight_path(AmLightPath::Wan25ms),
             opts: quick_opts(3).parallel(8).zerocopy().fq_rate(BitRate::gbps(10.0)),
+            faults: FaultPlan::none(),
         },
         BenchScenario {
             name: "fig12_kernels_esnet",
             host: amd515.clone(),
             path: Testbeds::esnet_path(EsnetPath::Lan),
             opts: quick_opts(2),
+            faults: FaultPlan::none(),
         },
         BenchScenario {
             name: "fig13_kernels_amlight",
             host: Testbeds::amlight_host(KernelVersion::L5_15),
             path: Testbeds::amlight_path(AmLightPath::Lan),
             opts: quick_opts(2),
+            faults: FaultPlan::none(),
         },
         BenchScenario {
             name: "table1_esnet_lan",
             host: amd515.clone(),
             path: Testbeds::esnet_path(EsnetPath::Lan),
             opts: quick_opts(2).parallel(8).fq_rate(BitRate::gbps(15.0)),
+            faults: FaultPlan::none(),
         },
         BenchScenario {
             name: "table2_esnet_wan",
             host: amd515,
             path: Testbeds::esnet_path(EsnetPath::Wan),
             opts: quick_opts(4).parallel(8).fq_rate(BitRate::gbps(15.0)),
+            faults: FaultPlan::none(),
         },
         BenchScenario {
             name: "table3_flow_control",
             host: Testbeds::prod_dtn_host(),
             path: Testbeds::prod_dtn_path(),
             opts: quick_opts(4).parallel(8).fq_rate(BitRate::gbps(10.0)),
+            faults: FaultPlan::none(),
         },
         BenchScenario {
             name: "ext_hw_gro",
@@ -146,6 +173,7 @@ pub fn paper_scenarios() -> Vec<BenchScenario> {
             },
             path: Testbeds::amlight_path(AmLightPath::Lan),
             opts: quick_opts(2),
+            faults: FaultPlan::none(),
         },
         BenchScenario {
             name: "ext_bigtcp_zc",
@@ -156,6 +184,17 @@ pub fn paper_scenarios() -> Vec<BenchScenario> {
             },
             path: Testbeds::amlight_path(AmLightPath::Lan),
             opts: quick_opts(2).zerocopy().fq_rate(BitRate::gbps(85.0)),
+            faults: FaultPlan::none(),
+        },
+        BenchScenario {
+            name: "ext_faults_recovery",
+            host: amd68,
+            path: Testbeds::esnet_path(EsnetPath::Lan),
+            opts: quick_opts(3),
+            faults: FaultPlan::none().with_link_flap(
+                SimDuration::from_millis(1000),
+                SimDuration::from_millis(100),
+            ),
         },
     ]
 }
@@ -167,8 +206,8 @@ mod tests {
     #[test]
     fn every_paper_artefact_has_a_bench_scenario() {
         let names: Vec<&str> = paper_scenarios().iter().map(|s| s.name).collect();
-        assert_eq!(names.len(), 15);
-        for prefix in ["fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "table1", "table2", "table3", "ext_hw_gro", "ext_bigtcp_zc"] {
+        assert_eq!(names.len(), 16);
+        for prefix in ["fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "table1", "table2", "table3", "ext_hw_gro", "ext_bigtcp_zc", "ext_faults"] {
             assert!(
                 names.iter().any(|n| n.starts_with(prefix)),
                 "no bench scenario for {prefix}"

@@ -34,6 +34,8 @@
 //! | [`iperf3`] | the benchmark-tool model (flags, validation, reports) |
 //! | [`harness`] | testbeds, repetition runner, every figure/table of the paper |
 
+#![deny(unreachable_pub)]
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -60,7 +62,7 @@ pub mod prelude {
         CoreAllocation, CpuArch, HostConfig, KernelVersion, OffloadConfig, SysctlConfig, VirtMode,
     };
     pub use nethw::{CrossTrafficSpec, NicModel, PathSpec};
-    pub use netsim::{RunResult, SimConfig, Simulation, WorkloadSpec};
+    pub use netsim::{Fault, FaultPlan, RunResult, SimConfig, SimError, Simulation, WorkloadSpec};
     pub use simcore::{BitRate, Bytes, SimDuration, SimTime, Summary};
     pub use tcpstack::CcAlgorithm;
 
@@ -86,9 +88,9 @@ mod tests {
 
     #[test]
     fn experiment_registry_is_complete() {
-        assert_eq!(ExperimentId::ALL.len(), 15);
+        assert_eq!(ExperimentId::ALL.len(), 16);
         let names: Vec<&str> = ExperimentId::ALL.iter().map(|e| e.name()).collect();
-        for figure in ["fig04", "fig05", "fig10", "table1", "table3", "ext_hw_gro"] {
+        for figure in ["fig04", "fig05", "fig10", "table1", "table3", "ext_hw_gro", "ext_faults"] {
             assert!(names.contains(&figure), "{figure} missing from registry");
         }
     }

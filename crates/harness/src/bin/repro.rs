@@ -49,6 +49,14 @@ fn main() {
             },
         }
     }
+    // Scenarios that failed (watchdog, conservation, invalid config)
+    // were reported as zeros inline; reflect them in the exit code so
+    // CI and scripts notice.
+    let failed = harness::experiments::common::failed_scenario_count();
+    if failed > 0 {
+        eprintln!("{failed} scenario(s) failed and were reported as zeros — see warnings above");
+        std::process::exit(1);
+    }
 }
 
 fn run_one(id: ExperimentId, effort: Effort) {
@@ -78,7 +86,7 @@ fn run_one(id: ExperimentId, effort: Effort) {
 
 fn usage() {
     eprintln!(
-        "usage: repro [list | all | ablations | fig04..fig13 | table1..table3 | ext_hw_gro | ext_bigtcp_zc]...\n\
+        "usage: repro [list | all | ablations | fig04..fig13 | table1..table3 | ext_hw_gro | ext_bigtcp_zc | ext_faults]...\n\
          environment: REPRO_EFFORT=smoke|standard|full (default standard)\n\
                       REPRO_CSV_DIR=<dir> to also dump CSV data files"
     );

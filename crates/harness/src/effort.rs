@@ -68,7 +68,11 @@ impl Effort {
         match std::env::var("REPRO_EFFORT").as_deref() {
             Ok("smoke") => Effort::Smoke,
             Ok("full") => Effort::Full,
-            _ => Effort::Standard,
+            Ok("standard") | Err(_) => Effort::Standard,
+            Ok(other) => {
+                eprintln!("REPRO_EFFORT='{other}' not recognized (smoke|standard|full); using standard");
+                Effort::Standard
+            }
         }
     }
 }

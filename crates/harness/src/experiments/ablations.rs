@@ -4,7 +4,7 @@
 //! effect — the "what happens if you skip this step" companion to the
 //! paper's recommendations.
 
-use super::common::{run_row, throughput_figure};
+use super::common::{run_or_empty, run_row, throughput_figure};
 use crate::effort::Effort;
 use crate::render::{FigureData, TableData};
 use crate::scenario::Scenario;
@@ -32,7 +32,7 @@ pub fn core_affinity(effort: Effort) -> TableData {
         vec!["Configuration", "Mean", "Min", "Max", "stdev"],
     );
     for (label, host) in [("pinned (paper SIII-A)", tuned), ("irqbalance + floating app", untuned)] {
-        let s = harness.run(&Scenario::symmetric(label, host, path.clone(), opts.clone()));
+        let s = run_or_empty(&harness, &Scenario::symmetric(label, host, path.clone(), opts.clone()));
         table.push_row(vec![
             label.into(),
             format!("{:.1} Gbps", s.throughput_gbps.mean),

@@ -5,6 +5,28 @@ use crate::render::{FigureData, Series};
 use crate::runner::{TestHarness, TestSummary};
 use crate::scenario::Scenario;
 use simcore::{RunningStats, Summary};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Scenarios that failed outright and were reported as zeros, since
+/// process start. The `repro` binary uses this for its exit code.
+static FAILED_SCENARIOS: AtomicUsize = AtomicUsize::new(0);
+
+/// How many scenarios have degraded to zeros so far.
+pub fn failed_scenario_count() -> usize {
+    FAILED_SCENARIOS.load(Ordering::Relaxed)
+}
+
+/// Run one scenario; a failed scenario degrades to an all-zero
+/// [`TestSummary`] (with a warning on stderr) so one broken cell does
+/// not tear down a whole figure or table. Degradations are counted in
+/// [`failed_scenario_count`].
+pub fn run_or_empty(harness: &TestHarness, sc: &Scenario) -> TestSummary {
+    harness.run(sc).unwrap_or_else(|e| {
+        FAILED_SCENARIOS.fetch_add(1, Ordering::Relaxed);
+        eprintln!("warning: {e}; reporting zeros for '{}'", sc.label);
+        TestSummary::empty(sc.label.as_str())
+    })
+}
 
 /// Run a grid of scenarios (series × x-positions) and assemble a
 /// throughput figure. `grid[s][x]` is the scenario for series `s` at
@@ -20,7 +42,7 @@ pub fn throughput_figure(
     for (name, scenarios) in grid {
         let points: Vec<Summary> = scenarios
             .iter()
-            .map(|sc| harness.run(sc).throughput_gbps)
+            .map(|sc| run_or_empty(&harness, sc).throughput_gbps)
             .collect();
         fig.push_series(name, points);
     }
@@ -30,7 +52,7 @@ pub fn throughput_figure(
 /// Run one row of scenarios and return the summaries (for tables).
 pub fn run_row(scenarios: &[Scenario], effort: Effort) -> Vec<TestSummary> {
     let harness = TestHarness::new(effort.repetitions());
-    scenarios.iter().map(|sc| harness.run(sc)).collect()
+    scenarios.iter().map(|sc| run_or_empty(&harness, sc)).collect()
 }
 
 /// Build a CPU-utilisation figure from already-run summaries: for each

@@ -1,5 +1,6 @@
-//! §V-C future-work experiments: hardware GRO and the
-//! BIG TCP + MSG_ZEROCOPY custom kernel.
+//! §V-C future-work experiments (hardware GRO, the BIG TCP +
+//! MSG_ZEROCOPY custom kernel) plus the fault-recovery robustness
+//! study that exercises the fault-injection subsystem.
 
 use super::common::throughput_figure;
 use crate::effort::Effort;
@@ -8,7 +9,8 @@ use crate::scenario::Scenario;
 use iperf3sim::Iperf3Opts;
 use linuxhost::{HostConfig, KernelVersion};
 use nethw::{NicModel, PathSpec};
-use simcore::{BitRate, Bytes};
+use netsim::FaultPlan;
+use simcore::{BitRate, Bytes, SimDuration};
 
 /// §V-C — receiver-side hardware GRO (SHAMPO, ConnectX-7 + kernel
 /// 6.11): "a 33 % improvement … for single stream tests with a 9 K
@@ -91,6 +93,43 @@ pub fn bigtcp_zerocopy(effort: Effort) -> Vec<FigureData> {
     ];
     vec![throughput_figure(
         "SV-C: BIG TCP + MSG_ZEROCOPY on a MAX_SKB_FRAGS=45 kernel (Intel LAN)",
+        vec!["LAN".into()],
+        grid,
+        effort,
+    )]
+}
+
+/// Robustness study: a clean ESnet LAN run against the same run with
+/// each fault class injected mid-test. Recovery is left entirely to
+/// the modelled TCP machinery (RTO/TLP, cwnd regrowth, window
+/// updates), so the per-fault throughput cost *is* the result.
+pub fn fault_recovery(effort: Effort) -> Vec<FigureData> {
+    let lan = PathSpec::lan("ESnet LAN", BitRate::gbps(200.0));
+    let host = HostConfig::esnet_amd(KernelVersion::L6_8);
+    let secs = effort.lan_secs();
+    // Fault starts 40% into the run and lasts 10% of it (min 50 ms),
+    // leaving plenty of post-fault runway for recovery to show.
+    let at = SimDuration::from_millis(secs * 400);
+    let dur = SimDuration::from_millis((secs * 100).max(50));
+    // No omit window: the fault and its recovery must be measured.
+    let opts = Iperf3Opts::new(secs).omit(0);
+    let plans = vec![
+        ("clean", FaultPlan::none()),
+        ("bursty-loss", FaultPlan::none().with_bursty_loss(at, dur, 0.3)),
+        ("link-flap", FaultPlan::none().with_link_flap(at, dur)),
+        ("receiver-stall", FaultPlan::none().with_receiver_stall(at, dur)),
+        ("pause-storm", FaultPlan::none().with_pause_storm(at, dur)),
+    ];
+    let grid = plans
+        .into_iter()
+        .map(|(label, plan)| {
+            let sc = Scenario::symmetric(label, host.clone(), lan.clone(), opts.clone())
+                .with_faults(plan);
+            (label.to_string(), vec![sc])
+        })
+        .collect();
+    vec![throughput_figure(
+        "Robustness: throughput under injected faults (ESnet LAN, single stream)",
         vec!["LAN".into()],
         grid,
         effort,

@@ -21,6 +21,7 @@
 //! | [`tables::table3`] | Table III — production DTNs, flow control |
 //! | [`extensions::hw_gro`] | §V-C — hardware GRO preview |
 //! | [`extensions::bigtcp_zerocopy`] | §V-C — BIG TCP + zerocopy custom kernel |
+//! | [`extensions::fault_recovery`] | robustness — recovery from injected faults |
 //! | [`ablations`] | design-choice ablations (affinity, IOMMU, ring, CC, MTU, sysctls) |
 
 pub mod ablations;
@@ -105,11 +106,13 @@ pub enum ExperimentId {
     ExtHwGro,
     /// §V-C BIG TCP + zerocopy.
     ExtBigTcpZc,
+    /// Robustness: recovery from injected faults.
+    ExtFaults,
 }
 
 impl ExperimentId {
     /// All paper artefacts in order of appearance.
-    pub const ALL: [ExperimentId; 15] = [
+    pub const ALL: [ExperimentId; 16] = [
         ExperimentId::Fig04,
         ExperimentId::Fig05,
         ExperimentId::Fig06,
@@ -125,6 +128,7 @@ impl ExperimentId {
         ExperimentId::Table3,
         ExperimentId::ExtHwGro,
         ExperimentId::ExtBigTcpZc,
+        ExperimentId::ExtFaults,
     ];
 
     /// Short name ("fig05", "table1", …).
@@ -145,6 +149,7 @@ impl ExperimentId {
             ExperimentId::Table3 => "table3",
             ExperimentId::ExtHwGro => "ext_hw_gro",
             ExperimentId::ExtBigTcpZc => "ext_bigtcp_zc",
+            ExperimentId::ExtFaults => "ext_faults",
         }
     }
 
@@ -166,6 +171,7 @@ impl ExperimentId {
             ExperimentId::Table3 => Artifact::Table(tables::table3(effort)),
             ExperimentId::ExtHwGro => Artifact::Figures(extensions::hw_gro(effort)),
             ExperimentId::ExtBigTcpZc => Artifact::Figures(extensions::bigtcp_zerocopy(effort)),
+            ExperimentId::ExtFaults => Artifact::Figures(extensions::fault_recovery(effort)),
         }
     }
 

@@ -10,12 +10,15 @@
 //! * [`scenario`] — one test configuration (hosts × path × iperf3
 //!   flags).
 //! * [`runner`] — the repetition runner (parallel across seeds via
-//!   crossbeam) producing [`runner::TestSummary`].
+//!   scoped threads) producing [`runner::TestSummary`]; failed
+//!   repetitions are retried once and recorded per-seed.
 //! * [`render`] — ASCII tables and grouped bar charts for terminal
 //!   reports.
 //! * [`experiments`] — one module per table/figure of the paper, plus
 //!   the §V-C future-work extensions and the ablations called out in
 //!   DESIGN.md.
+
+#![deny(unreachable_pub)]
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +32,6 @@ pub mod testbeds;
 
 pub use effort::Effort;
 pub use render::{FigureData, Series, TableData};
-pub use runner::{TestHarness, TestSummary};
+pub use runner::{FailedRep, ScenarioError, TestHarness, TestSummary};
 pub use scenario::Scenario;
 pub use testbeds::{AmLightPath, EsnetPath, Testbeds};

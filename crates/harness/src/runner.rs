@@ -4,19 +4,78 @@
 //! seconds, at least 10 times, with `mpstat` sampling CPU alongside;
 //! report mean, stdev, min and max. Repetitions only differ by seed
 //! here, and are independent simulations — so they run on parallel
-//! threads via `crossbeam::scope`.
+//! threads via `std::thread::scope`.
+//!
+//! Real campaigns lose repetitions (a host reboots, a watchdog fires):
+//! a failed repetition is recorded per-seed and retried once with a
+//! perturbed seed, survivors are aggregated, and the whole scenario
+//! only errors out when *no* repetition produced a report.
 
 use crate::scenario::Scenario;
-use iperf3sim::Iperf3Report;
-use parking_lot::Mutex;
+use iperf3sim::{Iperf3Report, RunError};
 use simcore::{RunningStats, Summary};
+use std::fmt;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One repetition that produced no report, identified by its seed.
+#[derive(Debug, Clone)]
+pub struct FailedRep {
+    /// The seed the repetition ran with.
+    pub seed: u64,
+    /// The error, rendered as text (stable across retries).
+    pub error: String,
+    /// Whether this failure survived a retry (true) or is the
+    /// first-attempt failure that the retry then rescued (false).
+    pub retried: bool,
+}
+
+/// Why a whole scenario produced no summary.
+#[derive(Debug, Clone)]
+pub enum ScenarioError {
+    /// The scenario's flags/config are invalid — deterministic, so no
+    /// repetition was attempted beyond the first.
+    Invalid {
+        /// Scenario label.
+        label: String,
+        /// The individual validation messages.
+        problems: Vec<String>,
+    },
+    /// Every repetition (including retries) failed at runtime.
+    AllRepetitionsFailed {
+        /// Scenario label.
+        label: String,
+        /// One record per failed seed.
+        failures: Vec<FailedRep>,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Invalid { label, problems } => {
+                write!(f, "scenario '{label}' invalid: {}", problems.join("; "))
+            }
+            ScenarioError::AllRepetitionsFailed { label, failures } => {
+                write!(
+                    f,
+                    "scenario '{label}': all {} repetitions failed (first: {})",
+                    failures.len(),
+                    failures.first().map(|x| x.error.as_str()).unwrap_or("?")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
 
 /// Aggregated results for one scenario across repetitions.
 #[derive(Debug, Clone)]
 pub struct TestSummary {
     /// Scenario label.
     pub label: String,
-    /// Aggregate throughput (Gbps) across repetitions.
+    /// Aggregate throughput (Gbps) across surviving repetitions.
     pub throughput_gbps: Summary,
     /// Total retransmitted packets per run.
     pub retr: Summary,
@@ -30,11 +89,31 @@ pub struct TestSummary {
     pub receiver_cpu_pct: Summary,
     /// Zerocopy fallback fraction (mean across repetitions).
     pub zc_fallback: f64,
-    /// The individual reports (one per repetition).
+    /// The individual reports (one per surviving repetition).
     pub reports: Vec<Iperf3Report>,
+    /// Repetitions that produced no report even after a retry.
+    pub failed_reps: Vec<FailedRep>,
 }
 
 impl TestSummary {
+    /// An all-zero summary for a scenario that produced no reports
+    /// (experiments use this to degrade gracefully instead of tearing
+    /// down a whole figure over one broken cell).
+    pub fn empty(label: impl Into<String>) -> Self {
+        TestSummary {
+            label: label.into(),
+            throughput_gbps: Summary::default(),
+            retr: Summary::default(),
+            min_stream_gbps: 0.0,
+            max_stream_gbps: 0.0,
+            sender_cpu_pct: Summary::default(),
+            receiver_cpu_pct: Summary::default(),
+            zc_fallback: 0.0,
+            reports: Vec::new(),
+            failed_reps: Vec::new(),
+        }
+    }
+
     /// Mean throughput in Gbps.
     pub fn mean_gbps(&self) -> f64 {
         self.throughput_gbps.mean
@@ -64,6 +143,15 @@ impl Default for TestHarness {
     }
 }
 
+/// Retried seeds flip the top bit: far from the `base_seed + i` range,
+/// so a retry never collides with another repetition's seed.
+const RETRY_SEED_XOR: u64 = 0x8000_0000_0000_0000;
+
+/// Pause before a retry — stands in for "wait for the testbed to
+/// settle" in a real campaign; bounded so a broken scenario cannot
+/// slow the harness meaningfully.
+const RETRY_BACKOFF: Duration = Duration::from_millis(10);
+
 impl TestHarness {
     /// Harness with `repetitions` runs per scenario.
     pub fn new(repetitions: usize) -> Self {
@@ -84,36 +172,97 @@ impl TestHarness {
         self
     }
 
-    /// Run all repetitions of one scenario and aggregate.
+    /// Run all repetitions of one scenario and aggregate the survivors.
     ///
-    /// Panics if the scenario is invalid (flag/kernel mismatches are
-    /// experiment-definition bugs, reported with the iperf3 error).
-    pub fn run(&self, scenario: &Scenario) -> TestSummary {
-        let reports = Mutex::new(vec![None::<Iperf3Report>; self.repetitions]);
+    /// Invalid scenarios (flag/kernel mismatches) fail fast with
+    /// [`ScenarioError::Invalid`]. Runtime failures (watchdog trips,
+    /// conservation violations) cost one retry with a perturbed seed;
+    /// seeds that fail twice are recorded in
+    /// [`TestSummary::failed_reps`]. Only a scenario with *zero*
+    /// surviving repetitions is an error.
+    pub fn run(&self, scenario: &Scenario) -> Result<TestSummary, ScenarioError> {
+        type Slot = Result<Iperf3Report, FailedRep>;
+        let slots: Mutex<Vec<Option<Slot>>> = Mutex::new(vec![None; self.repetitions]);
+
         let run_one = |i: usize| {
-            let opts = scenario.opts.clone().seed(self.base_seed + i as u64);
-            let report = iperf3sim::run(&scenario.client, &scenario.server, &scenario.path, &opts)
-                .unwrap_or_else(|e| panic!("scenario '{}': {e}", scenario.label));
-            reports.lock()[i] = Some(report);
-        };
-        if self.parallel && self.repetitions > 1 {
-            crossbeam::thread::scope(|s| {
-                for i in 0..self.repetitions {
-                    s.spawn(move |_| run_one(i));
+            let seed = self.base_seed + i as u64;
+            let outcome = match self.attempt(scenario, seed) {
+                Ok(report) => Ok(report),
+                Err(RunError::Invalid(problems)) => Err(FailedRep {
+                    seed,
+                    error: RunError::Invalid(problems).to_string(),
+                    retried: false,
+                }),
+                Err(first) => {
+                    // Runtime failure: one retry, perturbed seed,
+                    // bounded backoff.
+                    std::thread::sleep(RETRY_BACKOFF);
+                    match self.attempt(scenario, seed ^ RETRY_SEED_XOR) {
+                        Ok(report) => Ok(report),
+                        Err(_) => {
+                            Err(FailedRep { seed, error: first.to_string(), retried: true })
+                        }
+                    }
                 }
-            })
-            .expect("repetition thread panicked");
+            };
+            slots.lock().expect("slots lock")[i] = Some(outcome);
+        };
+
+        if self.parallel && self.repetitions > 1 {
+            std::thread::scope(|s| {
+                let run_one = &run_one;
+                for i in 0..self.repetitions {
+                    s.spawn(move || run_one(i));
+                }
+            });
         } else {
             for i in 0..self.repetitions {
                 run_one(i);
             }
         }
-        let reports: Vec<Iperf3Report> =
-            reports.into_inner().into_iter().map(|r| r.expect("missing repetition")).collect();
-        Self::aggregate(&scenario.label, reports)
+
+        let mut reports = Vec::new();
+        let mut failures = Vec::new();
+        for slot in slots.into_inner().expect("slots lock") {
+            match slot.expect("missing repetition") {
+                Ok(report) => reports.push(report),
+                Err(failure) => failures.push(failure),
+            }
+        }
+        if reports.is_empty() {
+            // Deterministic config errors read the same on every seed:
+            // report them as one Invalid, not N identical failures.
+            if let Some(first) = failures.iter().find(|x| !x.retried) {
+                return Err(ScenarioError::Invalid {
+                    label: scenario.label.clone(),
+                    problems: vec![first.error.clone()],
+                });
+            }
+            return Err(ScenarioError::AllRepetitionsFailed {
+                label: scenario.label.clone(),
+                failures,
+            });
+        }
+        Ok(Self::aggregate(&scenario.label, reports, failures))
     }
 
-    fn aggregate(label: &str, reports: Vec<Iperf3Report>) -> TestSummary {
+    fn attempt(&self, scenario: &Scenario, seed: u64) -> Result<Iperf3Report, RunError> {
+        let opts = scenario.opts.clone().seed(seed);
+        iperf3sim::run_with_faults(
+            &scenario.client,
+            &scenario.server,
+            &scenario.path,
+            &opts,
+            &scenario.faults,
+            scenario.event_budget,
+        )
+    }
+
+    fn aggregate(
+        label: &str,
+        reports: Vec<Iperf3Report>,
+        failed_reps: Vec<FailedRep>,
+    ) -> TestSummary {
         let mut tput = RunningStats::new();
         let mut retr = RunningStats::new();
         let mut snd_cpu = RunningStats::new();
@@ -130,6 +279,15 @@ impl TestHarness {
             max_stream = max_stream.max(r.max_stream_gbps());
             zc_fallback += r.zc_fallback_fraction;
         }
+        // An empty (or all-empty-stream) report set must read as zero,
+        // never as ±inf leaking out of the fold identities.
+        if !min_stream.is_finite() {
+            min_stream = 0.0;
+        }
+        if !max_stream.is_finite() {
+            max_stream = 0.0;
+        }
+        let n = reports.len().max(1) as f64;
         TestSummary {
             label: label.to_string(),
             throughput_gbps: tput.summary(),
@@ -138,8 +296,9 @@ impl TestHarness {
             max_stream_gbps: max_stream,
             sender_cpu_pct: snd_cpu.summary(),
             receiver_cpu_pct: rcv_cpu.summary(),
-            zc_fallback: zc_fallback / reports.len() as f64,
+            zc_fallback: zc_fallback / n,
             reports,
+            failed_reps,
         }
     }
 }
@@ -150,6 +309,8 @@ mod tests {
     use crate::testbeds::{EsnetPath, Testbeds};
     use iperf3sim::Iperf3Opts;
     use linuxhost::KernelVersion;
+    use netsim::FaultPlan;
+    use simcore::SimDuration;
 
     fn scenario() -> Scenario {
         Scenario::symmetric(
@@ -163,9 +324,10 @@ mod tests {
     #[test]
     fn aggregates_across_repetitions() {
         let h = TestHarness::new(3);
-        let s = h.run(&scenario());
+        let s = h.run(&scenario()).expect("run");
         assert_eq!(s.throughput_gbps.n, 3);
         assert_eq!(s.reports.len(), 3);
+        assert!(s.failed_reps.is_empty());
         assert!(s.mean_gbps() > 20.0, "AMD LAN default ≈ 42, got {}", s.mean_gbps());
         assert!(s.throughput_gbps.min <= s.throughput_gbps.mean);
         assert!(s.throughput_gbps.mean <= s.throughput_gbps.max);
@@ -175,17 +337,67 @@ mod tests {
     #[test]
     fn parallel_and_sequential_agree() {
         let sc = scenario();
-        let par = TestHarness::new(2).run(&sc);
-        let seq = TestHarness::new(2).sequential().run(&sc);
+        let par = TestHarness::new(2).run(&sc).expect("parallel");
+        let seq = TestHarness::new(2).sequential().run(&sc).expect("sequential");
         assert_eq!(par.throughput_gbps.mean, seq.throughput_gbps.mean);
         assert_eq!(par.retr.mean, seq.retr.mean);
     }
 
     #[test]
     fn seeds_differ_across_repetitions() {
-        let s = TestHarness::new(3).run(&scenario());
+        let s = TestHarness::new(3).run(&scenario()).expect("run");
         // Distinct seeds ⇒ stdev strictly positive (service jitter).
         assert!(s.throughput_gbps.stdev > 0.0);
+    }
+
+    #[test]
+    fn invalid_scenario_fails_fast() {
+        let mut sc = scenario();
+        sc.opts.parallel = 0;
+        let err = TestHarness::new(3).run(&sc).unwrap_err();
+        assert!(matches!(err, ScenarioError::Invalid { .. }), "{err}");
+        assert!(err.to_string().contains("default"));
+    }
+
+    #[test]
+    fn watchdog_failures_recorded_per_seed() {
+        // An absurdly small event budget trips the watchdog on every
+        // seed (and every retry): the scenario must surface
+        // AllRepetitionsFailed with one record per seed.
+        let sc = scenario().with_faults(FaultPlan::none()).with_event_budget(10);
+        let err = TestHarness::new(2).with_base_seed(7).run(&sc).unwrap_err();
+        match err {
+            ScenarioError::AllRepetitionsFailed { failures, .. } => {
+                assert_eq!(failures.len(), 2);
+                assert!(failures.iter().all(|f| f.retried));
+                assert!(failures.iter().any(|f| f.seed == 7));
+                assert!(failures[0].error.contains("stalled"), "{}", failures[0].error);
+            }
+            other => panic!("expected AllRepetitionsFailed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn aggregate_of_empty_streams_is_zero_not_infinite() {
+        let s = TestHarness::aggregate("empty", Vec::new(), Vec::new());
+        assert_eq!(s.min_stream_gbps, 0.0);
+        assert_eq!(s.max_stream_gbps, 0.0);
+        assert_eq!(s.zc_fallback, 0.0);
+        assert_eq!(s.throughput_gbps.n, 0);
+    }
+
+    #[test]
+    fn fault_plan_rides_along() {
+        let plan = FaultPlan::none().with_link_flap(
+            SimDuration::from_millis(500),
+            SimDuration::from_millis(30),
+        );
+        let sc = scenario().with_faults(plan);
+        let s = TestHarness::new(1).run(&sc).expect("faulted run");
+        assert!(s.mean_gbps() > 1.0);
+        // The flap costs throughput relative to a clean run.
+        let clean = TestHarness::new(1).run(&scenario()).expect("clean run");
+        assert!(s.mean_gbps() < clean.mean_gbps());
     }
 
     #[test]

@@ -1,8 +1,9 @@
-//! One test configuration: hosts × path × iperf3 flags.
+//! One test configuration: hosts × path × iperf3 flags (× faults).
 
 use iperf3sim::Iperf3Opts;
 use linuxhost::HostConfig;
 use nethw::PathSpec;
+use netsim::FaultPlan;
 
 /// A named, runnable test configuration.
 #[derive(Debug, Clone)]
@@ -17,6 +18,13 @@ pub struct Scenario {
     pub path: PathSpec,
     /// iperf3 flags.
     pub opts: Iperf3Opts,
+    /// Faults injected into the network during the run. The tool under
+    /// test does not know about these — they model the testbed
+    /// misbehaving, not a flag.
+    pub faults: FaultPlan,
+    /// Optional watchdog event-budget override (tests use a tiny
+    /// budget to provoke `SimError::Stalled`).
+    pub event_budget: Option<u64>,
 }
 
 impl Scenario {
@@ -28,7 +36,15 @@ impl Scenario {
         path: PathSpec,
         opts: Iperf3Opts,
     ) -> Self {
-        Scenario { label: label.into(), client, server, path, opts }
+        Scenario {
+            label: label.into(),
+            client,
+            server,
+            path,
+            opts,
+            faults: FaultPlan::none(),
+            event_budget: None,
+        }
     }
 
     /// Symmetric hosts (the common case on both testbeds).
@@ -38,25 +54,35 @@ impl Scenario {
         path: PathSpec,
         opts: Iperf3Opts,
     ) -> Self {
-        Scenario {
-            label: label.into(),
-            client: host.clone(),
-            server: host,
-            path,
-            opts,
-        }
+        Scenario::new(label, host.clone(), host, path, opts)
+    }
+
+    /// Builder: attach a fault-injection schedule.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Builder: override the watchdog's total event budget.
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        self.event_budget = Some(budget);
+        self
     }
 
     /// Full description for logs.
     pub fn describe(&self) -> String {
-        format!(
+        let mut d = format!(
             "{} | {} -> {} over {} | {}",
             self.label,
             self.client.name,
             self.server.name,
             self.path.name,
             self.opts.command_line(&self.server.name)
-        )
+        );
+        if !self.faults.is_empty() {
+            d.push_str(&format!(" | {} fault(s)", self.faults.events.len()));
+        }
+        d
     }
 }
 
@@ -65,18 +91,32 @@ mod tests {
     use super::*;
     use crate::testbeds::{EsnetPath, Testbeds};
     use linuxhost::KernelVersion;
+    use simcore::SimDuration;
 
-    #[test]
-    fn describe_is_informative() {
-        let s = Scenario::symmetric(
+    fn base() -> Scenario {
+        Scenario::symmetric(
             "default",
             Testbeds::esnet_host(KernelVersion::L6_8),
             Testbeds::esnet_path(EsnetPath::Lan),
             Iperf3Opts::new(10),
-        );
-        let d = s.describe();
+        )
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        let d = base().describe();
         assert!(d.contains("default"));
         assert!(d.contains("ESnet LAN"));
         assert!(d.contains("iperf3 -c"));
+        assert!(!d.contains("fault(s)"));
+    }
+
+    #[test]
+    fn describe_mentions_faults() {
+        let s = base().with_faults(FaultPlan::none().with_link_flap(
+            SimDuration::from_secs(2),
+            SimDuration::from_millis(50),
+        ));
+        assert!(s.describe().contains("1 fault(s)"));
     }
 }

@@ -16,6 +16,8 @@
 //! in the familiar `[SUM] ... Gbits/sec  N retr` form (plus a JSON-ish
 //! dump, since iperf3's `-J` is what the paper's harness parses).
 
+#![deny(unreachable_pub)]
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -28,5 +30,5 @@ pub mod version;
 pub use neper::{run_tcp_stream, NeperOpts, NeperReport};
 pub use opts::Iperf3Opts;
 pub use report::{Iperf3Report, StreamReport};
-pub use runner::{run, RunError};
+pub use runner::{run, run_with_faults, RunError};
 pub use version::Iperf3Version;

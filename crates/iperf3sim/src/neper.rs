@@ -146,7 +146,7 @@ pub fn run_tcp_stream(
 ) -> Result<NeperReport, RunError> {
     let errors = opts.validate();
     if !errors.is_empty() {
-        return Err(RunError { errors });
+        return Err(RunError::Invalid(errors));
     }
     // -T threads: flows stripe over that many sender/receiver cores.
     let mut client = client.clone();
@@ -166,13 +166,15 @@ pub fn run_tcp_stream(
         fq_rate: None,
         cc: tcpstack::CcAlgorithm::Cubic,
         seed: opts.seed,
+        faults: netsim::FaultPlan::none(),
+        event_budget: None,
     };
     let cfg = SimConfig { sender: client, receiver: server.clone(), path: path.clone(), workload };
     let problems = cfg.validate();
     if !problems.is_empty() {
-        return Err(RunError { errors: problems });
+        return Err(RunError::Invalid(problems));
     }
-    let result = Simulation::new(cfg).run();
+    let result = Simulation::new(cfg)?.run()?;
     let detail = Iperf3Report::from_run(opts.command_line(&server.name), &result);
     Ok(NeperReport {
         command: opts.command_line(&server.name),

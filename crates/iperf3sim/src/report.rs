@@ -71,12 +71,19 @@ impl Iperf3Report {
     }
 
     /// Lowest per-stream bitrate (Gbps) — the paper's "Range" column.
+    /// A report with no streams reads as 0.0, not `±inf`.
     pub fn min_stream_gbps(&self) -> f64 {
+        if self.streams.is_empty() {
+            return 0.0;
+        }
         self.streams.iter().map(|s| s.bitrate.as_gbps()).fold(f64::INFINITY, f64::min)
     }
 
-    /// Highest per-stream bitrate (Gbps).
+    /// Highest per-stream bitrate (Gbps). 0.0 when there are no streams.
     pub fn max_stream_gbps(&self) -> f64 {
+        if self.streams.is_empty() {
+            return 0.0;
+        }
         self.streams.iter().map(|s| s.bitrate.as_gbps()).fold(f64::NEG_INFINITY, f64::max)
     }
 
@@ -187,6 +194,14 @@ mod tests {
         assert_eq!(r.sum_retr(), 15);
         assert_eq!(r.min_stream_gbps(), 10.0);
         assert_eq!(r.max_stream_gbps(), 12.0);
+    }
+
+    #[test]
+    fn empty_report_ranges_are_zero_not_infinite() {
+        let mut r = report();
+        r.streams.clear();
+        assert_eq!(r.min_stream_gbps(), 0.0);
+        assert_eq!(r.max_stream_gbps(), 0.0);
     }
 
     #[test]

@@ -4,24 +4,52 @@ use crate::opts::Iperf3Opts;
 use crate::report::Iperf3Report;
 use linuxhost::HostConfig;
 use nethw::PathSpec;
-use netsim::{SimConfig, Simulation, WorkloadSpec};
+use netsim::{FaultPlan, SimConfig, SimError, Simulation, WorkloadSpec};
 use simcore::SimDuration;
 use std::fmt;
 
-/// Why a run could not start.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RunError {
-    /// The iperf3-style error messages.
-    pub errors: Vec<String>,
+/// Why a run could not start or finish.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// Flag/configuration validation failed before the simulation
+    /// started; each string is one iperf3-style message.
+    Invalid(Vec<String>),
+    /// The simulation itself failed (watchdog, conservation, …).
+    Sim(SimError),
+}
+
+impl RunError {
+    /// The individual error messages (validation problems, or the one
+    /// simulation error rendered as text).
+    pub fn messages(&self) -> Vec<String> {
+        match self {
+            RunError::Invalid(errors) => errors.clone(),
+            RunError::Sim(e) => vec![e.to_string()],
+        }
+    }
 }
 
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "iperf3 error: {}", self.errors.join("; "))
+        match self {
+            RunError::Invalid(errors) => write!(f, "iperf3 error: {}", errors.join("; ")),
+            RunError::Sim(e) => write!(f, "iperf3 error: {e}"),
+        }
     }
 }
 
 impl std::error::Error for RunError {}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> Self {
+        // Config problems keep their per-message structure so callers
+        // (and tests) can match individual complaints.
+        match e {
+            SimError::InvalidConfig(problems) => RunError::Invalid(problems),
+            other => RunError::Sim(other),
+        }
+    }
+}
 
 /// Run `iperf3 -c server` from `client` to `server` across `path`.
 ///
@@ -33,6 +61,24 @@ pub fn run(
     server: &HostConfig,
     path: &PathSpec,
     opts: &Iperf3Opts,
+) -> Result<Iperf3Report, RunError> {
+    run_with_faults(client, server, path, opts, &FaultPlan::none(), None)
+}
+
+/// [`run`], with a fault-injection schedule attached to the workload.
+///
+/// Faults are not iperf3 flags — the tool under test has no idea the
+/// network is about to misbehave — so they ride alongside the options
+/// rather than inside them. `event_budget` optionally overrides the
+/// watchdog's total event budget (mainly to force
+/// [`SimError::Stalled`] in tests).
+pub fn run_with_faults(
+    client: &HostConfig,
+    server: &HostConfig,
+    path: &PathSpec,
+    opts: &Iperf3Opts,
+    faults: &FaultPlan,
+    event_budget: Option<u64>,
 ) -> Result<Iperf3Report, RunError> {
     let mut errors = opts.validate();
 
@@ -56,6 +102,8 @@ pub fn run(
         fq_rate: opts.fq_rate,
         cc: opts.congestion,
         seed: opts.seed,
+        faults: faults.clone(),
+        event_budget,
     };
     let cfg = SimConfig {
         sender: client,
@@ -65,9 +113,9 @@ pub fn run(
     };
     errors.extend(cfg.validate());
     if !errors.is_empty() {
-        return Err(RunError { errors });
+        return Err(RunError::Invalid(errors));
     }
-    let result = Simulation::new(cfg).run();
+    let result = Simulation::new(cfg)?.run()?;
     Ok(Iperf3Report::from_run(opts.command_line(&server.name), &result))
 }
 

@@ -22,6 +22,8 @@
 //! * [`calib`] — every calibrated constant, each documented with the
 //!   paper anchor it satisfies.
 
+#![deny(unreachable_pub)]
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -18,6 +18,8 @@
 //! These are passive models: the discrete-event loop in `netsim` owns
 //! time and drives them.
 
+#![deny(unreachable_pub)]
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

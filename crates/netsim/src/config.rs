@@ -1,5 +1,6 @@
 //! Simulation configuration: hosts, path, workload.
 
+use crate::faults::FaultPlan;
 use linuxhost::HostConfig;
 use nethw::PathSpec;
 use simcore::{BitRate, SimDuration};
@@ -30,6 +31,10 @@ pub struct WorkloadSpec {
     pub cc: CcAlgorithm,
     /// RNG seed; a (config, seed) pair reproduces a run bit-for-bit.
     pub seed: u64,
+    /// Scheduled fault injections (empty = fault-free run).
+    pub faults: FaultPlan,
+    /// Watchdog event budget override; `None` scales with duration.
+    pub event_budget: Option<u64>,
 }
 
 impl WorkloadSpec {
@@ -46,6 +51,8 @@ impl WorkloadSpec {
             fq_rate: None,
             cc: CcAlgorithm::Cubic,
             seed: 1,
+            faults: FaultPlan::none(),
+            event_budget: None,
         }
     }
 
@@ -96,6 +103,19 @@ impl WorkloadSpec {
         self
     }
 
+    /// Builder: attach a fault-injection schedule.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Builder: cap the total number of events the run may process
+    /// (the watchdog turns overruns into [`crate::SimError::Stalled`]).
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        self.event_budget = Some(budget);
+        self
+    }
+
     /// Measured window (duration − omit).
     pub fn measured_window(&self) -> SimDuration {
         self.duration.saturating_sub(self.omit)
@@ -140,6 +160,7 @@ impl SimConfig {
         if self.workload.fq_rate.is_some() && !self.sender.sysctl.supports_fq_pacing() {
             problems.push("--fq-rate requires net.core.default_qdisc=fq".into());
         }
+        problems.extend(self.workload.faults.validate(self.workload.duration));
         problems
     }
 }
@@ -209,6 +230,24 @@ mod tests {
         assert!(w.zerocopy && w.skip_rx_copy);
         assert_eq!(w.seed, 99);
         assert_eq!(w.measured_window(), SimDuration::from_secs(18));
+    }
+
+    #[test]
+    fn fault_schedule_validated_against_duration() {
+        let mut cfg = base();
+        cfg.workload = cfg.workload.with_faults(
+            FaultPlan::none()
+                .with_link_flap(SimDuration::from_secs(60), SimDuration::from_millis(100)),
+        );
+        let problems = cfg.validate();
+        assert!(problems.iter().any(|p| p.contains("link-flap")), "{problems:?}");
+
+        let mut ok = base();
+        ok.workload = ok.workload.with_faults(
+            FaultPlan::none()
+                .with_link_flap(SimDuration::from_secs(3), SimDuration::from_millis(100)),
+        );
+        assert!(ok.validate().is_empty());
     }
 
     #[test]

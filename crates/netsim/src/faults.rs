@@ -1,0 +1,236 @@
+//! Fault injection: scheduled network and host failures.
+//!
+//! A [`FaultPlan`] is a list of timed [`FaultEvent`]s attached to a
+//! workload. Each fault perturbs the *environment* — the path, the
+//! bottleneck switch, the receiving application — never the TCP
+//! machinery itself, so everything the paper cares about (RTO and TLP
+//! firing, cwnd collapse and regrowth, zero-window stalls, pause-frame
+//! backpressure) *emerges* from the existing mechanisms reacting to the
+//! injected condition.
+//!
+//! Four fault classes are modelled:
+//!
+//! * **Bursty loss** — a Gilbert–Elliott episode: the path flips
+//!   between a lossless *good* state and a *bad* state that drops each
+//!   burst with probability `loss_bad`; sojourn times in each state are
+//!   exponential. Bursty loss is what separates congestion controls on
+//!   high-BDP paths, which uniform random loss cannot express.
+//! * **Link flap** — the bottleneck egress goes dark for a window;
+//!   every burst and ACK arriving at the switch during the outage is
+//!   lost. Recovery is pure TCP: RTO fires, cwnd collapses, slow start
+//!   regrows.
+//! * **Receiver stall** — the receiving application stops reading
+//!   (GC pause, disk stall). The socket buffer fills, rwnd closes to
+//!   zero, and the sender must ride a zero-window period, resuming on
+//!   the window update when reads restart.
+//! * **Pause storm** — 802.3x pause frames from elsewhere in the
+//!   fabric park every arrival at the receiver edge for the storm's
+//!   duration; the bounded pause buffer overflows onto the ring-drop
+//!   counter, so a storm long enough converts flow control into loss.
+
+use simcore::SimDuration;
+
+/// One class of injectable fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Gilbert–Elliott bursty-loss episode.
+    BurstyLoss {
+        /// Episode length (the model runs good↔bad inside this window).
+        duration: SimDuration,
+        /// Mean sojourn in the bad (lossy) state.
+        mean_bad: SimDuration,
+        /// Mean sojourn in the good (lossless) state.
+        mean_good: SimDuration,
+        /// Per-burst drop probability while in the bad state.
+        loss_bad: f64,
+    },
+    /// Bottleneck egress outage.
+    LinkFlap {
+        /// Outage length.
+        duration: SimDuration,
+    },
+    /// Receiving application stops reading.
+    ReceiverStall {
+        /// Stall length.
+        duration: SimDuration,
+    },
+    /// Pause-frame storm at the receiver edge.
+    PauseStorm {
+        /// Storm length.
+        duration: SimDuration,
+    },
+}
+
+impl Fault {
+    /// Short class name ("bursty-loss", "link-flap", …).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Fault::BurstyLoss { .. } => "bursty-loss",
+            Fault::LinkFlap { .. } => "link-flap",
+            Fault::ReceiverStall { .. } => "receiver-stall",
+            Fault::PauseStorm { .. } => "pause-storm",
+        }
+    }
+
+    /// How long the fault condition lasts.
+    pub fn duration(&self) -> SimDuration {
+        match self {
+            Fault::BurstyLoss { duration, .. }
+            | Fault::LinkFlap { duration }
+            | Fault::ReceiverStall { duration }
+            | Fault::PauseStorm { duration } => *duration,
+        }
+    }
+}
+
+/// A fault scheduled at an absolute offset from the start of the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault begins (offset from t=0, *not* from the omit
+    /// boundary).
+    pub at: SimDuration,
+    /// What happens.
+    pub fault: Fault,
+}
+
+impl FaultEvent {
+    /// When the fault condition clears.
+    pub fn ends_at(&self) -> SimDuration {
+        self.at + self.fault.duration()
+    }
+}
+
+/// The full fault schedule for one run (empty = fault-free).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Scheduled faults, in no particular order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty (fault-free) plan.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Builder: add an arbitrary fault at `at`.
+    pub fn with_fault(mut self, at: SimDuration, fault: Fault) -> Self {
+        self.events.push(FaultEvent { at, fault });
+        self
+    }
+
+    /// Builder: Gilbert–Elliott bursty-loss episode with default
+    /// sojourns (10 ms bad / 50 ms good).
+    pub fn with_bursty_loss(self, at: SimDuration, duration: SimDuration, loss_bad: f64) -> Self {
+        self.with_fault(
+            at,
+            Fault::BurstyLoss {
+                duration,
+                mean_bad: SimDuration::from_millis(10),
+                mean_good: SimDuration::from_millis(50),
+                loss_bad,
+            },
+        )
+    }
+
+    /// Builder: link flap.
+    pub fn with_link_flap(self, at: SimDuration, duration: SimDuration) -> Self {
+        self.with_fault(at, Fault::LinkFlap { duration })
+    }
+
+    /// Builder: receiver-application stall.
+    pub fn with_receiver_stall(self, at: SimDuration, duration: SimDuration) -> Self {
+        self.with_fault(at, Fault::ReceiverStall { duration })
+    }
+
+    /// Builder: pause-frame storm.
+    pub fn with_pause_storm(self, at: SimDuration, duration: SimDuration) -> Self {
+        self.with_fault(at, Fault::PauseStorm { duration })
+    }
+
+    /// Validate against the run length; returns problems (empty = ok).
+    pub fn validate(&self, run_duration: SimDuration) -> Vec<String> {
+        let mut problems = Vec::new();
+        for (i, ev) in self.events.iter().enumerate() {
+            let kind = ev.fault.kind();
+            if ev.fault.duration().is_zero() {
+                problems.push(format!("fault {i} ({kind}): zero duration"));
+            }
+            if ev.at >= run_duration {
+                problems.push(format!(
+                    "fault {i} ({kind}): starts at {} but the run ends at {run_duration}",
+                    ev.at
+                ));
+            }
+            if let Fault::BurstyLoss { mean_bad, mean_good, loss_bad, .. } = &ev.fault {
+                if !(0.0..=1.0).contains(loss_bad) || *loss_bad == 0.0 {
+                    problems.push(format!(
+                        "fault {i} ({kind}): loss_bad {loss_bad} must be in (0, 1]"
+                    ));
+                }
+                if mean_bad.is_zero() || mean_good.is_zero() {
+                    problems.push(format!("fault {i} ({kind}): zero mean sojourn"));
+                }
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_kinds() {
+        let plan = FaultPlan::none()
+            .with_bursty_loss(SimDuration::from_secs(1), SimDuration::from_millis(500), 0.3)
+            .with_link_flap(SimDuration::from_secs(2), SimDuration::from_millis(300))
+            .with_receiver_stall(SimDuration::from_secs(3), SimDuration::from_millis(200))
+            .with_pause_storm(SimDuration::from_secs(4), SimDuration::from_millis(100));
+        assert_eq!(plan.events.len(), 4);
+        let kinds: Vec<&str> = plan.events.iter().map(|e| e.fault.kind()).collect();
+        assert_eq!(kinds, ["bursty-loss", "link-flap", "receiver-stall", "pause-storm"]);
+        assert!(plan.validate(SimDuration::from_secs(10)).is_empty());
+        assert_eq!(
+            plan.events[1].ends_at(),
+            SimDuration::from_secs(2) + SimDuration::from_millis(300)
+        );
+    }
+
+    #[test]
+    fn empty_plan_is_default() {
+        assert!(FaultPlan::none().is_empty());
+        assert!(FaultPlan::default().validate(SimDuration::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn validation_catches_bad_schedules() {
+        let late = FaultPlan::none()
+            .with_link_flap(SimDuration::from_secs(20), SimDuration::from_millis(100));
+        assert!(!late.validate(SimDuration::from_secs(10)).is_empty());
+
+        let zero = FaultPlan::none()
+            .with_receiver_stall(SimDuration::from_secs(1), SimDuration::ZERO);
+        assert!(!zero.validate(SimDuration::from_secs(10)).is_empty());
+
+        let bad_p = FaultPlan::none().with_bursty_loss(
+            SimDuration::from_secs(1),
+            SimDuration::from_millis(100),
+            0.0,
+        );
+        assert!(!bad_p.validate(SimDuration::from_secs(10)).is_empty());
+
+        let over_p = FaultPlan::none().with_bursty_loss(
+            SimDuration::from_secs(1),
+            SimDuration::from_millis(100),
+            1.5,
+        );
+        assert!(!over_p.validate(SimDuration::from_secs(10)).is_empty());
+    }
+}

@@ -23,14 +23,20 @@
 //! utilisation and run-to-run variance all emerge from the event loop —
 //! there is no formula anywhere that "decides" the throughput.
 
+#![deny(unreachable_pub)]
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod error;
+pub mod faults;
 pub mod host;
 pub mod result;
 pub mod sim;
 
 pub use config::{SimConfig, WorkloadSpec};
+pub use error::SimError;
+pub use faults::{Fault, FaultEvent, FaultPlan};
 pub use result::{FlowResult, RunResult};
 pub use sim::Simulation;

@@ -45,6 +45,12 @@ pub struct RunResult {
     pub ring_drops: u64,
     /// Bursts lost to random path loss.
     pub random_drops: u64,
+    /// Bursts destroyed by injected faults (bursty-loss episodes and
+    /// link flaps).
+    pub fault_drops: u64,
+    /// Bursts handed to the wire over the whole run, including
+    /// retransmissions (the left-hand side of the conservation check).
+    pub wire_sent: u64,
     /// Total events processed (diagnostics).
     pub events: u64,
 }
@@ -74,7 +80,7 @@ impl RunResult {
 
     /// Total losses of any kind (bursts).
     pub fn total_drops(&self) -> u64 {
-        self.switch_drops + self.ring_drops + self.random_drops
+        self.switch_drops + self.ring_drops + self.random_drops + self.fault_drops
     }
 }
 
@@ -106,6 +112,8 @@ mod tests {
             switch_drops: 1,
             ring_drops: 2,
             random_drops: 3,
+            fault_drops: 4,
+            wire_sent: 110,
             events: 100,
         }
     }
@@ -116,7 +124,7 @@ mod tests {
         assert!((r.total_goodput().as_gbps() - 22.0).abs() < 1e-9);
         assert_eq!(r.total_retr(), 12);
         assert_eq!(r.flow_gbps(), vec![10.0, 12.0]);
-        assert_eq!(r.total_drops(), 6);
+        assert_eq!(r.total_drops(), 10);
         assert!((r.zc_fallback_fraction() - 0.75).abs() < 1e-12);
     }
 }

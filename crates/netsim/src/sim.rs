@@ -16,11 +16,13 @@
 //!   needs to cancel events.
 
 use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::faults::{Fault, FaultEvent};
 use crate::host::SimHost;
 use crate::result::{FlowResult, RunResult};
 use linuxhost::{Pacer, SendOutcome, TxMode, ZerocopyAccounting};
 use nethw::{EnqueueOutcome, SharedBufferSwitch};
-use simcore::{BitRate, Bytes, EventQueue, SimDuration, SimRng, SimTime};
+use simcore::{BitRate, Bytes, EventQueue, SimDuration, SimRng, SimTime, Watchdog};
 use tcpstack::{SendSlot, TcpReceiver, TcpSender, TimerKind};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -49,6 +51,12 @@ enum Ev {
     CrossToggle,
     IntervalTick,
     OmitBoundary,
+    /// Fault `i` of the plan begins.
+    FaultBegin(usize),
+    /// Fault `i` of the plan clears.
+    FaultEnd(usize),
+    /// Gilbert–Elliott state flip for bursty-loss episode `i`.
+    GeToggle(usize),
 }
 
 struct FlowState {
@@ -75,6 +83,20 @@ struct FlowState {
     rng: SimRng,
 }
 
+/// Gilbert–Elliott bursty-loss state while an episode is active.
+#[derive(Debug)]
+struct GeState {
+    /// Index of the driving fault in the plan.
+    episode: usize,
+    /// In the lossy (bad) state right now.
+    bad: bool,
+    mean_bad: SimDuration,
+    mean_good: SimDuration,
+    loss_bad: f64,
+    /// Episode end (the fault's `ends_at`).
+    until: SimTime,
+}
+
 /// A configured, runnable simulation.
 pub struct Simulation {
     cfg: SimConfig,
@@ -82,13 +104,16 @@ pub struct Simulation {
 }
 
 impl Simulation {
-    /// Prepare a simulation; panics on an invalid configuration (an
-    /// invalid experiment definition is a programming error).
-    pub fn new(cfg: SimConfig) -> Self {
+    /// Prepare a simulation; an invalid configuration is returned as
+    /// [`SimError::InvalidConfig`] instead of asserting, so harnesses
+    /// can record and skip bad scenarios rather than dying.
+    pub fn new(cfg: SimConfig) -> Result<Self, SimError> {
         let problems = cfg.validate();
-        assert!(problems.is_empty(), "invalid SimConfig: {problems:?}");
+        if !problems.is_empty() {
+            return Err(SimError::InvalidConfig(problems));
+        }
         let burst = cfg.sender.offload.gso_max_size;
-        Simulation { cfg, burst }
+        Ok(Simulation { cfg, burst })
     }
 
     /// The burst (GSO super-packet) size in use.
@@ -96,8 +121,11 @@ impl Simulation {
         self.burst
     }
 
-    /// Run to completion and report.
-    pub fn run(self) -> RunResult {
+    /// Run to completion and report. Fails with [`SimError::Stalled`]
+    /// if the watchdog kills a livelocked loop, or
+    /// [`SimError::ConservationViolation`] if end-of-run burst
+    /// accounting does not balance.
+    pub fn run(self) -> Result<RunResult, SimError> {
         Runner::new(self.cfg, self.burst).run()
     }
 }
@@ -110,12 +138,30 @@ struct Runner {
     snd_host: SimHost,
     rcv_host: SimHost,
     switch: SharedBufferSwitch,
-    /// Bursts parked by pause-frame flow control (receiver side).
+    /// Bursts parked by pause-frame flow control (receiver side),
+    /// bounded by `parked_cap`.
     parked: VecDeque<(usize, u64)>,
+    /// Pause-buffer equivalent: how many bursts 802.3x can hold
+    /// upstream before overflow becomes loss.
+    parked_cap: usize,
     rng: SimRng,
     switch_drops: u64,
     ring_drops: u64,
     random_drops: u64,
+    fault_drops: u64,
+    /// Bursts handed to the wire (TxDequeue), incl. retransmissions.
+    wire_sent: u64,
+    /// Fault schedule (cloned out of the config).
+    faults: Vec<FaultEvent>,
+    /// Active link flaps (count, so overlapping flaps nest).
+    link_down: u32,
+    /// Active receiver-app stalls.
+    rx_stalled: u32,
+    /// Active pause-frame storms.
+    pause_storm: u32,
+    /// Active Gilbert–Elliott episode, if any.
+    ge: Option<GeState>,
+    watchdog: Watchdog,
     cross_on: bool,
     cross_until: SimTime,
     /// Busy snapshots at the last interval tick (mpstat deltas).
@@ -188,6 +234,23 @@ impl Runner {
         }
         let omit_time = SimTime::ZERO + cfg.workload.omit;
         let end_time = SimTime::ZERO + cfg.workload.duration;
+        // 802.3x can hold at most one advertised receive window of
+        // data upstream: TCP admits no more un-ACKed data than the
+        // receiver's buffer, so that is all pause frames ever have to
+        // park for one socket. Anything beyond it (RTO duplicates
+        // still in the fabric, additional sockets sharing the edge
+        // port, pause storms) overflows the paused buffers and drops.
+        let parked_cap = (cfg.receiver.sysctl.tcp_rmem.max.as_u64() / burst.as_u64())
+            .max(4) as usize;
+        // Watchdog budget: a legitimate run processes a few million
+        // events per simulated second; scale generously so only a true
+        // runaway trips it.
+        let budget = cfg.workload.event_budget.unwrap_or_else(|| {
+            let secs = cfg.workload.duration.as_secs_f64().ceil().max(1.0) as u64;
+            let flows_factor = (cfg.workload.num_flows as u64).max(1);
+            secs.saturating_mul(50_000_000).saturating_mul(flows_factor).max(100_000_000)
+        });
+        let faults = cfg.workload.faults.events.clone();
         Runner {
             cfg,
             burst,
@@ -197,10 +260,19 @@ impl Runner {
             rcv_host,
             switch,
             parked: VecDeque::new(),
+            parked_cap,
             rng,
             switch_drops: 0,
             ring_drops: 0,
             random_drops: 0,
+            fault_drops: 0,
+            wire_sent: 0,
+            faults,
+            link_down: 0,
+            rx_stalled: 0,
+            pause_storm: 0,
+            ge: None,
+            watchdog: Watchdog::new(Some(budget)),
             cross_on: false,
             cross_until: SimTime::ZERO,
             snd_busy_mark: Vec::new(),
@@ -214,7 +286,7 @@ impl Runner {
         }
     }
 
-    fn run(mut self) -> RunResult {
+    fn run(mut self) -> Result<RunResult, SimError> {
         // Kick off: one write chain per flow, staggered within 1 ms the
         // way parallel iperf3 threads start.
         for f in 0..self.flows.len() {
@@ -227,12 +299,19 @@ impl Runner {
         if self.cfg.path.cross_traffic.is_some() {
             self.q.push(SimTime::ZERO, Ev::CrossToggle);
         }
+        for (i, fe) in self.faults.iter().enumerate() {
+            self.q.push(SimTime::ZERO + fe.at, Ev::FaultBegin(i));
+            self.q.push(SimTime::ZERO + fe.ends_at(), Ev::FaultEnd(i));
+        }
 
         while let Some(next) = self.q.peek_time() {
             if next > self.end_time {
                 break;
             }
             let (now, ev) = self.q.pop().expect("peeked event vanished");
+            if let Err(trip) = self.watchdog.observe(now) {
+                return Err(SimError::Stalled { at: now, trip });
+            }
             self.dispatch(now, ev);
         }
         self.finish()
@@ -254,6 +333,9 @@ impl Runner {
             Ev::CrossToggle => self.on_cross_toggle(now),
             Ev::IntervalTick => self.on_interval(now),
             Ev::OmitBoundary => self.on_omit(now),
+            Ev::FaultBegin(i) => self.on_fault_begin(now, i),
+            Ev::FaultEnd(i) => self.on_fault_end(now, i),
+            Ev::GeToggle(i) => self.on_ge_toggle(now, i),
         }
     }
 
@@ -361,6 +443,7 @@ impl Runner {
         // pacer residence time doesn't masquerade as network delay.
         self.flows[f].sender.mark_transmitted(idx, now);
         self.flows[f].driver_bytes += self.burst;
+        self.wire_sent += 1;
         let mode = *self.flows[f].burst_modes.get(&idx).unwrap_or(&TxMode::Copy);
         let svc = self
             .snd_host
@@ -387,6 +470,22 @@ impl Runner {
             if flow.tx_gated {
                 flow.tx_gated = false;
                 self.try_transmit(now, f);
+            }
+        }
+        // A downed bottleneck egress loses everything that reaches it.
+        if self.link_down > 0 {
+            self.fault_drops += 1;
+            return;
+        }
+        // Gilbert–Elliott bad state: bursty fault loss on top of (not
+        // instead of) the path's uniform random loss.
+        if let Some(ge) = &self.ge {
+            if ge.bad && now < ge.until {
+                let p = ge.loss_bad;
+                if self.flows[f].rng.chance(p) {
+                    self.fault_drops += 1;
+                    return;
+                }
             }
         }
         let loss_p = self.cfg.path.random_loss;
@@ -419,11 +518,18 @@ impl Runner {
     // ---- receiver ------------------------------------------------------------
 
     fn on_rx_arrive(&mut self, now: SimTime, f: usize, idx: u64) {
+        // A pause storm holds *every* arrival upstream, ring state
+        // notwithstanding — the edge port is XOFF'd by frames from
+        // elsewhere in the fabric.
+        if self.pause_storm > 0 {
+            self.park(f, idx);
+            return;
+        }
         if !self.rcv_host.ring.offer(self.burst) {
             if self.cfg.path.flow_control {
                 // 802.3x: pause frames hold the burst upstream instead
                 // of dropping it; it re-enters when the ring drains.
-                self.parked.push_back((f, idx));
+                self.park(f, idx);
             } else {
                 self.ring_drops += 1;
             }
@@ -445,9 +551,12 @@ impl Runner {
 
     fn on_rx_softirq_done(&mut self, now: SimTime, f: usize, idx: u64) {
         self.rcv_host.ring.drain(self.burst);
-        // A descriptor freed: un-park one flow-controlled burst.
-        if let Some((pf, pidx)) = self.parked.pop_front() {
-            self.on_rx_arrive(now, pf, pidx);
+        // A descriptor freed: un-park one flow-controlled burst (unless
+        // a pause storm still has the edge XOFF'd).
+        if self.pause_storm == 0 {
+            if let Some((pf, pidx)) = self.parked.pop_front() {
+                self.on_rx_arrive(now, pf, pidx);
+            }
         }
         let ack = self.flows[f].receiver.on_burst(idx);
         self.q.push(
@@ -458,6 +567,11 @@ impl Runner {
     }
 
     fn maybe_start_rx_app(&mut self, now: SimTime, f: usize) {
+        // A stalled receiver application reads nothing; data piles up
+        // in the socket buffer until rwnd closes.
+        if self.rx_stalled > 0 {
+            return;
+        }
         let flow = &mut self.flows[f];
         if flow.rx_app_busy || flow.receiver.readable_bursts() == 0 {
             return;
@@ -477,16 +591,38 @@ impl Runner {
 
     fn on_rx_app_read_done(&mut self, now: SimTime, f: usize) {
         let flow = &mut self.flows[f];
+        let was_zero_window = flow.receiver.rwnd() < self.burst;
         let read = flow.receiver.app_read();
         debug_assert!(read, "read completion without readable data");
         flow.delivered_bursts += 1;
         flow.rx_app_busy = false;
+        // Zero-window recovery: the read that reopens the window sends
+        // a window-update ACK (otherwise a sender idled by rwnd=0 after
+        // a receiver stall would never learn the window reopened).
+        if was_zero_window && flow.receiver.rwnd() >= self.burst {
+            let cum = flow.receiver.rcv_nxt();
+            let rwnd = flow.receiver.rwnd();
+            if cum > 0 {
+                self.q.push(
+                    now + self.cfg.path.one_way_delay() + EDGE_DELAY,
+                    // `idx = cum - 1` is already cumulatively ACKed, so
+                    // the sender treats this as a pure window refresh.
+                    Ev::AckArrive { flow: f, cum, idx: cum - 1, rwnd },
+                );
+            }
+        }
         self.maybe_start_rx_app(now, f);
     }
 
     // ---- ACK path --------------------------------------------------------------
 
     fn on_ack(&mut self, now: SimTime, f: usize, cum: u64, idx: u64, rwnd: Bytes) {
+        // ACKs ride the same bottleneck link: a flap eats them too.
+        // Cumulative ACKs are self-healing, so the sender recovers from
+        // the gap via later ACKs or its own RTO.
+        if self.link_down > 0 {
+            return;
+        }
         {
             let svc = self.snd_host.cost.ack_service(&mut self.flows[f].rng);
             self.snd_host.charge_irq(f, svc);
@@ -547,6 +683,103 @@ impl Runner {
                 self.flows[f].rto_scheduled = true;
                 self.q.push(d, Ev::RtoCheck(f));
             }
+        }
+    }
+
+    // ---- fault injection -------------------------------------------------------
+
+    fn on_fault_begin(&mut self, now: SimTime, i: usize) {
+        match self.faults[i].fault.clone() {
+            Fault::BurstyLoss { duration, mean_bad, mean_good, loss_bad } => {
+                // An episode starts in the bad state (the episode *is*
+                // the bad weather); sojourns alternate from there.
+                self.ge = Some(GeState {
+                    episode: i,
+                    bad: true,
+                    mean_bad,
+                    mean_good,
+                    loss_bad,
+                    until: now + duration,
+                });
+                self.schedule_ge_toggle(now, i);
+            }
+            Fault::LinkFlap { .. } => {
+                self.link_down += 1;
+            }
+            Fault::ReceiverStall { .. } => {
+                self.rx_stalled += 1;
+            }
+            Fault::PauseStorm { .. } => {
+                self.pause_storm += 1;
+            }
+        }
+    }
+
+    fn on_fault_end(&mut self, now: SimTime, i: usize) {
+        match self.faults[i].fault {
+            Fault::BurstyLoss { .. } => {
+                if self.ge.as_ref().is_some_and(|g| g.episode == i) {
+                    self.ge = None;
+                }
+            }
+            Fault::LinkFlap { .. } => {
+                // Nothing to restore: the senders' own RTO/TLP machinery
+                // rediscovers the path.
+                self.link_down = self.link_down.saturating_sub(1);
+            }
+            Fault::ReceiverStall { .. } => {
+                self.rx_stalled = self.rx_stalled.saturating_sub(1);
+                if self.rx_stalled == 0 {
+                    // Reads restart; each drain will emit a window
+                    // update once rwnd reopens (see on_rx_app_read_done).
+                    for f in 0..self.flows.len() {
+                        self.maybe_start_rx_app(now, f);
+                    }
+                }
+            }
+            Fault::PauseStorm { .. } => {
+                self.pause_storm = self.pause_storm.saturating_sub(1);
+                if self.pause_storm == 0 {
+                    // Feed each parked burst back through the edge once;
+                    // whatever still doesn't fit re-parks (802.3x) or
+                    // drops (no flow control).
+                    let n = self.parked.len();
+                    for _ in 0..n {
+                        let Some((pf, pidx)) = self.parked.pop_front() else { break };
+                        self.on_rx_arrive(now, pf, pidx);
+                    }
+                }
+            }
+        }
+    }
+
+    fn schedule_ge_toggle(&mut self, now: SimTime, episode: usize) {
+        let Some(ge) = &self.ge else { return };
+        let mean = if ge.bad { ge.mean_bad } else { ge.mean_good };
+        let dwell = SimDuration::from_secs_f64(self.rng.exponential(mean.as_secs_f64()))
+            .max(SimDuration::from_nanos(1));
+        let next = now + dwell;
+        if next < ge.until {
+            self.q.push(next, Ev::GeToggle(episode));
+        }
+    }
+
+    fn on_ge_toggle(&mut self, now: SimTime, episode: usize) {
+        let Some(ge) = &mut self.ge else { return };
+        if ge.episode != episode || now >= ge.until {
+            return;
+        }
+        ge.bad = !ge.bad;
+        self.schedule_ge_toggle(now, episode);
+    }
+
+    /// Park a burst held upstream by pause frames, dropping on pause-
+    /// buffer overflow (802.3x cannot buy infinite memory).
+    fn park(&mut self, f: usize, idx: u64) {
+        if self.parked.len() >= self.parked_cap {
+            self.ring_drops += 1;
+        } else {
+            self.parked.push_back((f, idx));
         }
     }
 
@@ -623,7 +856,40 @@ impl Runner {
         self.last_tick = now;
     }
 
-    fn finish(self) -> RunResult {
+    /// End-of-run burst conservation: every burst handed to the wire is
+    /// delivered to a receiver (incl. duplicates and window rejects),
+    /// dropped with an attributed cause, or still inside the pipeline.
+    fn check_conservation(&self) -> Result<(), SimError> {
+        let delivered: u64 = self.flows.iter().map(|fl| fl.receiver.total_bursts()).sum();
+        let dropped =
+            self.switch_drops + self.ring_drops + self.random_drops + self.fault_drops;
+        let pending: u64 = self
+            .q
+            .iter()
+            .filter(|ev| {
+                matches!(
+                    ev,
+                    Ev::SwitchArrive { .. }
+                        | Ev::SwitchDepart { .. }
+                        | Ev::RxArrive { .. }
+                        | Ev::RxSoftirqDone { .. }
+                )
+            })
+            .count() as u64;
+        let in_flight = pending + self.parked.len() as u64;
+        if self.wire_sent != delivered + dropped + in_flight {
+            return Err(SimError::ConservationViolation {
+                wire_sent: self.wire_sent,
+                delivered,
+                dropped,
+                in_flight,
+            });
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Result<RunResult, SimError> {
+        self.check_conservation()?;
         if std::env::var_os("NETSIM_DEBUG_FLOWS").is_some() {
             for (i, flow) in self.flows.iter().enumerate() {
                 eprintln!(
@@ -676,7 +942,7 @@ impl Runner {
             self.rcv_host
                 .cpu_report_since(&self.rcv_cpu_at_omit, self.omit_time, self.end_time)
         };
-        RunResult {
+        Ok(RunResult {
             flows,
             window,
             sender_cpu,
@@ -685,7 +951,9 @@ impl Runner {
             switch_drops: self.switch_drops,
             ring_drops: self.ring_drops,
             random_drops: self.random_drops,
+            fault_drops: self.fault_drops,
+            wire_sent: self.wire_sent,
             events: self.q.total_popped(),
-        }
+        })
     }
 }

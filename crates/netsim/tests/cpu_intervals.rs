@@ -13,7 +13,7 @@ fn run(secs: u64) -> netsim::RunResult {
         path: PathSpec::lan("lan", BitRate::gbps(200.0)),
         workload: WorkloadSpec::single_stream(secs),
     };
-    Simulation::new(cfg).run()
+    Simulation::new(cfg).expect("config").run().expect("run")
 }
 
 #[test]

@@ -35,7 +35,7 @@ fn amlight_wan(rtt_ms: u64, workload: WorkloadSpec) -> SimConfig {
 #[test]
 fn lan_single_stream_reaches_tens_of_gbps() {
     let cfg = amlight_lan(WorkloadSpec::single_stream(3));
-    let res = Simulation::new(cfg).run();
+    let res = Simulation::new(cfg).expect("config").run().expect("run");
     let gbps = res.total_goodput().as_gbps();
     assert!(
         (30.0..70.0).contains(&gbps),
@@ -50,7 +50,7 @@ fn zerocopy_with_pacing_hits_the_pacing_rate_on_wan() {
         .with_zerocopy()
         .with_fq_rate(BitRate::gbps(50.0));
     let cfg = amlight_wan(25, wl);
-    let res = Simulation::new(cfg).run();
+    let res = Simulation::new(cfg).expect("config").run().expect("run");
     let gbps = res.total_goodput().as_gbps();
     assert!(
         (42.0..51.0).contains(&gbps),
@@ -61,11 +61,15 @@ fn zerocopy_with_pacing_hits_the_pacing_rate_on_wan() {
 #[test]
 fn wan_default_is_slower_than_lan_default() {
     let lan = Simulation::new(amlight_lan(WorkloadSpec::single_stream(6)))
+        .expect("config")
         .run()
+        .expect("run")
         .total_goodput()
         .as_gbps();
     let wan = Simulation::new(amlight_wan(104, WorkloadSpec::single_stream(15)))
+        .expect("config")
         .run()
+        .expect("run")
         .total_goodput()
         .as_gbps();
     assert!(
@@ -79,7 +83,7 @@ fn wan_default_is_slower_than_lan_default() {
 fn run_is_deterministic_per_seed() {
     let mk = |seed| {
         let wl = WorkloadSpec::single_stream(2).with_seed(seed);
-        Simulation::new(amlight_lan(wl)).run()
+        Simulation::new(amlight_lan(wl)).expect("config").run().expect("run")
     };
     let a = mk(7);
     let b = mk(7);
@@ -98,7 +102,7 @@ fn run_is_deterministic_per_seed() {
 fn parallel_streams_share_the_path() {
     let wl = WorkloadSpec::parallel(4, 3).with_fq_rate(BitRate::gbps(5.0));
     let cfg = amlight_lan(wl);
-    let res = Simulation::new(cfg).run();
+    let res = Simulation::new(cfg).expect("config").run().expect("run");
     assert_eq!(res.flows.len(), 4);
     let total = res.total_goodput().as_gbps();
     assert!(
@@ -118,7 +122,7 @@ fn small_rmem_caps_wan_throughput() {
     let mut cfg = amlight_wan(104, WorkloadSpec::single_stream(10));
     cfg.receiver.sysctl = linuxhost::SysctlConfig::stock();
     cfg.sender.sysctl.optmem_max = simcore::Bytes::mib(1); // keep sender tuned otherwise
-    let res = Simulation::new(cfg).run();
+    let res = Simulation::new(cfg).expect("config").run().expect("run");
     let gbps = res.total_goodput().as_gbps();
     assert!(
         gbps < 1.5,
@@ -129,7 +133,7 @@ fn small_rmem_caps_wan_throughput() {
 #[test]
 fn cpu_reports_are_populated() {
     let cfg = amlight_lan(WorkloadSpec::single_stream(3));
-    let res = Simulation::new(cfg).run();
+    let res = Simulation::new(cfg).expect("config").run().expect("run");
     assert!(res.sender_cpu.combined_pct() > 10.0);
     assert!(res.receiver_cpu.combined_pct() > 10.0);
     // LAN default: the receiver side is the busier host (§IV-B).
@@ -144,7 +148,7 @@ fn cpu_reports_are_populated() {
 #[test]
 fn intervals_recorded_per_second() {
     let cfg = amlight_lan(WorkloadSpec::single_stream(4));
-    let res = Simulation::new(cfg).run();
+    let res = Simulation::new(cfg).expect("config").run().expect("run");
     // 4 s run with 0 omit (short run): at least 3 full interval samples.
     assert!(res.flows[0].intervals.len() >= 3, "got {}", res.flows[0].intervals.len());
 }

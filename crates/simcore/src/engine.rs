@@ -117,6 +117,12 @@ impl<E> EventQueue<E> {
     pub fn total_popped(&self) -> u64 {
         self.popped
     }
+
+    /// Iterate over the pending events in arbitrary order (used for
+    /// end-of-run accounting, e.g. counting in-flight payloads).
+    pub fn iter(&self) -> impl Iterator<Item = &E> {
+        self.heap.iter().map(|e| &e.event)
+    }
 }
 
 impl<E> Default for EventQueue<E> {

@@ -14,9 +14,13 @@
 //!   simulation run is exactly reproducible from its seed.
 //! * [`stats`] — streaming statistics ([`RunningStats`], [`Summary`])
 //!   matching what the paper's harness reports (mean / stdev / min / max).
+//! * [`watchdog`] — event-loop liveness guards ([`Watchdog`]) that turn
+//!   a livelocked or runaway simulation into a structured error.
 //!
 //! Nothing in this crate knows about TCP, Linux, or NICs; it is the
 //! domain-neutral substrate.
+
+#![deny(unreachable_pub)]
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,9 +30,11 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod units;
+pub mod watchdog;
 
 pub use engine::EventQueue;
 pub use rng::SimRng;
 pub use stats::{RunningStats, Summary};
 pub use time::{SimDuration, SimTime};
 pub use units::{BitRate, Bytes};
+pub use watchdog::{Watchdog, WatchdogTrip};

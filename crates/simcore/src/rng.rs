@@ -4,26 +4,51 @@
 //! stochastic elements — service-time jitter, cross-traffic burst
 //! arrivals, flow start offsets, `irqbalance` core placement — draw from
 //! it, so a (config, seed) pair fully determines a run.
+//!
+//! The generator is a self-contained xoshiro256++ (public domain
+//! algorithm by Blackman & Vigna), state-expanded from the 64-bit seed
+//! with SplitMix64. Keeping the PRNG in-tree means the simulator has no
+//! external dependency whose internals could change a seeded stream
+//! between toolchain updates.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// SplitMix64 step — used to expand a 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
-/// The simulation's random source.
+/// The simulation's random source (xoshiro256++).
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
     /// Create from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng { inner: StdRng::seed_from_u64(seed) }
+        let mut sm = seed;
+        SimRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
     }
 
     /// Derive an independent child generator (e.g. one per flow) so that
     /// adding draws in one component does not perturb another.
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seed_from_u64(self.inner.gen())
+        SimRng::seed_from_u64(self.next_u64())
+    }
+
+    /// A uniform draw in `[0, 1)` with 53 bits of precision.
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform in `[lo, hi)`.
@@ -32,13 +57,29 @@ impl SimRng {
         if lo == hi {
             return lo;
         }
-        self.inner.gen_range(lo..hi)
+        let v = lo + (hi - lo) * self.unit();
+        // Guard against floating-point rounding landing exactly on `hi`.
+        if v < hi {
+            v
+        } else {
+            lo
+        }
     }
 
     /// Uniform integer in `[lo, hi)`.
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
         debug_assert!(lo < hi, "uniform_u64 needs a non-empty range");
-        self.inner.gen_range(lo..hi)
+        let span = hi - lo;
+        // Debiased multiply-shift (Lemire); the rejection loop runs at
+        // most a handful of times even for pathological spans.
+        let zone = span.wrapping_neg() % span;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (span as u128);
+            if (m as u64) >= zone {
+                return lo + (m >> 64) as u64;
+            }
+        }
     }
 
     /// A multiplicative jitter factor in `[1-amplitude, 1+amplitude]`.
@@ -51,26 +92,37 @@ impl SimRng {
         if amplitude == 0.0 {
             return 1.0;
         }
-        1.0 + self.inner.gen_range(-amplitude..amplitude)
+        1.0 + self.uniform(-amplitude, amplitude)
     }
 
     /// Exponentially distributed value with the given mean (burst/idle
     /// durations for on-off cross traffic).
     pub fn exponential(&mut self, mean: f64) -> f64 {
         debug_assert!(mean > 0.0, "exponential mean must be positive");
-        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let u = self.unit().max(f64::EPSILON);
         -mean * u.ln()
     }
 
     /// Bernoulli draw.
     pub fn chance(&mut self, p: f64) -> bool {
         debug_assert!((0.0..=1.0).contains(&p), "probability out of range");
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
+        self.unit() < p.clamp(0.0, 1.0)
     }
 
     /// Raw u64 (for deriving seeds).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 }
 
@@ -141,5 +193,23 @@ mod tests {
             let v = rng.uniform_u64(5, 8);
             assert!((5..8).contains(&v));
         }
+    }
+
+    #[test]
+    fn uniform_u64_covers_range() {
+        let mut rng = SimRng::seed_from_u64(13);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[rng.uniform_u64(0, 8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit: {seen:?}");
+    }
+
+    #[test]
+    fn chance_rate_approximate() {
+        let mut rng = SimRng::seed_from_u64(17);
+        let hits = (0..20_000).filter(|_| rng.chance(0.25)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "chance(0.25) hit rate {rate}");
     }
 }

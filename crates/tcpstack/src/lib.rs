@@ -20,6 +20,8 @@
 //! reported in MTU packets, which is what `tcpi_total_retrans` (and
 //! iperf3's `Retr` column) counts.
 
+#![deny(unreachable_pub)]
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

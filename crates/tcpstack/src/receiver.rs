@@ -39,6 +39,9 @@ pub struct TcpReceiver {
     /// Totals for reporting.
     total_bursts: u64,
     duplicate_bursts: u64,
+    /// New data discarded because the advertised window was closed
+    /// (zero-window probes during a receiver stall land here).
+    window_rejects: u64,
 }
 
 impl TcpReceiver {
@@ -55,6 +58,7 @@ impl TcpReceiver {
             readable: 0,
             total_bursts: 0,
             duplicate_bursts: 0,
+            window_rejects: 0,
         }
     }
 
@@ -65,6 +69,20 @@ impl TcpReceiver {
             // Duplicate (spurious retransmit): ACK again, buffer nothing.
             self.duplicate_bursts += 1;
             return self.ack_for(idx);
+        }
+        // Out-of-window new data while the buffer is full (a stalled
+        // application stopped reading): discard the payload and reply
+        // with a pure window probe ACK, like Linux does. The sender's
+        // own timers retransmit once the window reopens. (`rcv_nxt > 0`
+        // guards the probe ACK's `acked_idx = rcv_nxt - 1`, which must
+        // reference an already cum-ACKed burst.)
+        if self.rwnd() < self.burst && self.rcv_nxt > 0 {
+            self.window_rejects += 1;
+            return AckInfo {
+                cum_ack: self.rcv_nxt,
+                acked_idx: self.rcv_nxt - 1,
+                rwnd: self.rwnd(),
+            };
         }
         self.buffered += self.burst;
         if idx == self.rcv_nxt {
@@ -113,6 +131,11 @@ impl TcpReceiver {
     /// Duplicate bursts (spurious retransmissions received).
     pub fn duplicate_bursts(&self) -> u64 {
         self.duplicate_bursts
+    }
+
+    /// New-data bursts discarded because the window was closed.
+    pub fn window_rejects(&self) -> u64 {
+        self.window_rejects
     }
 
     /// Next expected in-order burst.
@@ -193,6 +216,27 @@ mod tests {
         // A stock 6 MB tcp_rmem ceiling advertises at most 6 MB.
         let r = TcpReceiver::new(Bytes::kib(64), Bytes::new(6_291_456));
         assert_eq!(r.rwnd().as_u64(), 6_291_456);
+    }
+
+    #[test]
+    fn closed_window_rejects_new_data() {
+        // Buffer fits exactly 4 bursts; the 5th (new data, nobody
+        // reading) must be discarded with a probe ACK, not buffered.
+        let mut r = TcpReceiver::new(Bytes::kib(64), Bytes::kib(256));
+        for i in 0..4 {
+            r.on_burst(i);
+        }
+        assert!(r.rwnd().is_zero());
+        let ack = r.on_burst(4);
+        assert_eq!(ack.cum_ack, 4, "probe ACK repeats the cumulative edge");
+        assert_eq!(ack.acked_idx, 3, "probe ACK must not SACK the rejected burst");
+        assert_eq!(r.window_rejects(), 1);
+        assert_eq!(r.readable_bursts(), 4, "rejected data is not readable");
+        // A read reopens the window; the retransmit then lands.
+        assert!(r.app_read());
+        let ack = r.on_burst(4);
+        assert_eq!(ack.cum_ack, 5);
+        assert_eq!(r.window_rejects(), 1);
     }
 
     #[test]

@@ -36,7 +36,7 @@ fn main() {
         if let Some(g) = pace {
             opts = opts.fq_rate(BitRate::gbps(g));
         }
-        let s = harness.run(&Scenario::symmetric(&label, host.clone(), path.clone(), opts));
+        let s = harness.run(&Scenario::symmetric(&label, host.clone(), path.clone(), opts)).expect("scenario");
         println!(
             "{label:<18} {:>7.1} G {:>10.0} {:>8.1}-{:<7.1} {:>8.1}",
             s.throughput_gbps.mean,

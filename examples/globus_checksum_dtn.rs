@@ -40,7 +40,7 @@ fn run(label: &str, zerocopy: bool, checksum: bool) {
         path: Testbeds::amlight_path(AmLightPath::Wan25ms),
         workload,
     };
-    let res = Simulation::new(cfg).run();
+    let res = Simulation::new(cfg).expect("config").run().expect("run");
     println!(
         "{label:<40} {:6.1} Gbps   sender CPU app={:.0}% irq={:.0}%",
         res.total_goodput().as_gbps(),

@@ -19,7 +19,7 @@ fn main() {
             Testbeds::esnet_host(k),
             Testbeds::esnet_path(EsnetPath::Lan),
             Iperf3Opts::new(8).omit(1),
-        ));
+        )).expect("scenario");
         if k == KernelVersion::L5_15 {
             amd_515 = s.throughput_gbps.mean;
         }
@@ -38,7 +38,7 @@ fn main() {
             Testbeds::amlight_host(k),
             Testbeds::amlight_path(AmLightPath::Lan),
             Iperf3Opts::new(8).omit(1),
-        ));
+        )).expect("scenario");
         if k == KernelVersion::L5_15 {
             intel_515 = s.throughput_gbps.mean;
         }

@@ -40,7 +40,7 @@ fn main() {
         );
         for (label, optmem) in optmems {
             let host = base.clone().with_optmem(optmem);
-            let s = harness.run(&Scenario::symmetric(label, host, path.clone(), opts.clone()));
+            let s = harness.run(&Scenario::symmetric(label, host, path.clone(), opts.clone())).expect("scenario");
             println!(
                 "{label:<32} {:>7.1} G {:>10.0}% {:>9.0}%",
                 s.throughput_gbps.mean,

@@ -18,7 +18,7 @@ use dtnperf::prelude::*;
 fn measure(label: &str, host: &HostConfig, opts: &Iperf3Opts, path: &PathSpec) {
     // A few repetitions so the irqbalance lottery is visible.
     let harness = TestHarness::new(4);
-    let summary = harness.run(&Scenario::symmetric(label, host.clone(), path.clone(), opts.clone()));
+    let summary = harness.run(&Scenario::symmetric(label, host.clone(), path.clone(), opts.clone())).expect("scenario");
     println!(
         "{label:<44} {:6.2} Gbps  (min {:5.2}, max {:5.2})  sender CPU {:3.0}%",
         summary.throughput_gbps.mean,

@@ -1,11 +1,17 @@
 //! Property-based tests: invariants that must hold for *any*
 //! configuration, checked over randomly drawn scenarios.
 //!
-//! Runs are short (1–2 simulated seconds) and the case count modest —
-//! each case is a full discrete-event simulation.
+//! The scenario generator is hand-rolled on the workspace's own
+//! [`SimRng`] (no external property-testing dependency): each property
+//! draws `CASES` scenarios from a fixed master seed, so failures are
+//! reproducible by construction. Runs are short (1–2 simulated
+//! seconds) and the case count modest — each case is a full
+//! discrete-event simulation.
 
 use dtnperf::prelude::*;
-use proptest::prelude::*;
+use dtnperf::simcore::SimRng;
+
+const CASES: u64 = 10;
 
 #[derive(Debug, Clone)]
 struct AnyScenario {
@@ -20,41 +26,31 @@ struct AnyScenario {
     seed: u64,
 }
 
-fn any_scenario() -> impl Strategy<Value = AnyScenario> {
-    (
-        any::<bool>(),
-        prop_oneof![
-            Just(KernelVersion::L5_15),
-            Just(KernelVersion::L6_5),
-            Just(KernelVersion::L6_8),
-        ],
-        0u64..60,
-        1usize..4,
-        prop_oneof![Just(None), (2u64..30).prop_map(|g| Some(g as f64))],
-        any::<bool>(),
-        any::<bool>(),
-        prop_oneof![
-            Just(CcAlgorithm::Cubic),
-            Just(CcAlgorithm::BbrV1),
-            Just(CcAlgorithm::BbrV3),
-        ],
-        0u64..1_000_000,
-    )
-        .prop_map(
-            |(amd, kernel, rtt_ms, flows, pace_gbps, zerocopy, skip_rx_copy, cc, seed)| {
-                AnyScenario {
-                    amd,
-                    kernel,
-                    rtt_ms,
-                    flows,
-                    pace_gbps,
-                    zerocopy,
-                    skip_rx_copy,
-                    cc,
-                    seed,
-                }
-            },
-        )
+/// Draw one scenario. Each case gets its own RNG stream derived from
+/// (master seed, case index) so properties stay independent.
+fn draw(master: u64, case: u64) -> AnyScenario {
+    let mut rng = SimRng::seed_from_u64(master ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let kernel = match rng.uniform_u64(0, 3) {
+        0 => KernelVersion::L5_15,
+        1 => KernelVersion::L6_5,
+        _ => KernelVersion::L6_8,
+    };
+    let cc = match rng.uniform_u64(0, 3) {
+        0 => CcAlgorithm::Cubic,
+        1 => CcAlgorithm::BbrV1,
+        _ => CcAlgorithm::BbrV3,
+    };
+    AnyScenario {
+        amd: rng.chance(0.5),
+        kernel,
+        rtt_ms: rng.uniform_u64(0, 60),
+        flows: 1 + rng.uniform_u64(0, 3) as usize,
+        pace_gbps: if rng.chance(0.5) { Some(2.0 + rng.uniform_u64(0, 28) as f64) } else { None },
+        zerocopy: rng.chance(0.5),
+        skip_rx_copy: rng.chance(0.5),
+        cc,
+        seed: rng.uniform_u64(0, 1_000_000),
+    }
 }
 
 fn build(s: &AnyScenario) -> (HostConfig, PathSpec, Iperf3Opts) {
@@ -82,16 +78,28 @@ fn build(s: &AnyScenario) -> (HostConfig, PathSpec, Iperf3Opts) {
     (host, path, opts)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 10,
-        max_shrink_iters: 0,
-        .. ProptestConfig::default()
-    })]
+/// A random fault schedule for a 2-second run (possibly empty).
+fn draw_faults(rng: &mut SimRng) -> FaultPlan {
+    let mut plan = FaultPlan::none();
+    let n = rng.uniform_u64(0, 3); // 0..=2 faults
+    for _ in 0..n {
+        let at = SimDuration::from_millis(200 + rng.uniform_u64(0, 1200));
+        let dur = SimDuration::from_millis(50 + rng.uniform_u64(0, 300));
+        plan = match rng.uniform_u64(0, 4) {
+            0 => plan.with_bursty_loss(at, dur, rng.uniform(0.1, 0.7)),
+            1 => plan.with_link_flap(at, dur),
+            2 => plan.with_receiver_stall(at, dur),
+            _ => plan.with_pause_storm(at, dur),
+        };
+    }
+    plan
+}
 
-    /// Goodput can never exceed the narrowest physical limit.
-    #[test]
-    fn goodput_bounded_by_physics(s in any_scenario()) {
+/// Goodput can never exceed the narrowest physical limit.
+#[test]
+fn goodput_bounded_by_physics() {
+    for case in 0..CASES {
+        let s = draw(0xFEED, case);
         let (host, path, opts) = build(&s);
         let report = iperf3_run(&host, &host, &path, &opts).unwrap();
         let nic = dtnperf::nethw::Nic::new(host.nic, host.offload.mtu).effective_rate().as_gbps();
@@ -100,31 +108,37 @@ proptest! {
             limit = limit.min(g * s.flows as f64);
         }
         let got = report.sum_bitrate().as_gbps();
-        prop_assert!(
+        assert!(
             got <= limit * 1.02 + 0.1,
             "goodput {got:.2} exceeds physical limit {limit:.2} ({s:?})"
         );
     }
+}
 
-    /// Same (config, seed) ⇒ bit-identical results.
-    #[test]
-    fn runs_are_deterministic(s in any_scenario()) {
+/// Same (config, seed) ⇒ bit-identical results.
+#[test]
+fn runs_are_deterministic() {
+    for case in 0..CASES {
+        let s = draw(0xD00D, case);
         let (host, path, opts) = build(&s);
         let a = iperf3_run(&host, &host, &path, &opts).unwrap();
         let b = iperf3_run(&host, &host, &path, &opts).unwrap();
-        prop_assert_eq!(a.sum_bitrate().as_bps(), b.sum_bitrate().as_bps());
-        prop_assert_eq!(a.sum_retr(), b.sum_retr());
-        prop_assert!((a.sender_cpu.combined_pct() - b.sender_cpu.combined_pct()).abs() < 1e-9);
+        assert_eq!(a.sum_bitrate().as_bps(), b.sum_bitrate().as_bps(), "{s:?}");
+        assert_eq!(a.sum_retr(), b.sum_retr(), "{s:?}");
+        assert!((a.sender_cpu.combined_pct() - b.sender_cpu.combined_pct()).abs() < 1e-9);
     }
+}
 
-    /// Per-stream rates respect the per-flow pacing cap.
-    #[test]
-    fn pacing_caps_each_stream(s in any_scenario()) {
+/// Per-stream rates respect the per-flow pacing cap.
+#[test]
+fn pacing_caps_each_stream() {
+    for case in 0..CASES {
+        let s = draw(0xBEEF, case);
         let (host, path, opts) = build(&s);
         let report = iperf3_run(&host, &host, &path, &opts).unwrap();
         if let Some(g) = s.pace_gbps {
             for stream in &report.streams {
-                prop_assert!(
+                assert!(
                     stream.bitrate.as_gbps() <= g * 1.02 + 0.05,
                     "stream {} at {:.2} beats its {g} G cap ({s:?})",
                     stream.id,
@@ -133,48 +147,122 @@ proptest! {
             }
         }
     }
+}
 
-    /// CPU accounting stays within physical bounds and data moves.
-    #[test]
-    fn cpu_and_liveness_sane(s in any_scenario()) {
+/// CPU accounting stays within physical bounds and data moves.
+#[test]
+fn cpu_and_liveness_sane() {
+    for case in 0..CASES {
+        let s = draw(0xCAFE, case);
         let (host, path, opts) = build(&s);
         let report = iperf3_run(&host, &host, &path, &opts).unwrap();
         let n_cores = (host.cores.app_cores.len() + host.cores.irq_cores.len()) as f64;
         for cpu in [&report.sender_cpu, &report.receiver_cpu] {
-            prop_assert!(cpu.combined_pct() >= 0.0);
-            prop_assert!(
+            assert!(cpu.combined_pct() >= 0.0);
+            assert!(
                 cpu.combined_pct() <= n_cores * 100.0 + 1e-6,
                 "CPU {:.0}% exceeds {} cores ({s:?})",
                 cpu.combined_pct(),
                 n_cores
             );
-            prop_assert!(cpu.peak_core_pct <= 100.0 + 1e-6);
+            assert!(cpu.peak_core_pct <= 100.0 + 1e-6);
         }
         // Liveness: every configuration must move *some* data.
-        prop_assert!(
-            report.sum_bitrate().as_gbps() > 0.01,
-            "no data moved ({s:?})"
-        );
+        assert!(report.sum_bitrate().as_gbps() > 0.01, "no data moved ({s:?})");
         // Stream accounting adds up.
-        prop_assert_eq!(report.streams.len(), s.flows);
+        assert_eq!(report.streams.len(), s.flows);
         let sum: f64 = report.streams.iter().map(|f| f.bitrate.as_bps()).sum();
-        prop_assert!((sum - report.sum_bitrate().as_bps()).abs() < 1.0);
+        assert!((sum - report.sum_bitrate().as_bps()).abs() < 1.0);
     }
+}
 
-    /// A clean path (no drops anywhere) must not retransmit more than
-    /// the occasional tail-loss probe.
-    #[test]
-    fn clean_paths_barely_retransmit(s in any_scenario()) {
+/// A clean path (no drops anywhere) must not retransmit more than
+/// the occasional tail-loss probe.
+#[test]
+fn clean_paths_barely_retransmit() {
+    for case in 0..CASES {
+        let s = draw(0xF00D, case);
         // Only meaningful when nothing is overloaded: pace gently.
         let (host, path, mut opts) = build(&s);
         let per_flow = 4.0 / s.flows as f64;
         opts = opts.fq_rate(BitRate::gbps(per_flow));
         let report = iperf3_run(&host, &host, &path, &opts).unwrap();
         let pkts_per_burst = host.offload.packets_per_burst();
-        prop_assert!(
+        assert!(
             report.sum_retr() <= 4 * pkts_per_burst * s.flows as u64,
             "gently-paced clean path retransmitted {} packets ({s:?})",
             report.sum_retr()
         );
+    }
+}
+
+/// Burst conservation holds for any configuration, with or without an
+/// injected fault schedule: every burst handed to the wire is either
+/// delivered, accounted to a drop counter, or still in flight when the
+/// run ends. `Simulation::finish` verifies the ledger and returns
+/// [`SimError::ConservationViolation`] on any mismatch — so `Ok` *is*
+/// the property.
+#[test]
+fn bursts_conserved_across_random_configs_and_faults() {
+    for case in 0..CASES {
+        let s = draw(0xACED, case);
+        let (host, path, _) = build(&s);
+        let mut rng = SimRng::seed_from_u64(0xACED ^ case);
+        for faults in [FaultPlan::none(), draw_faults(&mut rng)] {
+            let faulted = !faults.is_empty();
+            let workload = WorkloadSpec::parallel(s.flows, 2)
+                .with_seed(s.seed)
+                .with_faults(faults);
+            let cfg = SimConfig {
+                sender: host.clone(),
+                receiver: host.clone(),
+                path: path.clone(),
+                workload,
+            };
+            let res = Simulation::new(cfg)
+                .expect("drawn scenario must validate")
+                .run()
+                .unwrap_or_else(|e| panic!("conservation/run failure ({s:?}): {e}"));
+            assert!(res.wire_sent > 0, "nothing reached the wire ({s:?})");
+            if !faulted {
+                assert_eq!(res.fault_drops, 0, "fault drops without faults ({s:?})");
+            }
+        }
+    }
+}
+
+/// A mid-run link flap must be survivable: once the outage clears, the
+/// flow regrows to at least 90 % of its pre-flap per-second goodput.
+#[test]
+fn link_flap_recovers_to_pre_flap_goodput() {
+    for case in 0..3 {
+        // LAN only: recovery inside the run needs a short RTT.
+        let host = Testbeds::esnet_host(KernelVersion::L6_8);
+        let path = PathSpec::lan("flap-lan", BitRate::gbps(200.0));
+        let plan = FaultPlan::none()
+            .with_link_flap(SimDuration::from_millis(2500), SimDuration::from_millis(100));
+        // 6 s keeps the omit window at zero, so interval bin 1 really
+        // is steady pre-flap state.
+        let workload = WorkloadSpec::single_stream(6).with_seed(100 + case).with_faults(plan);
+        let cfg = SimConfig {
+            sender: host.clone(),
+            receiver: host.clone(),
+            path,
+            workload,
+        };
+        let res = Simulation::new(cfg).expect("config").run().expect("run");
+        let intervals = &res.flows[0].intervals;
+        assert!(intervals.len() >= 5, "need 1-second bins, got {}", intervals.len());
+        // Bin 1 (t=1..2 s) is steady pre-flap; the final bin is the
+        // recovered state, several RTO/slow-start cycles after the flap.
+        let before = intervals[1].as_gbps();
+        let after = intervals[intervals.len() - 1].as_gbps();
+        assert!(
+            after >= before * 0.9,
+            "seed {}: post-flap {after:.1} Gbps < 90% of pre-flap {before:.1} Gbps",
+            100 + case
+        );
+        // And the flap itself must be visible in the fault ledger.
+        assert!(res.fault_drops > 0, "outage dropped nothing");
     }
 }
