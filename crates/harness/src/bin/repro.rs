@@ -7,6 +7,7 @@
 //! repro table1 table2        # several artefacts
 //! repro all                  # everything (long)
 //! repro ablations            # the design-choice ablations
+//! repro --trace out/ ext_telemetry  # + JSON-lines telemetry traces
 //! REPRO_EFFORT=smoke repro fig05    # quick CI-sized run
 //! REPRO_EFFORT=full  repro all      # paper-faithful 60 s × 10 reps
 //! ```
@@ -16,7 +17,20 @@ use harness::Effort;
 use std::path::PathBuf;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--trace <dir>`: per-repetition JSON-lines telemetry traces.
+    // Plumbed as REPRO_TRACE_DIR because experiments build their own
+    // harnesses internally (same pattern as REPRO_CSV_DIR/REPRO_EFFORT).
+    if let Some(pos) = args.iter().position(|a| a == "--trace") {
+        if pos + 1 >= args.len() {
+            eprintln!("--trace needs a directory argument");
+            std::process::exit(2);
+        }
+        let dir = args.remove(pos + 1);
+        args.remove(pos);
+        std::env::set_var("REPRO_TRACE_DIR", &dir);
+        eprintln!("writing telemetry traces to {dir}/");
+    }
     let effort = Effort::from_env();
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
         usage();
@@ -86,8 +100,10 @@ fn run_one(id: ExperimentId, effort: Effort) {
 
 fn usage() {
     eprintln!(
-        "usage: repro [list | all | ablations | fig04..fig13 | table1..table3 | ext_hw_gro | ext_bigtcp_zc | ext_faults]...\n\
+        "usage: repro [--trace <dir>] [list | all | ablations | fig04..fig13 | table1..table3 | ext_hw_gro | ext_bigtcp_zc | ext_faults | ext_telemetry]...\n\
+         flags:       --trace <dir> to write per-repetition JSON-lines telemetry traces\n\
          environment: REPRO_EFFORT=smoke|standard|full (default standard)\n\
-                      REPRO_CSV_DIR=<dir> to also dump CSV data files"
+                      REPRO_CSV_DIR=<dir> to also dump CSV data files\n\
+                      REPRO_TRACE_DIR=<dir> same as --trace"
     );
 }

@@ -22,6 +22,7 @@
 //! | [`extensions::hw_gro`] | §V-C — hardware GRO preview |
 //! | [`extensions::bigtcp_zerocopy`] | §V-C — BIG TCP + zerocopy custom kernel |
 //! | [`extensions::fault_recovery`] | robustness — recovery from injected faults |
+//! | [`telemetry::timeline`] | §III-G — ss/ethtool/mpstat timeline on the ESnet WAN |
 //! | [`ablations`] | design-choice ablations (affinity, IOMMU, ring, CC, MTU, sysctls) |
 
 pub mod ablations;
@@ -29,6 +30,7 @@ pub mod common;
 pub mod extensions;
 pub mod figures;
 pub mod tables;
+pub mod telemetry;
 
 use crate::effort::Effort;
 use crate::render::{FigureData, TableData};
@@ -108,11 +110,13 @@ pub enum ExperimentId {
     ExtBigTcpZc,
     /// Robustness: recovery from injected faults.
     ExtFaults,
+    /// §III-G: ss/ethtool/mpstat-style telemetry timeline.
+    ExtTelemetry,
 }
 
 impl ExperimentId {
     /// All paper artefacts in order of appearance.
-    pub const ALL: [ExperimentId; 16] = [
+    pub const ALL: [ExperimentId; 17] = [
         ExperimentId::Fig04,
         ExperimentId::Fig05,
         ExperimentId::Fig06,
@@ -129,6 +133,7 @@ impl ExperimentId {
         ExperimentId::ExtHwGro,
         ExperimentId::ExtBigTcpZc,
         ExperimentId::ExtFaults,
+        ExperimentId::ExtTelemetry,
     ];
 
     /// Short name ("fig05", "table1", …).
@@ -150,6 +155,7 @@ impl ExperimentId {
             ExperimentId::ExtHwGro => "ext_hw_gro",
             ExperimentId::ExtBigTcpZc => "ext_bigtcp_zc",
             ExperimentId::ExtFaults => "ext_faults",
+            ExperimentId::ExtTelemetry => "ext_telemetry",
         }
     }
 
@@ -172,6 +178,7 @@ impl ExperimentId {
             ExperimentId::ExtHwGro => Artifact::Figures(extensions::hw_gro(effort)),
             ExperimentId::ExtBigTcpZc => Artifact::Figures(extensions::bigtcp_zerocopy(effort)),
             ExperimentId::ExtFaults => Artifact::Figures(extensions::fault_recovery(effort)),
+            ExperimentId::ExtTelemetry => Artifact::Table(telemetry::timeline(effort)),
         }
     }
 

@@ -14,6 +14,8 @@
 //!   repetitions are retried once and recorded per-seed.
 //! * [`render`] — ASCII tables and grouped bar charts for terminal
 //!   reports.
+//! * [`trace`] — JSON-lines telemetry traces (`--trace <dir>`), one
+//!   file per surviving repetition.
 //! * [`experiments`] — one module per table/figure of the paper, plus
 //!   the §V-C future-work extensions and the ablations called out in
 //!   DESIGN.md.
@@ -29,6 +31,7 @@ pub mod render;
 pub mod runner;
 pub mod scenario;
 pub mod testbeds;
+pub mod trace;
 
 pub use effort::Effort;
 pub use render::{FigureData, Series, TableData};

@@ -13,10 +13,16 @@
 
 use crate::scenario::Scenario;
 use iperf3sim::{Iperf3Report, RunError};
-use simcore::{RunningStats, Summary};
+use simcore::{RunningStats, SimDuration, Summary};
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::Mutex;
 use std::time::Duration;
+
+/// Outcome slot for one repetition: the report (with the seed that
+/// produced it — a rescued retry runs on a perturbed seed), or the
+/// failure record.
+type Slot = Result<(u64, Iperf3Report), FailedRep>;
 
 /// One repetition that produced no report, identified by its seed.
 #[derive(Debug, Clone)]
@@ -28,6 +34,10 @@ pub struct FailedRep {
     /// Whether this failure survived a retry (true) or is the
     /// first-attempt failure that the retry then rescued (false).
     pub retried: bool,
+    /// The failure was a deterministic flag/config rejection — the
+    /// same on every seed, so not worth retrying — as opposed to a
+    /// runtime failure (watchdog trip, dead worker, …).
+    pub invalid: bool,
 }
 
 /// Why a whole scenario produced no summary.
@@ -135,11 +145,20 @@ pub struct TestHarness {
     pub base_seed: u64,
     /// Run repetitions on parallel threads.
     pub parallel: bool,
+    /// Write a JSON-lines telemetry trace per surviving repetition
+    /// into this directory (the `--trace <dir>` flag; also settable
+    /// via `REPRO_TRACE_DIR`). Forces telemetry sampling on.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Default for TestHarness {
     fn default() -> Self {
-        TestHarness { repetitions: 5, base_seed: 1000, parallel: true }
+        TestHarness {
+            repetitions: 5,
+            base_seed: 1000,
+            parallel: true,
+            trace_dir: std::env::var_os("REPRO_TRACE_DIR").map(PathBuf::from),
+        }
     }
 }
 
@@ -172,6 +191,13 @@ impl TestHarness {
         self
     }
 
+    /// Builder: write per-repetition JSON-lines telemetry traces into
+    /// `dir` (forces telemetry sampling on for every run).
+    pub fn with_trace_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.trace_dir = Some(dir.into());
+        self
+    }
+
     /// Run all repetitions of one scenario and aggregate the survivors.
     ///
     /// Invalid scenarios (flag/kernel mismatches) fail fast with
@@ -181,27 +207,31 @@ impl TestHarness {
     /// [`TestSummary::failed_reps`]. Only a scenario with *zero*
     /// surviving repetitions is an error.
     pub fn run(&self, scenario: &Scenario) -> Result<TestSummary, ScenarioError> {
-        type Slot = Result<Iperf3Report, FailedRep>;
         let slots: Mutex<Vec<Option<Slot>>> = Mutex::new(vec![None; self.repetitions]);
 
         let run_one = |i: usize| {
             let seed = self.base_seed + i as u64;
             let outcome = match self.attempt(scenario, seed) {
-                Ok(report) => Ok(report),
+                Ok(report) => Ok((seed, report)),
                 Err(RunError::Invalid(problems)) => Err(FailedRep {
                     seed,
                     error: RunError::Invalid(problems).to_string(),
                     retried: false,
+                    invalid: true,
                 }),
                 Err(first) => {
                     // Runtime failure: one retry, perturbed seed,
                     // bounded backoff.
                     std::thread::sleep(RETRY_BACKOFF);
-                    match self.attempt(scenario, seed ^ RETRY_SEED_XOR) {
-                        Ok(report) => Ok(report),
-                        Err(_) => {
-                            Err(FailedRep { seed, error: first.to_string(), retried: true })
-                        }
+                    let retry_seed = seed ^ RETRY_SEED_XOR;
+                    match self.attempt(scenario, retry_seed) {
+                        Ok(report) => Ok((retry_seed, report)),
+                        Err(_) => Err(FailedRep {
+                            seed,
+                            error: first.to_string(),
+                            retried: true,
+                            invalid: false,
+                        }),
                     }
                 }
             };
@@ -221,18 +251,12 @@ impl TestHarness {
             }
         }
 
-        let mut reports = Vec::new();
-        let mut failures = Vec::new();
-        for slot in slots.into_inner().expect("slots lock") {
-            match slot.expect("missing repetition") {
-                Ok(report) => reports.push(report),
-                Err(failure) => failures.push(failure),
-            }
-        }
+        let (reports, failures) =
+            Self::collect_slots(slots.into_inner().expect("slots lock"), self.base_seed);
         if reports.is_empty() {
             // Deterministic config errors read the same on every seed:
             // report them as one Invalid, not N identical failures.
-            if let Some(first) = failures.iter().find(|x| !x.retried) {
+            if let Some(first) = failures.iter().find(|x| x.invalid) {
                 return Err(ScenarioError::Invalid {
                     label: scenario.label.clone(),
                     problems: vec![first.error.clone()],
@@ -243,11 +267,53 @@ impl TestHarness {
                 failures,
             });
         }
+        if let Some(dir) = &self.trace_dir {
+            for (i, seed, report) in &reports {
+                if let Err(e) = crate::trace::write_rep_trace(dir, &scenario.label, *i, *seed, report)
+                {
+                    eprintln!(
+                        "warning: could not write trace for '{}' rep {i}: {e}",
+                        scenario.label
+                    );
+                }
+            }
+        }
+        let reports = reports.into_iter().map(|(_, _, r)| r).collect();
         Ok(Self::aggregate(&scenario.label, reports, failures))
     }
 
+    /// Drain the repetition slots, converting an empty slot (a worker
+    /// thread died before writing its result — a panic swallowed by a
+    /// crashed thread, an OOM kill) into a recorded runtime failure so
+    /// the scenario degrades instead of panicking the whole harness.
+    fn collect_slots(
+        slots: Vec<Option<Slot>>,
+        base_seed: u64,
+    ) -> (Vec<(usize, u64, Iperf3Report)>, Vec<FailedRep>) {
+        let mut reports = Vec::new();
+        let mut failures = Vec::new();
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(Ok((seed, report))) => reports.push((i, seed, report)),
+                Some(Err(failure)) => failures.push(failure),
+                None => failures.push(FailedRep {
+                    seed: base_seed + i as u64,
+                    error: format!("repetition {i}: worker died before reporting a result"),
+                    retried: false,
+                    invalid: false,
+                }),
+            }
+        }
+        (reports, failures)
+    }
+
     fn attempt(&self, scenario: &Scenario, seed: u64) -> Result<Iperf3Report, RunError> {
-        let opts = scenario.opts.clone().seed(seed);
+        let mut opts = scenario.opts.clone().seed(seed);
+        // Tracing needs samples: default to a 1 s tick unless the
+        // scenario already chose one.
+        if self.trace_dir.is_some() && opts.telemetry.is_none() {
+            opts = opts.telemetry(SimDuration::from_secs(1));
+        }
         iperf3sim::run_with_faults(
             &scenario.client,
             &scenario.server,
@@ -375,6 +441,37 @@ mod tests {
             }
             other => panic!("expected AllRepetitionsFailed, got {other}"),
         }
+    }
+
+    #[test]
+    fn missing_slot_recorded_as_failed_rep() {
+        // A worker thread that dies before writing its slot must not
+        // panic the harness: the empty slot reads as a runtime failure
+        // so the usual degradation path (aggregate the survivors, or
+        // AllRepetitionsFailed) applies.
+        let (reports, failures) = TestHarness::collect_slots(vec![None, None], 50);
+        assert!(reports.is_empty());
+        assert_eq!(failures.len(), 2);
+        assert_eq!(failures[0].seed, 50);
+        assert_eq!(failures[1].seed, 51);
+        assert!(failures.iter().all(|f| !f.retried && !f.invalid));
+        assert!(failures[0].error.contains("worker died"), "{}", failures[0].error);
+    }
+
+    #[test]
+    fn traces_written_when_trace_dir_set() {
+        let dir = std::env::temp_dir().join(format!("repro_trace_{}", std::process::id()));
+        let s = TestHarness::new(2).with_trace_dir(&dir).run(&scenario()).expect("run");
+        assert_eq!(s.reports.len(), 2);
+        // Tracing forces telemetry sampling on.
+        assert!(s.reports.iter().all(|r| r.telemetry.is_some()));
+        let mut files: Vec<String> = std::fs::read_dir(&dir)
+            .expect("trace dir created")
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        files.sort();
+        assert_eq!(files, vec!["default_rep0.jsonl", "default_rep1.jsonl"]);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -168,6 +168,7 @@ pub fn run_tcp_stream(
         seed: opts.seed,
         faults: netsim::FaultPlan::none(),
         event_budget: None,
+        telemetry: None,
     };
     let cfg = SimConfig { sender: client, receiver: server.clone(), path: path.clone(), workload };
     let problems = cfg.validate();

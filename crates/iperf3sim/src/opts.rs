@@ -29,6 +29,10 @@ pub struct Iperf3Opts {
     /// Seed for the simulated run (not an iperf3 flag; the simulator's
     /// substitute for "run it again").
     pub seed: u64,
+    /// Telemetry sampling tick (not an iperf3 flag; the simulator's
+    /// substitute for running `ss`/`ethtool`/`mpstat` alongside the
+    /// test, §III-G). `None` disables sampling.
+    pub telemetry: Option<SimDuration>,
 }
 
 impl Default for Iperf3Opts {
@@ -44,6 +48,7 @@ impl Default for Iperf3Opts {
             skip_rx_copy: false,
             congestion: CcAlgorithm::Cubic,
             seed: 1,
+            telemetry: None,
         }
     }
 }
@@ -99,6 +104,13 @@ impl Iperf3Opts {
     /// Builder: run seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder: sample `ss`/`ethtool`/`mpstat`-style telemetry on the
+    /// given tick.
+    pub fn telemetry(mut self, tick: SimDuration) -> Self {
+        self.telemetry = Some(tick);
         self
     }
 

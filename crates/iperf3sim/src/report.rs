@@ -1,7 +1,7 @@
 //! iperf3-style result reports.
 
 use linuxhost::CpuReport;
-use netsim::RunResult;
+use netsim::{RunResult, Telemetry};
 use simcore::{BitRate, Bytes, SimDuration};
 use std::fmt;
 
@@ -35,6 +35,9 @@ pub struct Iperf3Report {
     pub receiver_cpu: CpuReport,
     /// Zerocopy sends that fell back to copying (fraction 0–1).
     pub zc_fallback_fraction: f64,
+    /// `ss`/`ethtool`/`mpstat`-style time series, when the run sampled
+    /// them (see [`crate::Iperf3Opts::telemetry`]).
+    pub telemetry: Option<Telemetry>,
 }
 
 impl Iperf3Report {
@@ -57,6 +60,7 @@ impl Iperf3Report {
             sender_cpu: run.sender_cpu.clone(),
             receiver_cpu: run.receiver_cpu.clone(),
             zc_fallback_fraction: run.zc_fallback_fraction(),
+            telemetry: run.telemetry.clone(),
         }
     }
 
@@ -93,6 +97,30 @@ impl Iperf3Report {
         let mut out = String::with_capacity(1024);
         out.push_str("{\n");
         out.push_str(&format!("  \"title\": {:?},\n", self.command));
+        // Per-second samples, like the `-J` "intervals" array.
+        let ticks = self.streams.iter().map(|s| s.intervals.len()).max().unwrap_or(0);
+        out.push_str("  \"intervals\": [\n");
+        for k in 0..ticks {
+            let rates: Vec<f64> = self
+                .streams
+                .iter()
+                .map(|s| s.intervals.get(k).copied().unwrap_or(BitRate::ZERO).as_bps())
+                .collect();
+            let streams_json: Vec<String> = self
+                .streams
+                .iter()
+                .zip(&rates)
+                .map(|(s, bps)| format!("{{\"socket\": {}, \"bits_per_second\": {bps:.1}}}", s.id))
+                .collect();
+            out.push_str(&format!(
+                "    {{\"start\": {k}, \"end\": {}, \"streams\": [{}], \"sum\": {{\"bits_per_second\": {:.1}}}}}{}\n",
+                k + 1,
+                streams_json.join(", "),
+                rates.iter().sum::<f64>(),
+                if k + 1 == ticks { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
         out.push_str(&format!(
             "  \"end\": {{\n    \"sum_received\": {{\"seconds\": {:.3}, \"bits_per_second\": {:.1}, \"retransmits\": {}}},\n",
             self.window.as_secs_f64(),
@@ -184,6 +212,7 @@ mod tests {
             sender_cpu: CpuReport::zero(4),
             receiver_cpu: CpuReport::zero(4),
             zc_fallback_fraction: 0.25,
+            telemetry: None,
         }
     }
 
@@ -213,6 +242,24 @@ mod tests {
         assert!(j.contains("zerocopy_fallback_fraction"));
         // Balanced braces (cheap well-formedness check).
         assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn json_intervals_section_renders_per_second_samples() {
+        let j = report().to_json();
+        assert!(j.contains("\"intervals\": ["));
+        // 10 one-second bins, both streams present in each.
+        assert!(j.contains("\"start\": 0, \"end\": 1"));
+        assert!(j.contains("\"start\": 9, \"end\": 10"));
+        assert!(!j.contains("\"start\": 10, \"end\": 11"));
+        // Sum row carries both streams: 10 + 12 Gbit/s.
+        assert!(j.contains("\"sum\": {\"bits_per_second\": 22000000000.0}"));
+        // A stream-free report still renders valid JSON.
+        let mut empty = report();
+        empty.streams.clear();
+        let je = empty.to_json();
+        assert!(je.contains("\"intervals\": [\n  ]"));
+        assert_eq!(je.matches('{').count(), je.matches('}').count());
     }
 
     #[test]

@@ -104,6 +104,7 @@ pub fn run_with_faults(
         seed: opts.seed,
         faults: faults.clone(),
         event_budget,
+        telemetry: opts.telemetry,
     };
     let cfg = SimConfig {
         sender: client,

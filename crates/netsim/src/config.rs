@@ -35,6 +35,10 @@ pub struct WorkloadSpec {
     pub faults: FaultPlan,
     /// Watchdog event budget override; `None` scales with duration.
     pub event_budget: Option<u64>,
+    /// Telemetry sampling tick (`ss`/`ethtool`/`mpstat` cadence,
+    /// §III-G). `None` (the default) disables sampling entirely: no
+    /// tick event is scheduled and nothing allocates.
+    pub telemetry: Option<SimDuration>,
 }
 
 impl WorkloadSpec {
@@ -53,6 +57,7 @@ impl WorkloadSpec {
             seed: 1,
             faults: FaultPlan::none(),
             event_budget: None,
+            telemetry: None,
         }
     }
 
@@ -116,6 +121,13 @@ impl WorkloadSpec {
         self
     }
 
+    /// Builder: sample `ss`/`ethtool`/`mpstat`-style telemetry every
+    /// `tick` of simulated time.
+    pub fn with_telemetry(mut self, tick: SimDuration) -> Self {
+        self.telemetry = Some(tick);
+        self
+    }
+
     /// Measured window (duration − omit).
     pub fn measured_window(&self) -> SimDuration {
         self.duration.saturating_sub(self.omit)
@@ -159,6 +171,9 @@ impl SimConfig {
         }
         if self.workload.fq_rate.is_some() && !self.sender.sysctl.supports_fq_pacing() {
             problems.push("--fq-rate requires net.core.default_qdisc=fq".into());
+        }
+        if self.workload.telemetry.is_some_and(|t| t.is_zero()) {
+            problems.push("telemetry tick must be positive".into());
         }
         problems.extend(self.workload.faults.validate(self.workload.duration));
         problems
@@ -258,5 +273,15 @@ mod tests {
         let mut cfg2 = base();
         cfg2.workload.omit = cfg2.workload.duration;
         assert!(!cfg2.validate().is_empty());
+    }
+
+    #[test]
+    fn zero_telemetry_tick_rejected() {
+        let mut cfg = base();
+        cfg.workload = cfg.workload.with_telemetry(SimDuration::ZERO);
+        assert!(cfg.validate().iter().any(|p| p.contains("telemetry")));
+        let mut ok = base();
+        ok.workload = ok.workload.with_telemetry(SimDuration::from_secs(1));
+        assert!(ok.validate().is_empty());
     }
 }

@@ -34,9 +34,11 @@ pub mod faults;
 pub mod host;
 pub mod result;
 pub mod sim;
+pub mod telemetry;
 
 pub use config::{SimConfig, WorkloadSpec};
 pub use error::SimError;
 pub use faults::{Fault, FaultEvent, FaultPlan};
 pub use result::{FlowResult, RunResult};
 pub use sim::Simulation;
+pub use telemetry::{CaState, FlowTrace, HostSample, HostTrace, TcpInfoSample, Telemetry};

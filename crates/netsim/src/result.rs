@@ -1,5 +1,6 @@
 //! Run results.
 
+use crate::telemetry::Telemetry;
 use linuxhost::CpuReport;
 use simcore::{BitRate, Bytes, SimDuration};
 
@@ -53,6 +54,9 @@ pub struct RunResult {
     pub wire_sent: u64,
     /// Total events processed (diagnostics).
     pub events: u64,
+    /// Sampled `ss`/`ethtool`/`mpstat`-style time series; present only
+    /// when [`crate::WorkloadSpec::telemetry`] set a tick.
+    pub telemetry: Option<Telemetry>,
 }
 
 impl RunResult {
@@ -115,6 +119,7 @@ mod tests {
             fault_drops: 4,
             wire_sent: 110,
             events: 100,
+            telemetry: None,
         }
     }
 

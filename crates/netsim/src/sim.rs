@@ -20,6 +20,7 @@ use crate::error::SimError;
 use crate::faults::{Fault, FaultEvent};
 use crate::host::SimHost;
 use crate::result::{FlowResult, RunResult};
+use crate::telemetry::{CaState, CounterSnapshot, FlowInfo, TelemetrySampler};
 use linuxhost::{Pacer, SendOutcome, TxMode, ZerocopyAccounting};
 use nethw::{EnqueueOutcome, SharedBufferSwitch};
 use simcore::{BitRate, Bytes, EventQueue, SimDuration, SimRng, SimTime, Watchdog};
@@ -50,6 +51,9 @@ enum Ev {
     PacerResume(usize),
     CrossToggle,
     IntervalTick,
+    /// `ss`/`ethtool`/`mpstat` sampling tick — only ever scheduled when
+    /// [`crate::WorkloadSpec::telemetry`] is set; strictly read-only.
+    TelemetryTick,
     OmitBoundary,
     /// Fault `i` of the plan begins.
     FaultBegin(usize),
@@ -149,6 +153,10 @@ struct Runner {
     ring_drops: u64,
     random_drops: u64,
     fault_drops: u64,
+    /// Pause-frame holds: every time 802.3x (or a pause storm) parked a
+    /// burst upstream instead of letting it reach the ring — the
+    /// simulator's `ethtool -S … rx_pause` analogue.
+    pause_parks: u64,
     /// Bursts handed to the wire (TxDequeue), incl. retransmissions.
     wire_sent: u64,
     /// Fault schedule (cloned out of the config).
@@ -173,6 +181,9 @@ struct Runner {
     rcv_cpu_at_omit: Vec<SimDuration>,
     omit_time: SimTime,
     end_time: SimTime,
+    /// Telemetry sampler; `None` (the default) costs one branch per
+    /// dispatch of events that never get scheduled.
+    sampler: Option<TelemetrySampler>,
 }
 
 impl Runner {
@@ -251,6 +262,9 @@ impl Runner {
             secs.saturating_mul(50_000_000).saturating_mul(flows_factor).max(100_000_000)
         });
         let faults = cfg.workload.faults.events.clone();
+        let sampler = cfg.workload.telemetry.map(|tick| {
+            TelemetrySampler::new(tick, n, snd_host.busy_snapshot(), rcv_host.busy_snapshot())
+        });
         Runner {
             cfg,
             burst,
@@ -266,6 +280,7 @@ impl Runner {
             ring_drops: 0,
             random_drops: 0,
             fault_drops: 0,
+            pause_parks: 0,
             wire_sent: 0,
             faults,
             link_down: 0,
@@ -283,6 +298,7 @@ impl Runner {
             rcv_cpu_at_omit: Vec::new(),
             omit_time,
             end_time,
+            sampler,
         }
     }
 
@@ -296,6 +312,11 @@ impl Runner {
         self.q.push(self.omit_time, Ev::OmitBoundary);
         self.q
             .push(self.omit_time + SimDuration::from_secs(1), Ev::IntervalTick);
+        // Zero-cost when disabled: without a sampler no tick event ever
+        // enters the queue.
+        if let Some(sampler) = &self.sampler {
+            self.q.push(SimTime::ZERO + sampler.tick(), Ev::TelemetryTick);
+        }
         if self.cfg.path.cross_traffic.is_some() {
             self.q.push(SimTime::ZERO, Ev::CrossToggle);
         }
@@ -332,6 +353,7 @@ impl Runner {
             Ev::PacerResume(f) => self.on_pacer_resume(now, f),
             Ev::CrossToggle => self.on_cross_toggle(now),
             Ev::IntervalTick => self.on_interval(now),
+            Ev::TelemetryTick => self.on_telemetry(now),
             Ev::OmitBoundary => self.on_omit(now),
             Ev::FaultBegin(i) => self.on_fault_begin(now, i),
             Ev::FaultEnd(i) => self.on_fault_end(now, i),
@@ -776,6 +798,7 @@ impl Runner {
     /// Park a burst held upstream by pause frames, dropping on pause-
     /// buffer overflow (802.3x cannot buy infinite memory).
     fn park(&mut self, f: usize, idx: u64) {
+        self.pause_parks += 1;
         if self.parked.len() >= self.parked_cap {
             self.ring_drops += 1;
         } else {
@@ -844,6 +867,72 @@ impl Runner {
         }
     }
 
+    /// Telemetry tick: sample every flow and the host counters, then
+    /// re-arm. Strictly read-only on flow/host/RNG state, so a sampled
+    /// run reproduces the exact same traffic as an unsampled one.
+    fn on_telemetry(&mut self, now: SimTime) {
+        let Some(mut sampler) = self.sampler.take() else { return };
+        self.telemetry_sample(now, &mut sampler);
+        let next = now + sampler.tick();
+        if next <= self.end_time {
+            self.q.push(next, Ev::TelemetryTick);
+        }
+        self.sampler = Some(sampler);
+    }
+
+    /// Take one full sample at `now` (tick or end-of-run flush).
+    fn telemetry_sample(&self, now: SimTime, sampler: &mut TelemetrySampler) {
+        for (f, flow) in self.flows.iter().enumerate() {
+            let sender = &flow.sender;
+            let cc = sender.cc();
+            let ca_state = if sender.in_recovery() {
+                CaState::Recovery
+            } else if cc.in_slow_start() {
+                CaState::SlowStart
+            } else {
+                CaState::CongestionAvoidance
+            };
+            let info = FlowInfo {
+                cwnd: cc.cwnd(),
+                ssthresh: cc.ssthresh(),
+                srtt: sender.rtt.srtt(),
+                pacing_rate: sender.tcp_pacing_rate(),
+                ca_state,
+                bytes_retrans: Bytes::new(sender.retx_bursts() * self.burst.as_u64()),
+                retr_packets: sender.retr_packets(),
+            };
+            sampler.sample_flow(now, f, self.burst, flow.delivered_bursts, info);
+        }
+        let counters = CounterSnapshot {
+            ring_drops: self.ring_drops,
+            switch_drops: self.switch_drops,
+            random_drops: self.random_drops,
+            fault_drops: self.fault_drops,
+            pause_frames: self.pause_parks,
+            wire_sent: self.wire_sent,
+        };
+        let since = sampler.last_sample();
+        let (snd_mark, rcv_mark) = sampler.busy_marks();
+        // The end-of-run flush can land exactly on the last tick; a
+        // zero-length interval has no meaningful busy%.
+        let (snd_pct, rcv_pct) = if now > since {
+            (
+                self.snd_host.cpu_report_since(snd_mark, since, now).per_core,
+                self.rcv_host.cpu_report_since(rcv_mark, since, now).per_core,
+            )
+        } else {
+            (vec![0.0; snd_mark.len()], vec![0.0; rcv_mark.len()])
+        };
+        sampler.sample_host(
+            now,
+            counters,
+            self.snd_host.busy_snapshot(),
+            self.rcv_host.busy_snapshot(),
+            snd_pct,
+            rcv_pct,
+        );
+    }
+
     fn on_omit(&mut self, now: SimTime) {
         for flow in &mut self.flows {
             flow.delivered_at_omit = flow.delivered_bursts;
@@ -888,8 +977,20 @@ impl Runner {
         Ok(())
     }
 
-    fn finish(self) -> Result<RunResult, SimError> {
+    fn finish(mut self) -> Result<RunResult, SimError> {
         self.check_conservation()?;
+        // Final partial-interval flush so per-interval byte counts sum
+        // exactly to the delivered-bytes ledger — data that arrived
+        // after the last tick (or after the last in-range tick on a
+        // duration that is not a tick multiple) must land somewhere.
+        let telemetry = self.sampler.take().map(|mut sampler| {
+            let delivered: Vec<u64> =
+                self.flows.iter().map(|fl| fl.delivered_bursts).collect();
+            if sampler.last_sample() < self.end_time || sampler.pending_delivery(&delivered) {
+                self.telemetry_sample(self.end_time, &mut sampler);
+            }
+            sampler.finish()
+        });
         if std::env::var_os("NETSIM_DEBUG_FLOWS").is_some() {
             for (i, flow) in self.flows.iter().enumerate() {
                 eprintln!(
@@ -954,6 +1055,7 @@ impl Runner {
             fault_drops: self.fault_drops,
             wire_sent: self.wire_sent,
             events: self.q.total_popped(),
+            telemetry,
         })
     }
 }

@@ -14,6 +14,9 @@
 //!   simulation run is exactly reproducible from its seed.
 //! * [`stats`] — streaming statistics ([`RunningStats`], [`Summary`])
 //!   matching what the paper's harness reports (mean / stdev / min / max).
+//! * [`series`] — time-indexed sample storage ([`TimeSeries`]) for the
+//!   `ss`/`ethtool`/`mpstat`-style telemetry the harness samples on a
+//!   tick (§III-G).
 //! * [`watchdog`] — event-loop liveness guards ([`Watchdog`]) that turn
 //!   a livelocked or runaway simulation into a structured error.
 //!
@@ -27,6 +30,7 @@
 
 pub mod engine;
 pub mod rng;
+pub mod series;
 pub mod stats;
 pub mod time;
 pub mod units;
@@ -34,6 +38,7 @@ pub mod watchdog;
 
 pub use engine::EventQueue;
 pub use rng::SimRng;
+pub use series::TimeSeries;
 pub use stats::{RunningStats, Summary};
 pub use time::{SimDuration, SimTime};
 pub use units::{BitRate, Bytes};

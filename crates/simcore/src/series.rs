@@ -1,0 +1,114 @@
+//! Time-indexed sample series — the storage primitive behind the
+//! telemetry sampler.
+//!
+//! The paper's methodology runs `ss -tin`, `ethtool -S` and `mpstat`
+//! on a fixed tick alongside every test (§III-G); each of those
+//! streams is a sequence of `(time, sample)` pairs. [`TimeSeries`]
+//! holds one such sequence with monotonically non-decreasing
+//! timestamps, in struct-of-arrays form so a disabled sampler costs
+//! nothing and an enabled one appends without re-boxing.
+
+use crate::time::SimTime;
+
+/// A monotonically time-ordered series of samples.
+#[derive(Debug, Clone)]
+pub struct TimeSeries<T> {
+    times: Vec<SimTime>,
+    values: Vec<T>,
+}
+
+impl<T> Default for TimeSeries<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TimeSeries<T> {
+    /// Empty series (allocates nothing until the first push).
+    pub fn new() -> Self {
+        TimeSeries { times: Vec::new(), values: Vec::new() }
+    }
+
+    /// Append a sample taken at `t`. Timestamps must not go backwards;
+    /// equal timestamps are allowed (an end-of-run flush can land on
+    /// the final tick).
+    pub fn push(&mut self, t: SimTime, value: T) {
+        debug_assert!(
+            self.times.last().is_none_or(|&last| t >= last),
+            "time series must be pushed in order"
+        );
+        self.times.push(t);
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The sample timestamps, in push order.
+    pub fn times(&self) -> &[SimTime] {
+        &self.times
+    }
+
+    /// The sample values, in push order.
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Iterate `(time, &value)` pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, &T)> {
+        self.times.iter().copied().zip(self.values.iter())
+    }
+
+    /// The most recent sample, if any.
+    pub fn last(&self) -> Option<(SimTime, &T)> {
+        Some((*self.times.last()?, self.values.last()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn at(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn push_and_iterate_in_order() {
+        let mut s = TimeSeries::new();
+        assert!(s.is_empty());
+        s.push(at(1), 10u64);
+        s.push(at(2), 20);
+        s.push(at(2), 21); // equal timestamps allowed (end-of-run flush)
+        assert_eq!(s.len(), 3);
+        let collected: Vec<(SimTime, u64)> = s.iter().map(|(t, v)| (t, *v)).collect();
+        assert_eq!(collected, vec![(at(1), 10), (at(2), 20), (at(2), 21)]);
+        assert_eq!(s.last(), Some((at(2), &21)));
+        assert_eq!(s.times().len(), s.values().len());
+    }
+
+    #[test]
+    fn empty_series_allocates_nothing() {
+        let s: TimeSeries<u64> = TimeSeries::new();
+        assert_eq!(s.times.capacity(), 0);
+        assert_eq!(s.values.capacity(), 0);
+        assert!(s.last().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "pushed in order")]
+    #[cfg(debug_assertions)]
+    fn out_of_order_push_rejected() {
+        let mut s = TimeSeries::new();
+        s.push(at(2), 1u64);
+        s.push(at(1), 2);
+    }
+}

@@ -12,6 +12,7 @@ use std::fmt;
 #[derive(Debug, Clone, Default)]
 pub struct RunningStats {
     n: u64,
+    skipped: u64,
     mean: f64,
     m2: f64,
     min: f64,
@@ -21,12 +22,24 @@ pub struct RunningStats {
 impl RunningStats {
     /// Empty accumulator.
     pub fn new() -> Self {
-        RunningStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningStats {
+            n: 0,
+            skipped: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
-    /// Add one observation.
+    /// Add one observation. A non-finite observation (NaN, ±inf) would
+    /// corrupt the mean/min/max permanently, so it is skipped and
+    /// counted in [`RunningStats::skipped`] instead of accumulated.
     pub fn push(&mut self, x: f64) {
-        debug_assert!(x.is_finite(), "non-finite observation");
+        if !x.is_finite() {
+            self.skipped += 1;
+            return;
+        }
         self.n += 1;
         let delta = x - self.mean;
         self.mean += delta / self.n as f64;
@@ -45,6 +58,11 @@ impl RunningStats {
     /// Number of observations so far.
     pub fn count(&self) -> u64 {
         self.n
+    }
+
+    /// Non-finite observations rejected by [`RunningStats::push`].
+    pub fn skipped(&self) -> u64 {
+        self.skipped
     }
 
     /// Mean of observations (0 when empty).
@@ -120,14 +138,17 @@ impl fmt::Display for Summary {
 
 /// Percentile of a sample via linear interpolation (p in `[0, 100]`).
 ///
-/// Sorts a copy; fine for harness-sized samples.
+/// Non-finite samples are filtered out (matching
+/// [`RunningStats::push`]) rather than panicking the comparison sort;
+/// a slice with no finite samples reads as 0.0. Sorts a copy; fine
+/// for harness-sized samples.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     assert!((0.0..=100.0).contains(&p), "percentile out of range");
-    if xs.is_empty() {
+    let mut v: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
         return 0.0;
     }
-    let mut v: Vec<f64> = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+    v.sort_by(|a, b| a.partial_cmp(b).expect("filtered samples are comparable"));
     if v.len() == 1 {
         return v[0];
     }
@@ -174,6 +195,35 @@ mod tests {
         assert_eq!(percentile(&xs, 25.0), 2.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
         assert_eq!(percentile(&[7.0], 90.0), 7.0);
+    }
+
+    #[test]
+    fn non_finite_observations_skipped_and_counted() {
+        let mut s = RunningStats::new();
+        s.push(1.0);
+        s.push(f64::NAN);
+        s.push(3.0);
+        s.push(f64::INFINITY);
+        s.push(f64::NEG_INFINITY);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.skipped(), 3);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 3.0);
+        // The frozen summary is untouched by the skipped samples.
+        let frozen = s.summary();
+        assert_eq!(frozen.n, 2);
+        assert!(frozen.mean.is_finite() && frozen.stdev.is_finite());
+    }
+
+    #[test]
+    fn percentile_filters_non_finite() {
+        let xs = [1.0, f64::NAN, 2.0, f64::INFINITY, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        // All-non-finite degrades to zero, like an empty sample.
+        assert_eq!(percentile(&[f64::NAN, f64::INFINITY], 50.0), 0.0);
     }
 
     #[test]

@@ -211,11 +211,16 @@ impl BitRate {
 
     /// Time to serialise `bytes` at this rate.
     ///
+    /// Rounds *up* to the next nanosecond: rounding to nearest would
+    /// let a small burst serialise faster than line rate (up to half a
+    /// nanosecond early per burst, compounding into a link that beats
+    /// its own capacity over millions of back-to-back bursts).
+    ///
     /// A zero rate would take forever; callers must not ask.
     #[inline]
     pub fn serialize_time(self, bytes: Bytes) -> SimDuration {
         assert!(self.0 > 0.0, "cannot serialise at zero rate");
-        SimDuration::from_nanos((bytes.bits() as f64 / self.0 * 1e9).round() as u64)
+        SimDuration::from_nanos((bytes.bits() as f64 / self.0 * 1e9).ceil() as u64)
     }
 
     /// Bytes transferred in `dur` at this rate.
@@ -304,6 +309,38 @@ mod tests {
         // 64 KiB at 100 Gbps = 65536*8 / 100e9 s = 5.24288 us.
         let t = BitRate::gbps(100.0).serialize_time(Bytes::kib(64));
         assert_eq!(t.as_nanos(), 5_243);
+    }
+
+    #[test]
+    fn serialize_time_rounds_up_not_to_nearest() {
+        // 1464 B at 100 Gbps = 117.12 ns: round-to-nearest would say
+        // 117 ns, i.e. an effective 100.1 Gbps — faster than the link.
+        let t = BitRate::gbps(100.0).serialize_time(Bytes::new(1464));
+        assert_eq!(t.as_nanos(), 118);
+    }
+
+    #[test]
+    fn back_to_back_bursts_never_beat_link_capacity() {
+        // Property: for any (rate, burst) combination, N back-to-back
+        // serialisations take at least as long as the exact time for
+        // N bursts, so the effective rate never exceeds the link rate.
+        let rates = [1.0, 10.0, 25.0, 100.0, 200.0, 400.0];
+        let sizes: [u64; 6] = [64, 1464, 1500, 9000, 65_536, 150_000];
+        const N: u64 = 1_000_000;
+        for gbps in rates {
+            let rate = BitRate::gbps(gbps);
+            for size in sizes {
+                let burst = Bytes::new(size);
+                let per_burst = rate.serialize_time(burst).as_nanos();
+                let total_ns = per_burst * N;
+                let exact_ns = burst.bits() as f64 * N as f64 / rate.as_bps() * 1e9;
+                assert!(
+                    total_ns as f64 >= exact_ns,
+                    "{N} x {size} B at {gbps} Gbps serialised in {total_ns} ns, \
+                     beating the {exact_ns:.0} ns the link needs"
+                );
+            }
+        }
     }
 
     #[test]

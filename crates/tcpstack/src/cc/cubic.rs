@@ -25,6 +25,13 @@ pub const C: f64 = 0.4;
 pub const SS_PACING_RATIO: f64 = 2.0;
 /// Congestion-avoidance pacing ratio (`tcp_pacing_ca_ratio` = 120 %).
 pub const CA_PACING_RATIO: f64 = 1.2;
+/// HyStart++ RTT-rise threshold floor, `MIN_RTT_THRESH` (RFC 9406 §4.2).
+pub const HYSTART_MIN_RTT_THRESH: SimDuration = SimDuration::from_millis(4);
+/// HyStart++ RTT-rise threshold cap, `MAX_RTT_THRESH` (RFC 9406 §4.2).
+/// Without the cap, an RTT/8 rise on a long path (≥128 ms floor) asks
+/// for more standing queue than the bottleneck buffer holds, and CSS
+/// effectively never triggers.
+pub const HYSTART_MAX_RTT_THRESH: SimDuration = SimDuration::from_millis(16);
 
 /// CUBIC state.
 #[derive(Debug)]
@@ -89,7 +96,10 @@ impl Cubic {
                 self.hystart_min_rtt.unwrap()
             }
         };
-        let thresh = floor + (floor / 8).max(SimDuration::from_millis(4));
+        // RFC 9406: RttThresh = clamp(MIN_RTT_THRESH, baseRTT/8,
+        // MAX_RTT_THRESH) — both clamps, not just the lower one.
+        let thresh =
+            floor + (floor / 8).max(HYSTART_MIN_RTT_THRESH).min(HYSTART_MAX_RTT_THRESH);
         if !self.in_slow_start() {
             return;
         }
@@ -210,6 +220,12 @@ impl CongestionControl for Cubic {
         self.cwnd
     }
 
+    fn ssthresh(&self) -> Option<Bytes> {
+        // u64::MAX is the "not yet set" sentinel, i.e. Linux's
+        // TCP_INFINITE_SSTHRESH.
+        (self.ssthresh.as_u64() != u64::MAX).then_some(self.ssthresh)
+    }
+
     fn in_slow_start(&self) -> bool {
         !self.exited_slow_start && self.cwnd < self.ssthresh
     }
@@ -321,6 +337,73 @@ mod tests {
         let before = c.cwnd();
         c.on_ack(before, Some(base), SimTime::ZERO, before, true);
         assert_eq!(c.cwnd(), before + before);
+    }
+
+    #[test]
+    fn hystart_threshold_capped_at_16ms_on_104ms_path() {
+        // RFC 9406 clamps the RTT-rise threshold to [4 ms, 16 ms].
+        // On the paper's 104 ms AmLight path the uncapped floor/8 rule
+        // gives 13 ms, so a 17 ms standing queue must trigger CSS.
+        let mut c = cubic();
+        let floor = SimDuration::from_millis(104);
+        c.on_ack(c.cwnd(), Some(floor), SimTime::ZERO, c.cwnd(), true);
+        assert!(c.in_slow_start());
+        let inflated = floor + SimDuration::from_millis(17);
+        let before = c.cwnd();
+        c.on_ack(before, Some(inflated), SimTime::ZERO, before, true);
+        let grown = c.cwnd() - before;
+        assert!(grown < before / 2, "17 ms of queue at 104 ms floor must enter CSS");
+    }
+
+    #[test]
+    fn hystart_threshold_cap_binds_beyond_128ms_floors() {
+        // At a 200 ms floor, floor/8 = 25 ms: without the 16 ms cap a
+        // 17 ms rise would be ignored and CSS would effectively never
+        // trigger on long paths.
+        let mut c = cubic();
+        let floor = SimDuration::from_millis(200);
+        c.on_ack(c.cwnd(), Some(floor), SimTime::ZERO, c.cwnd(), true);
+        let inflated = floor + SimDuration::from_millis(17);
+        let before = c.cwnd();
+        c.on_ack(before, Some(inflated), SimTime::ZERO, before, true);
+        let grown = c.cwnd() - before;
+        assert!(grown < before / 2, "16 ms cap must bind on a 200 ms floor");
+        // A rise below the cap still doubles at full rate.
+        let mut c2 = cubic();
+        c2.on_ack(c2.cwnd(), Some(floor), SimTime::ZERO, c2.cwnd(), true);
+        let mild = floor + SimDuration::from_millis(10);
+        let before2 = c2.cwnd();
+        c2.on_ack(before2, Some(mild), SimTime::ZERO, before2, true);
+        assert_eq!(c2.cwnd(), before2 + before2, "below-threshold rise stays in slow start");
+    }
+
+    #[test]
+    fn hystart_lower_clamp_still_4ms() {
+        // Short floor (8 ms): floor/8 = 1 ms clamps up to 4 ms, so a
+        // 3 ms rise is tolerated and a 5 ms rise enters CSS.
+        let mut c = cubic();
+        let floor = SimDuration::from_millis(8);
+        c.on_ack(c.cwnd(), Some(floor), SimTime::ZERO, c.cwnd(), true);
+        let before = c.cwnd();
+        c.on_ack(before, Some(floor + SimDuration::from_millis(3)), SimTime::ZERO, before, true);
+        assert_eq!(c.cwnd(), before + before, "3 ms rise under the 4 ms clamp");
+        let before2 = c.cwnd();
+        c.on_ack(
+            before2,
+            Some(floor + SimDuration::from_millis(5)),
+            SimTime::ZERO,
+            before2,
+            true,
+        );
+        assert!(c.cwnd() - before2 < before2 / 2, "5 ms rise over the clamp enters CSS");
+    }
+
+    #[test]
+    fn ssthresh_reported_after_loss_only() {
+        let mut c = cubic();
+        assert_eq!(c.ssthresh(), None, "pre-loss ssthresh is infinite");
+        c.on_loss(SimTime::ZERO);
+        assert_eq!(c.ssthresh(), Some(c.cwnd()), "post-loss ssthresh = reduced cwnd");
     }
 
     #[test]

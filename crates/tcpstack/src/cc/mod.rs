@@ -72,6 +72,13 @@ pub trait CongestionControl: std::fmt::Debug + Send {
     /// Current congestion window in bytes.
     fn cwnd(&self) -> Bytes;
 
+    /// Slow-start threshold, for `ss -tin`-style telemetry. `None`
+    /// when the algorithm has no meaningful ssthresh yet (pre-loss
+    /// CUBIC reports TCP_INFINITE_SSTHRESH; model-based BBR has none).
+    fn ssthresh(&self) -> Option<Bytes> {
+        None
+    }
+
     /// Whether the algorithm is still in its startup phase.
     fn in_slow_start(&self) -> bool;
 
