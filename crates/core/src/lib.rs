@@ -88,10 +88,10 @@ mod tests {
 
     #[test]
     fn experiment_registry_is_complete() {
-        assert_eq!(ExperimentId::ALL.len(), 17);
+        assert_eq!(ExperimentId::ALL.len(), 18);
         let names: Vec<&str> = ExperimentId::ALL.iter().map(|e| e.name()).collect();
         for figure in
-            ["fig04", "fig05", "fig10", "table1", "table3", "ext_hw_gro", "ext_faults", "ext_telemetry"]
+            ["fig04", "fig05", "fig10", "table1", "table3", "ext_hw_gro", "ext_faults", "ext_telemetry", "ext_bottleneck"]
         {
             assert!(names.contains(&figure), "{figure} missing from registry");
         }

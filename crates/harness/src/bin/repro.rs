@@ -100,8 +100,9 @@ fn run_one(id: ExperimentId, effort: Effort) {
 
 fn usage() {
     eprintln!(
-        "usage: repro [--trace <dir>] [list | all | ablations | fig04..fig13 | table1..table3 | ext_hw_gro | ext_bigtcp_zc | ext_faults | ext_telemetry]...\n\
+        "usage: repro [--trace <dir>] [list | all | ablations | fig04..fig13 | table1..table3 | ext_hw_gro | ext_bigtcp_zc | ext_faults | ext_telemetry | ext_bottleneck]...\n\
          flags:       --trace <dir> to write per-repetition JSON-lines telemetry traces\n\
+                      (plus .folded/.perf.txt cycle profiles per repetition)\n\
          environment: REPRO_EFFORT=smoke|standard|full (default standard)\n\
                       REPRO_CSV_DIR=<dir> to also dump CSV data files\n\
                       REPRO_TRACE_DIR=<dir> same as --trace"

@@ -28,6 +28,15 @@ pub fn run_or_empty(harness: &TestHarness, sc: &Scenario) -> TestSummary {
     })
 }
 
+/// Record a scenario whose *result* was wrong (e.g. a bottleneck
+/// verdict that contradicts the narrative it reproduces) even though
+/// the run itself survived. Counts toward [`failed_scenario_count`],
+/// so the `repro` binary exits non-zero.
+pub fn record_scenario_failure(label: &str, why: impl std::fmt::Display) {
+    FAILED_SCENARIOS.fetch_add(1, Ordering::Relaxed);
+    eprintln!("warning: scenario '{label}': {why}");
+}
+
 /// Run a grid of scenarios (series × x-positions) and assemble a
 /// throughput figure. `grid[s][x]` is the scenario for series `s` at
 /// x-position `x`.

@@ -23,9 +23,11 @@
 //! | [`extensions::bigtcp_zerocopy`] | §V-C — BIG TCP + zerocopy custom kernel |
 //! | [`extensions::fault_recovery`] | robustness — recovery from injected faults |
 //! | [`telemetry::timeline`] | §III-G — ss/ethtool/mpstat timeline on the ESnet WAN |
+//! | [`bottleneck::diagnosis`] | diagnosis narratives vs the attribution engine |
 //! | [`ablations`] | design-choice ablations (affinity, IOMMU, ring, CC, MTU, sysctls) |
 
 pub mod ablations;
+pub mod bottleneck;
 pub mod common;
 pub mod extensions;
 pub mod figures;
@@ -112,11 +114,13 @@ pub enum ExperimentId {
     ExtFaults,
     /// §III-G: ss/ethtool/mpstat-style telemetry timeline.
     ExtTelemetry,
+    /// Diagnosis narratives vs the bottleneck-attribution engine.
+    ExtBottleneck,
 }
 
 impl ExperimentId {
     /// All paper artefacts in order of appearance.
-    pub const ALL: [ExperimentId; 17] = [
+    pub const ALL: [ExperimentId; 18] = [
         ExperimentId::Fig04,
         ExperimentId::Fig05,
         ExperimentId::Fig06,
@@ -134,6 +138,7 @@ impl ExperimentId {
         ExperimentId::ExtBigTcpZc,
         ExperimentId::ExtFaults,
         ExperimentId::ExtTelemetry,
+        ExperimentId::ExtBottleneck,
     ];
 
     /// Short name ("fig05", "table1", …).
@@ -156,6 +161,7 @@ impl ExperimentId {
             ExperimentId::ExtBigTcpZc => "ext_bigtcp_zc",
             ExperimentId::ExtFaults => "ext_faults",
             ExperimentId::ExtTelemetry => "ext_telemetry",
+            ExperimentId::ExtBottleneck => "ext_bottleneck",
         }
     }
 
@@ -179,6 +185,7 @@ impl ExperimentId {
             ExperimentId::ExtBigTcpZc => Artifact::Figures(extensions::bigtcp_zerocopy(effort)),
             ExperimentId::ExtFaults => Artifact::Figures(extensions::fault_recovery(effort)),
             ExperimentId::ExtTelemetry => Artifact::Table(telemetry::timeline(effort)),
+            ExperimentId::ExtBottleneck => Artifact::Table(bottleneck::diagnosis(effort)),
         }
     }
 

@@ -15,7 +15,10 @@
 //! * [`render`] — ASCII tables and grouped bar charts for terminal
 //!   reports.
 //! * [`trace`] — JSON-lines telemetry traces (`--trace <dir>`), one
-//!   file per surviving repetition.
+//!   file per surviving repetition, plus simulated-`perf` profile
+//!   files when attribution ran.
+//! * [`profile`] — folded-stack and `perf report` renderings of a
+//!   run's per-stage cycle profiles.
 //! * [`experiments`] — one module per table/figure of the paper, plus
 //!   the §V-C future-work extensions and the ablations called out in
 //!   DESIGN.md.
@@ -27,6 +30,7 @@
 
 pub mod effort;
 pub mod experiments;
+pub mod profile;
 pub mod render;
 pub mod runner;
 pub mod scenario;

@@ -1,0 +1,157 @@
+//! Simulated `perf` output: folded stacks and a `perf report` table.
+//!
+//! The paper's workflow for "why is this flow slow?" is to run `perf`
+//! alongside iperf3 and read where the cycles went (copies, checksums,
+//! softirq). The attribution engine's [`StageProfile`] carries the
+//! same information for a simulated run; this module renders it in the
+//! two formats that workflow expects:
+//!
+//! * **folded stacks** — `host;core;stage <cycles>` lines, the input
+//!   format of Brendan Gregg's `flamegraph.pl` / `inferno`, so a trace
+//!   directory turns into a flame graph with one shell pipe;
+//! * **`perf report` table** — stage rows sorted by overhead, like
+//!   `perf report --stdio --sort cpu,sym`.
+
+use iperf3sim::Iperf3Report;
+use linuxhost::Stage;
+use netsim::StageProfile;
+use std::fmt::Write as _;
+
+/// The two hosts of a run, in render order.
+fn hosts(report: &Iperf3Report) -> Option<[(&'static str, &StageProfile); 2]> {
+    let attr = report.attribution.as_ref()?;
+    Some([("sender", &attr.sender_profile), ("receiver", &attr.receiver_profile)])
+}
+
+/// Folded-stack lines (`host;core;stage <cycles>`), one per non-idle
+/// (host, core, stage) triple. `None` when the report carries no
+/// attribution. Cycle counts use each host's own cost-model clock, so
+/// a 2.8 GHz receiver and a 3.1 GHz sender fold honestly.
+pub fn folded_stacks(report: &Iperf3Report) -> Option<String> {
+    let mut out = String::with_capacity(1024);
+    for (host, profile) in hosts(report)? {
+        for core in &profile.cores {
+            for stage in Stage::ALL {
+                let cycles = profile.cycles(core.stage_busy[stage.index()]);
+                if cycles > 0 {
+                    let _ = writeln!(out, "{host};{};{} {cycles}", core.role, stage.name());
+                }
+            }
+        }
+    }
+    Some(out)
+}
+
+/// One row of the [`perf_report`] table.
+struct Row {
+    host: &'static str,
+    core: String,
+    stage: &'static str,
+    cycles: u64,
+}
+
+/// A `perf report --stdio`-style table over both hosts: one row per
+/// non-idle (host, core, stage) triple, sorted by overhead descending.
+/// Overhead is the share of all busy cycles in the run (both hosts
+/// combined), like `perf report` over a whole-system record. `None`
+/// when the report carries no attribution.
+pub fn perf_report(report: &Iperf3Report) -> Option<String> {
+    let mut rows: Vec<Row> = Vec::new();
+    for (host, profile) in hosts(report)? {
+        for core in &profile.cores {
+            for stage in Stage::ALL {
+                let cycles = profile.cycles(core.stage_busy[stage.index()]);
+                if cycles > 0 {
+                    rows.push(Row { host, core: core.role.clone(), stage: stage.name(), cycles });
+                }
+            }
+        }
+    }
+    rows.sort_by_key(|r| std::cmp::Reverse(r.cycles));
+    let total: u64 = rows.iter().map(|r| r.cycles).sum();
+    let mut out = String::with_capacity(1024);
+    let _ = writeln!(out, "# Overhead        Cycles  Host      Core    Stage");
+    let _ = writeln!(out, "# ........  ............  ........  ......  ...........");
+    for r in &rows {
+        let pct = if total > 0 { r.cycles as f64 / total as f64 * 100.0 } else { 0.0 };
+        let _ = writeln!(
+            out,
+            "   {pct:6.2}%  {:>12}  {:<8}  {:<6}  {}",
+            r.cycles, r.host, r.core, r.stage
+        );
+    }
+    if let Some(v) = report.attribution.as_ref().and_then(|a| a.verdict.as_ref()) {
+        let _ = writeln!(
+            out,
+            "#\n# bottleneck: {} ({:.0}% of {} interval(s))",
+            v.primary.name(),
+            v.primary_share() * 100.0,
+            v.intervals
+        );
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbeds::{EsnetPath, Testbeds};
+    use iperf3sim::Iperf3Opts;
+    use linuxhost::KernelVersion;
+
+    fn attributed_report() -> Iperf3Report {
+        let host = Testbeds::esnet_host(KernelVersion::L6_8);
+        let path = Testbeds::esnet_path(EsnetPath::Lan);
+        let opts = Iperf3Opts::new(2).omit(0).attribution();
+        iperf3sim::run(&host, &host, &path, &opts).expect("run")
+    }
+
+    #[test]
+    fn unattributed_report_renders_nothing() {
+        let host = Testbeds::esnet_host(KernelVersion::L6_8);
+        let path = Testbeds::esnet_path(EsnetPath::Lan);
+        let report =
+            iperf3sim::run(&host, &host, &path, &Iperf3Opts::new(2).omit(0)).expect("run");
+        assert!(folded_stacks(&report).is_none());
+        assert!(perf_report(&report).is_none());
+    }
+
+    #[test]
+    fn folded_stacks_cover_both_hosts_and_sum_positive() {
+        let report = attributed_report();
+        let folded = folded_stacks(&report).expect("attribution present");
+        assert!(!folded.is_empty());
+        let mut total: u64 = 0;
+        let mut hosts_seen = std::collections::BTreeSet::new();
+        for line in folded.lines() {
+            let (stack, count) = line.rsplit_once(' ').expect("`stack count` shape");
+            let parts: Vec<&str> = stack.split(';').collect();
+            assert_eq!(parts.len(), 3, "host;core;stage: {line}");
+            hosts_seen.insert(parts[0].to_string());
+            total += count.parse::<u64>().expect("cycle count");
+        }
+        assert!(hosts_seen.contains("sender") && hosts_seen.contains("receiver"), "{hosts_seen:?}");
+        assert!(total > 0);
+        // A busy LAN run books the big stages on both sides.
+        assert!(folded.contains("tx_app"), "{folded}");
+        assert!(folded.contains("rx_softirq"), "{folded}");
+    }
+
+    #[test]
+    fn perf_report_sorted_by_overhead_and_names_bottleneck() {
+        let report = attributed_report();
+        let table = perf_report(&report).expect("attribution present");
+        assert!(table.contains("# Overhead"));
+        assert!(table.contains("# bottleneck: "), "{table}");
+        // Overhead percentages are sorted descending and sum to ~100.
+        let pcts: Vec<f64> = table
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .filter_map(|l| l.split_whitespace().next()?.strip_suffix('%')?.parse().ok())
+            .collect();
+        assert!(pcts.len() >= 4, "{table}");
+        assert!(pcts.windows(2).all(|w| w[0] >= w[1]), "{pcts:?}");
+        let sum: f64 = pcts.iter().sum();
+        assert!((sum - 100.0).abs() < 1.0, "sum {sum}: {table}");
+    }
+}

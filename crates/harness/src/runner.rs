@@ -145,9 +145,10 @@ pub struct TestHarness {
     pub base_seed: u64,
     /// Run repetitions on parallel threads.
     pub parallel: bool,
-    /// Write a JSON-lines telemetry trace per surviving repetition
-    /// into this directory (the `--trace <dir>` flag; also settable
-    /// via `REPRO_TRACE_DIR`). Forces telemetry sampling on.
+    /// Write a JSON-lines telemetry trace plus simulated-`perf`
+    /// profile files per surviving repetition into this directory (the
+    /// `--trace <dir>` flag; also settable via `REPRO_TRACE_DIR`).
+    /// Forces telemetry sampling and bottleneck attribution on.
     pub trace_dir: Option<PathBuf>,
 }
 
@@ -191,8 +192,9 @@ impl TestHarness {
         self
     }
 
-    /// Builder: write per-repetition JSON-lines telemetry traces into
-    /// `dir` (forces telemetry sampling on for every run).
+    /// Builder: write per-repetition JSON-lines telemetry traces and
+    /// simulated-`perf` profiles into `dir` (forces telemetry sampling
+    /// and attribution on for every run).
     pub fn with_trace_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.trace_dir = Some(dir.into());
         self
@@ -276,6 +278,13 @@ impl TestHarness {
                         scenario.label
                     );
                 }
+                if let Err(e) = crate::trace::write_rep_profiles(dir, &scenario.label, *i, report)
+                {
+                    eprintln!(
+                        "warning: could not write profiles for '{}' rep {i}: {e}",
+                        scenario.label
+                    );
+                }
             }
         }
         let reports = reports.into_iter().map(|(_, _, r)| r).collect();
@@ -310,9 +319,13 @@ impl TestHarness {
     fn attempt(&self, scenario: &Scenario, seed: u64) -> Result<Iperf3Report, RunError> {
         let mut opts = scenario.opts.clone().seed(seed);
         // Tracing needs samples: default to a 1 s tick unless the
-        // scenario already chose one.
-        if self.trace_dir.is_some() && opts.telemetry.is_none() {
-            opts = opts.telemetry(SimDuration::from_secs(1));
+        // scenario already chose one, and turn on attribution so the
+        // trace carries verdicts and the profile files have cycles.
+        if self.trace_dir.is_some() {
+            if opts.telemetry.is_none() {
+                opts = opts.telemetry(SimDuration::from_secs(1));
+            }
+            opts = opts.attribution();
         }
         iperf3sim::run_with_faults(
             &scenario.client,
@@ -463,14 +476,25 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("repro_trace_{}", std::process::id()));
         let s = TestHarness::new(2).with_trace_dir(&dir).run(&scenario()).expect("run");
         assert_eq!(s.reports.len(), 2);
-        // Tracing forces telemetry sampling on.
+        // Tracing forces telemetry sampling and attribution on.
         assert!(s.reports.iter().all(|r| r.telemetry.is_some()));
+        assert!(s.reports.iter().all(|r| r.attribution.is_some()));
         let mut files: Vec<String> = std::fs::read_dir(&dir)
             .expect("trace dir created")
             .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
             .collect();
         files.sort();
-        assert_eq!(files, vec!["default_rep0.jsonl", "default_rep1.jsonl"]);
+        assert_eq!(
+            files,
+            vec![
+                "default_rep0.folded",
+                "default_rep0.jsonl",
+                "default_rep0.perf.txt",
+                "default_rep1.folded",
+                "default_rep1.jsonl",
+                "default_rep1.perf.txt",
+            ]
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -4,8 +4,14 @@
 //! `<label>_rep<i>.jsonl`. Each file starts with a `meta` line, then
 //! one `flow` line per flow sample (the `ss -tin` stream) and one
 //! `host` line per host sample (the `ethtool -S` + `mpstat` stream).
-//! Every line is a self-contained JSON object so the files pipe
-//! straight into `jq`/pandas without a streaming parser.
+//! When the run carried bottleneck attribution, one `verdict` line per
+//! classified interval and a closing `bottleneck` roll-up follow, and
+//! two profile files ride along per repetition:
+//! `<label>_rep<i>.folded` (flame-graph input) and
+//! `<label>_rep<i>.perf.txt` (a `perf report`-style table) — see
+//! [`crate::profile`]. Every JSONL line is a self-contained JSON
+//! object so the files pipe straight into `jq`/pandas without a
+//! streaming parser.
 
 use iperf3sim::Iperf3Report;
 use simcore::SimTime;
@@ -30,21 +36,26 @@ fn secs(t: SimTime) -> f64 {
 }
 
 /// Render one repetition's trace as JSON lines. `None` when the report
-/// carries no telemetry (the run was not sampled).
+/// carries neither telemetry nor attribution (nothing was sampled).
 pub fn render_jsonl(
     label: &str,
     rep: usize,
     seed: u64,
     report: &Iperf3Report,
 ) -> Option<String> {
-    let telemetry = report.telemetry.as_ref()?;
+    let telemetry = report.telemetry.as_ref();
+    let attribution = report.attribution.as_ref();
+    if telemetry.is_none() && attribution.is_none() {
+        return None;
+    }
     let mut out = String::with_capacity(4096);
+    let tick_s =
+        telemetry.map_or("null".into(), |t| format!("{}", t.tick.as_secs_f64()));
     out.push_str(&format!(
-        "{{\"type\":\"meta\",\"label\":{label:?},\"rep\":{rep},\"seed\":{seed},\"tick_s\":{},\"command\":{:?}}}\n",
-        telemetry.tick.as_secs_f64(),
+        "{{\"type\":\"meta\",\"label\":{label:?},\"rep\":{rep},\"seed\":{seed},\"tick_s\":{tick_s},\"command\":{:?}}}\n",
         report.command,
     ));
-    for flow in &telemetry.flows {
+    for flow in telemetry.map(|t| t.flows.as_slice()).unwrap_or_default() {
         for (t, s) in flow.samples.iter() {
             let ssthresh = s
                 .ssthresh
@@ -52,8 +63,10 @@ pub fn render_jsonl(
             let srtt_us = s
                 .srtt
                 .map_or("null".into(), |d| format!("{:.1}", d.as_secs_f64() * 1e6));
+            let limiting =
+                s.limiting.map_or("null".into(), |v| format!("{:?}", v.name()));
             out.push_str(&format!(
-                "{{\"type\":\"flow\",\"flow\":{},\"t_s\":{:.3},\"cwnd_bytes\":{},\"ssthresh_bytes\":{ssthresh},\"srtt_us\":{srtt_us},\"pacing_gbps\":{:.3},\"ca_state\":\"{}\",\"bytes_retrans\":{},\"retr_packets\":{},\"delivered_bytes\":{},\"interval_bytes\":{}}}\n",
+                "{{\"type\":\"flow\",\"flow\":{},\"t_s\":{:.3},\"cwnd_bytes\":{},\"ssthresh_bytes\":{ssthresh},\"srtt_us\":{srtt_us},\"pacing_gbps\":{:.3},\"ca_state\":\"{}\",\"bytes_retrans\":{},\"retr_packets\":{},\"delivered_bytes\":{},\"interval_bytes\":{},\"limiting\":{limiting}}}\n",
                 flow.id,
                 secs(t),
                 s.cwnd.as_u64(),
@@ -66,23 +79,42 @@ pub fn render_jsonl(
             ));
         }
     }
-    for (t, s) in telemetry.host.samples.iter() {
-        let fmt_cores = |cores: &[f64]| {
-            let parts: Vec<String> = cores.iter().map(|c| format!("{c:.2}")).collect();
-            format!("[{}]", parts.join(","))
-        };
-        out.push_str(&format!(
-            "{{\"type\":\"host\",\"t_s\":{:.3},\"ring_drops\":{},\"switch_drops\":{},\"random_drops\":{},\"fault_drops\":{},\"pause_frames\":{},\"wire_sent\":{},\"snd_core_busy_pct\":{},\"rcv_core_busy_pct\":{}}}\n",
-            secs(t),
-            s.ring_drops,
-            s.switch_drops,
-            s.random_drops,
-            s.fault_drops,
-            s.pause_frames,
-            s.wire_sent,
-            fmt_cores(&s.sender_core_busy),
-            fmt_cores(&s.receiver_core_busy),
-        ));
+    if let Some(telemetry) = telemetry {
+        for (t, s) in telemetry.host.samples.iter() {
+            let fmt_cores = |cores: &[f64]| {
+                let parts: Vec<String> = cores.iter().map(|c| format!("{c:.2}")).collect();
+                format!("[{}]", parts.join(","))
+            };
+            out.push_str(&format!(
+                "{{\"type\":\"host\",\"t_s\":{:.3},\"ring_drops\":{},\"switch_drops\":{},\"random_drops\":{},\"fault_drops\":{},\"pause_frames\":{},\"wire_sent\":{},\"snd_core_busy_pct\":{},\"rcv_core_busy_pct\":{}}}\n",
+                secs(t),
+                s.ring_drops,
+                s.switch_drops,
+                s.random_drops,
+                s.fault_drops,
+                s.pause_frames,
+                s.wire_sent,
+                fmt_cores(&s.sender_core_busy),
+                fmt_cores(&s.receiver_core_busy),
+            ));
+        }
+    }
+    if let Some(attr) = attribution {
+        for (t, v) in &attr.verdicts {
+            out.push_str(&format!(
+                "{{\"type\":\"verdict\",\"t_s\":{:.3},\"factor\":\"{}\"}}\n",
+                secs(*t),
+                v.name(),
+            ));
+        }
+        if let Some(v) = &attr.verdict {
+            out.push_str(&format!(
+                "{{\"type\":\"bottleneck\",\"factor\":\"{}\",\"share\":{:.3},\"intervals\":{}}}\n",
+                v.primary.name(),
+                v.primary_share(),
+                v.intervals,
+            ));
+        }
     }
     Some(out)
 }
@@ -105,6 +137,30 @@ pub fn write_rep_trace(
     let mut file = std::fs::File::create(&path)?;
     file.write_all(body.as_bytes())?;
     Ok(Some(path))
+}
+
+/// Write one repetition's simulated-`perf` profiles into `dir`:
+/// `<label>_rep<i>.folded` (flame-graph input) and
+/// `<label>_rep<i>.perf.txt` (the `perf report` table). Returns the
+/// paths written, or `None` when the report carries no attribution.
+pub fn write_rep_profiles(
+    dir: &Path,
+    label: &str,
+    rep: usize,
+    report: &Iperf3Report,
+) -> std::io::Result<Option<(PathBuf, PathBuf)>> {
+    let (Some(folded), Some(table)) =
+        (crate::profile::folded_stacks(report), crate::profile::perf_report(report))
+    else {
+        return Ok(None);
+    };
+    std::fs::create_dir_all(dir)?;
+    let stem = sanitize_label(label);
+    let folded_path = dir.join(format!("{stem}_rep{rep}.folded"));
+    std::fs::write(&folded_path, folded)?;
+    let perf_path = dir.join(format!("{stem}_rep{rep}.perf.txt"));
+    std::fs::write(&perf_path, table)?;
+    Ok(Some((folded_path, perf_path)))
 }
 
 #[cfg(test)]
@@ -155,7 +211,64 @@ mod tests {
         assert!(render_jsonl("x", 0, 1, &report).is_none());
         let dir = std::env::temp_dir().join(format!("trace_none_{}", std::process::id()));
         assert!(write_rep_trace(&dir, "x", 0, 1, &report).expect("io").is_none());
+        assert!(write_rep_profiles(&dir, "x", 0, &report).expect("io").is_none());
         assert!(!dir.exists(), "no telemetry must create no directory");
+    }
+
+    #[test]
+    fn attribution_only_report_renders_verdict_lines() {
+        // Attribution without telemetry still produces a trace: meta,
+        // per-interval verdicts, and the bottleneck roll-up.
+        let host = Testbeds::esnet_host(KernelVersion::L6_8);
+        let path = Testbeds::esnet_path(EsnetPath::Lan);
+        let report = iperf3sim::run(&host, &host, &path, &Iperf3Opts::new(2).omit(0).attribution())
+            .expect("run");
+        let body = render_jsonl("attr", 0, 1, &report).expect("attribution present");
+        let lines: Vec<&str> = body.lines().collect();
+        assert!(lines[0].starts_with("{\"type\":\"meta\""));
+        assert!(lines[0].contains("\"tick_s\":null"), "{}", lines[0]);
+        assert!(lines.iter().any(|l| l.starts_with("{\"type\":\"verdict\"")));
+        assert!(lines.last().unwrap().starts_with("{\"type\":\"bottleneck\""), "{body}");
+        assert!(!body.contains("\"type\":\"flow\""));
+        for line in &lines {
+            assert_eq!(line.matches('{').count(), line.matches('}').count(), "{line}");
+        }
+    }
+
+    #[test]
+    fn sampled_attributed_flow_lines_carry_limiting() {
+        let host = Testbeds::esnet_host(KernelVersion::L6_8);
+        let path = Testbeds::esnet_path(EsnetPath::Lan);
+        let opts =
+            Iperf3Opts::new(2).omit(0).telemetry(SimDuration::from_secs(1)).attribution();
+        let report = iperf3sim::run(&host, &host, &path, &opts).expect("run");
+        let body = render_jsonl("both", 0, 1, &report).expect("sampled");
+        assert!(body.lines().any(|l| {
+            l.starts_with("{\"type\":\"flow\"")
+                && l.contains("\"limiting\":\"")
+                && !l.contains("\"limiting\":null")
+        }), "{body}");
+        assert!(body.contains("\"type\":\"verdict\""));
+    }
+
+    #[test]
+    fn profile_files_written_per_repetition() {
+        let host = Testbeds::esnet_host(KernelVersion::L6_8);
+        let path = Testbeds::esnet_path(EsnetPath::Lan);
+        let report = iperf3sim::run(&host, &host, &path, &Iperf3Opts::new(2).omit(0).attribution())
+            .expect("run");
+        let dir = std::env::temp_dir().join(format!("profile_test_{}", std::process::id()));
+        let (folded, perf) = write_rep_profiles(&dir, "ESnet LAN", 1, &report)
+            .expect("io")
+            .expect("attribution present");
+        assert_eq!(folded.file_name().unwrap().to_str().unwrap(), "esnet_lan_rep1.folded");
+        assert_eq!(perf.file_name().unwrap().to_str().unwrap(), "esnet_lan_rep1.perf.txt");
+        let folded_body = std::fs::read_to_string(&folded).expect("read folded");
+        assert!(folded_body.lines().all(|l| l.contains(';') && l.rsplit(' ').next().is_some()));
+        assert!(!folded_body.trim().is_empty());
+        let perf_body = std::fs::read_to_string(&perf).expect("read perf");
+        assert!(perf_body.contains("# Overhead"));
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 
     #[test]

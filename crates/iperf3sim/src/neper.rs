@@ -169,6 +169,7 @@ pub fn run_tcp_stream(
         faults: netsim::FaultPlan::none(),
         event_budget: None,
         telemetry: None,
+        attribution: false,
     };
     let cfg = SimConfig { sender: client, receiver: server.clone(), path: path.clone(), workload };
     let problems = cfg.validate();

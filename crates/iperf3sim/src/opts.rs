@@ -33,6 +33,12 @@ pub struct Iperf3Opts {
     /// substitute for running `ss`/`ethtool`/`mpstat` alongside the
     /// test, §III-G). `None` disables sampling.
     pub telemetry: Option<SimDuration>,
+    /// Bottleneck attribution (not an iperf3 flag; the simulator's
+    /// substitute for running `perf` alongside the test and reading the
+    /// profiles). Adds per-interval limiting-factor verdicts and
+    /// per-stage cycle profiles to the report without changing the
+    /// traffic.
+    pub attribution: bool,
 }
 
 impl Default for Iperf3Opts {
@@ -49,6 +55,7 @@ impl Default for Iperf3Opts {
             congestion: CcAlgorithm::Cubic,
             seed: 1,
             telemetry: None,
+            attribution: false,
         }
     }
 }
@@ -111,6 +118,13 @@ impl Iperf3Opts {
     /// given tick.
     pub fn telemetry(mut self, tick: SimDuration) -> Self {
         self.telemetry = Some(tick);
+        self
+    }
+
+    /// Builder: enable bottleneck attribution (per-stage cycle ledgers
+    /// and per-interval limiting-factor verdicts).
+    pub fn attribution(mut self) -> Self {
+        self.attribution = true;
         self
     }
 

@@ -1,7 +1,7 @@
 //! iperf3-style result reports.
 
 use linuxhost::CpuReport;
-use netsim::{RunResult, Telemetry};
+use netsim::{Attribution, RunResult, Telemetry};
 use simcore::{BitRate, Bytes, SimDuration};
 use std::fmt;
 
@@ -38,6 +38,10 @@ pub struct Iperf3Report {
     /// `ss`/`ethtool`/`mpstat`-style time series, when the run sampled
     /// them (see [`crate::Iperf3Opts::telemetry`]).
     pub telemetry: Option<Telemetry>,
+    /// Bottleneck attribution (per-interval verdicts + stage profiles),
+    /// when the run enabled it (see
+    /// [`crate::Iperf3Opts::attribution`]).
+    pub attribution: Option<Attribution>,
 }
 
 impl Iperf3Report {
@@ -61,7 +65,17 @@ impl Iperf3Report {
             receiver_cpu: run.receiver_cpu.clone(),
             zc_fallback_fraction: run.zc_fallback_fraction(),
             telemetry: run.telemetry.clone(),
+            attribution: run.attribution.clone(),
         }
+    }
+
+    /// The whole-run bottleneck verdict name, when attribution ran and
+    /// classified at least one interval.
+    pub fn bottleneck(&self) -> Option<&'static str> {
+        self.attribution
+            .as_ref()
+            .and_then(|a| a.verdict.as_ref())
+            .map(|v| v.primary.name())
     }
 
     /// Aggregate bitrate (the `[SUM]` line).
@@ -145,9 +159,13 @@ impl Iperf3Report {
             self.receiver_cpu.combined_pct()
         ));
         out.push_str(&format!(
-            "    \"zerocopy_fallback_fraction\": {:.4}\n  }}\n}}\n",
+            "    \"zerocopy_fallback_fraction\": {:.4}",
             self.zc_fallback_fraction
         ));
+        if let Some(b) = self.bottleneck() {
+            out.push_str(&format!(",\n    \"bottleneck\": {b:?}"));
+        }
+        out.push_str("\n  }\n}\n");
         out
     }
 }
@@ -181,7 +199,16 @@ impl fmt::Display for Iperf3Report {
             "CPU: local {:.0}%, remote {:.0}%",
             self.sender_cpu.combined_pct(),
             self.receiver_cpu.combined_pct()
-        )
+        )?;
+        if let Some(v) = self.attribution.as_ref().and_then(|a| a.verdict.as_ref()) {
+            writeln!(
+                f,
+                "Bottleneck: {} ({:.0}% of intervals)",
+                v.primary.name(),
+                v.primary_share() * 100.0
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -213,6 +240,7 @@ mod tests {
             receiver_cpu: CpuReport::zero(4),
             zc_fallback_fraction: 0.25,
             telemetry: None,
+            attribution: None,
         }
     }
 
@@ -260,6 +288,26 @@ mod tests {
         let je = empty.to_json();
         assert!(je.contains("\"intervals\": [\n  ]"));
         assert_eq!(je.matches('{').count(), je.matches('}').count());
+    }
+
+    #[test]
+    fn bottleneck_rendered_when_attribution_present() {
+        use netsim::{BottleneckVerdict, LimitingFactor, StageProfile};
+        let mut r = report();
+        assert_eq!(r.bottleneck(), None);
+        let verdicts = vec![(simcore::SimTime::ZERO, LimitingFactor::SenderAppCpu)];
+        r.attribution = Some(Attribution {
+            verdict: BottleneckVerdict::from_intervals(&verdicts),
+            verdicts,
+            sender_profile: StageProfile { clock_hz: 4.0e9, cores: vec![] },
+            receiver_profile: StageProfile { clock_hz: 4.0e9, cores: vec![] },
+        });
+        assert_eq!(r.bottleneck(), Some("sender_app_cpu"));
+        let j = r.to_json();
+        assert!(j.contains("\"bottleneck\": \"sender_app_cpu\""), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        let text = r.to_string();
+        assert!(text.contains("Bottleneck: sender_app_cpu (100% of intervals)"), "{text}");
     }
 
     #[test]

@@ -105,6 +105,7 @@ pub fn run_with_faults(
         faults: faults.clone(),
         event_budget,
         telemetry: opts.telemetry,
+        attribution: opts.attribution,
     };
     let cfg = SimConfig {
         sender: client,

@@ -17,6 +17,81 @@ use crate::hostcfg::HostConfig;
 use crate::virt::VirtMode;
 use simcore::{Bytes, SimDuration, SimRng};
 
+/// One stage of the host pipeline, for per-stage cycle attribution.
+///
+/// Every [`CostModel`] service method corresponds to exactly one
+/// variant; the simulator tags each service call with its stage so a
+/// `CycleLedger` can decompose core busy time the way `perf report`
+/// decomposes samples by symbol. The `name()` strings double as the
+/// frame names in folded-stack (flamegraph) output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Sender application core: `write()`/`sendmsg()` (copy, pin, or
+    /// splice — see [`TxMode`]).
+    TxApp,
+    /// Application-level checksum over the payload (§V-B data movers).
+    Checksum,
+    /// Sender softirq/TX core: protocol send + driver work.
+    TxSoftirq,
+    /// Receiver softirq/RX core: GRO merge + protocol receive.
+    RxSoftirq,
+    /// Receiver application core: `read()` (copy or MSG_TRUNC).
+    RxApp,
+    /// Sender IRQ core: ACK processing.
+    Ack,
+    /// Host fabric, send side: memory/DMA bandwidth for the outgoing
+    /// burst.
+    FabricTx,
+    /// Host fabric, receive side.
+    FabricRx,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order. The position of a stage in this
+    /// array is its [`Stage::index`].
+    pub const ALL: [Stage; 8] = [
+        Stage::TxApp,
+        Stage::Checksum,
+        Stage::TxSoftirq,
+        Stage::RxSoftirq,
+        Stage::RxApp,
+        Stage::Ack,
+        Stage::FabricTx,
+        Stage::FabricRx,
+    ];
+
+    /// Number of stages (the ledger's stage dimension).
+    pub const COUNT: usize = Stage::ALL.len();
+
+    /// Dense index into a `CycleLedger` stage dimension.
+    pub fn index(self) -> usize {
+        match self {
+            Stage::TxApp => 0,
+            Stage::Checksum => 1,
+            Stage::TxSoftirq => 2,
+            Stage::RxSoftirq => 3,
+            Stage::RxApp => 4,
+            Stage::Ack => 5,
+            Stage::FabricTx => 6,
+            Stage::FabricRx => 7,
+        }
+    }
+
+    /// Stable lowercase name (folded-stack frame / trace field).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::TxApp => "tx_app",
+            Stage::Checksum => "checksum",
+            Stage::TxSoftirq => "tx_softirq",
+            Stage::RxSoftirq => "rx_softirq",
+            Stage::RxApp => "rx_app",
+            Stage::Ack => "ack",
+            Stage::FabricTx => "fabric_tx",
+            Stage::FabricRx => "fabric_rx",
+        }
+    }
+}
+
 /// How the sender application handed the bytes to the kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TxMode {
@@ -244,10 +319,15 @@ impl CostModel {
 
 /// Throughput (Gbit/s) a single server sustains at the given per-burst
 /// service time — analysis helper used by calibration tests and docs.
+///
+/// A zero (or sub-nanosecond) service time is clamped to one
+/// simulation tick: the simulator cannot schedule work finer than a
+/// nanosecond, so that is the fastest any server can actually run.
+/// Returning a finite ceiling instead of `inf` keeps the value safe to
+/// feed into `RunningStats` (which would otherwise skip it as a
+/// non-finite sample).
 pub fn server_rate_gbps(burst: Bytes, service: SimDuration) -> f64 {
-    if service.is_zero() {
-        return f64::INFINITY;
-    }
+    let service = service.max(SimDuration::from_nanos(1));
     burst.bits() as f64 / service.as_secs_f64() / 1e9
 }
 
@@ -395,6 +475,39 @@ mod tests {
         let b = Bytes::mib(1);
         let rate = server_rate_gbps(b, m.fabric_rx_service(b, false));
         assert!((165.0..176.0).contains(&rate), "AMD 5.15 rx fabric {rate:.0} Gbps");
+    }
+
+    #[test]
+    fn zero_service_rate_is_finite() {
+        let r = server_rate_gbps(Bytes::kib(64), SimDuration::ZERO);
+        assert!(r.is_finite(), "zero service must clamp, got {r}");
+        // Clamped to the 1 ns tick: 64 KiB / 1 ns.
+        assert!((r - Bytes::kib(64).bits() as f64).abs() < 1e-3, "{r}");
+        // Ordinary service times are unaffected.
+        let normal = server_rate_gbps(Bytes::kib(64), SimDuration::from_micros(10));
+        assert!((normal - 52.4288).abs() < 1e-3, "{normal}");
+    }
+
+    #[test]
+    fn stage_indices_are_dense_and_names_stable() {
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            assert_eq!(stage.index(), i, "{stage:?}");
+        }
+        assert_eq!(Stage::COUNT, 8);
+        let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "tx_app",
+                "checksum",
+                "tx_softirq",
+                "rx_softirq",
+                "rx_app",
+                "ack",
+                "fabric_tx",
+                "fabric_rx"
+            ]
+        );
     }
 
     #[test]

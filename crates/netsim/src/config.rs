@@ -39,6 +39,12 @@ pub struct WorkloadSpec {
     /// §III-G). `None` (the default) disables sampling entirely: no
     /// tick event is scheduled and nothing allocates.
     pub telemetry: Option<SimDuration>,
+    /// Bottleneck attribution: per-stage cycle ledgers on both hosts
+    /// plus a per-interval limiting-factor verdict (the simulator's
+    /// `perf` + diagnosis pass). Off by default; enabling it never
+    /// changes traffic — an attributed run is bit-identical to an
+    /// unattributed one with the same seed.
+    pub attribution: bool,
 }
 
 impl WorkloadSpec {
@@ -58,6 +64,7 @@ impl WorkloadSpec {
             faults: FaultPlan::none(),
             event_budget: None,
             telemetry: None,
+            attribution: false,
         }
     }
 
@@ -125,6 +132,13 @@ impl WorkloadSpec {
     /// `tick` of simulated time.
     pub fn with_telemetry(mut self, tick: SimDuration) -> Self {
         self.telemetry = Some(tick);
+        self
+    }
+
+    /// Builder: enable bottleneck attribution (stage ledgers +
+    /// per-interval limiting-factor verdicts).
+    pub fn with_attribution(mut self) -> Self {
+        self.attribution = true;
         self
     }
 
@@ -240,9 +254,11 @@ mod tests {
             .with_skip_rx_copy()
             .with_fq_rate(BitRate::gbps(15.0))
             .with_cc(CcAlgorithm::BbrV1)
-            .with_seed(99);
+            .with_seed(99)
+            .with_attribution();
         assert_eq!(w.num_flows, 8);
         assert!(w.zerocopy && w.skip_rx_copy);
+        assert!(w.attribution);
         assert_eq!(w.seed, 99);
         assert_eq!(w.measured_window(), SimDuration::from_secs(18));
     }

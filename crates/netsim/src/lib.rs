@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod config;
 pub mod error;
 pub mod faults;
@@ -36,6 +37,10 @@ pub mod result;
 pub mod sim;
 pub mod telemetry;
 
+pub use attribution::{
+    classify, Attribution, BottleneckVerdict, CoreProfile, IntervalObs, LimitingFactor,
+    StageProfile,
+};
 pub use config::{SimConfig, WorkloadSpec};
 pub use error::SimError;
 pub use faults::{Fault, FaultEvent, FaultPlan};

@@ -1,5 +1,6 @@
 //! Run results.
 
+use crate::attribution::Attribution;
 use crate::telemetry::Telemetry;
 use linuxhost::CpuReport;
 use simcore::{BitRate, Bytes, SimDuration};
@@ -57,6 +58,10 @@ pub struct RunResult {
     /// Sampled `ss`/`ethtool`/`mpstat`-style time series; present only
     /// when [`crate::WorkloadSpec::telemetry`] set a tick.
     pub telemetry: Option<Telemetry>,
+    /// Bottleneck attribution (per-interval verdicts + whole-run stage
+    /// profiles); present only when
+    /// [`crate::WorkloadSpec::attribution`] is on.
+    pub attribution: Option<Attribution>,
 }
 
 impl RunResult {
@@ -120,6 +125,7 @@ mod tests {
             wire_sent: 110,
             events: 100,
             telemetry: None,
+            attribution: None,
         }
     }
 

@@ -15,13 +15,17 @@
 //!   re-validates the deadline when it fires, so ACK processing never
 //!   needs to cancel events.
 
+use crate::attribution::{
+    classify, Attribution, BottleneckVerdict, CoreProfile, IntervalObs, LimitingFactor,
+    StageProfile,
+};
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::faults::{Fault, FaultEvent};
 use crate::host::SimHost;
 use crate::result::{FlowResult, RunResult};
 use crate::telemetry::{CaState, CounterSnapshot, FlowInfo, TelemetrySampler};
-use linuxhost::{Pacer, SendOutcome, TxMode, ZerocopyAccounting};
+use linuxhost::{Pacer, SendOutcome, Stage, TxMode, ZerocopyAccounting};
 use nethw::{EnqueueOutcome, SharedBufferSwitch};
 use simcore::{BitRate, Bytes, EventQueue, SimDuration, SimRng, SimTime, Watchdog};
 use tcpstack::{SendSlot, TcpReceiver, TcpSender, TimerKind};
@@ -99,6 +103,58 @@ struct GeState {
     loss_bad: f64,
     /// Episode end (the fault's `ends_at`).
     until: SimTime,
+}
+
+/// Live bottleneck-attribution state: the "previous interval tick"
+/// marks that turn cumulative ledgers/counters into per-interval
+/// observations, plus the verdicts classified so far.
+///
+/// Strictly bookkeeping — classification reads flow/host state but
+/// never mutates it, so attribution keeps the same observer-neutrality
+/// guarantee as telemetry.
+struct AttribState {
+    /// Sender ledger per-core busy totals at the previous tick.
+    snd_mark: Vec<SimDuration>,
+    /// Receiver ledger per-core busy totals at the previous tick.
+    rcv_mark: Vec<SimDuration>,
+    /// Drop/pause/wire counter totals at the previous tick.
+    counter_mark: CounterSnapshot,
+    /// Total zerocopy sends at the previous tick.
+    zc_sends_mark: u64,
+    /// Total zerocopy copy-fallbacks at the previous tick.
+    zc_fallbacks_mark: u64,
+    /// Total ACKs processed at the previous tick.
+    acks_mark: u64,
+    /// Total cwnd-limited ACKs at the previous tick.
+    cwnd_limited_mark: u64,
+    /// Total delivered bursts at the previous tick.
+    delivered_mark: u64,
+    /// When the previous tick fired.
+    last_t: SimTime,
+    /// Classified intervals: `(interval end, verdict)`.
+    verdicts: Vec<(SimTime, LimitingFactor)>,
+}
+
+impl AttribState {
+    fn new(snd_cores: usize, rcv_cores: usize) -> Self {
+        AttribState {
+            snd_mark: vec![SimDuration::ZERO; snd_cores],
+            rcv_mark: vec![SimDuration::ZERO; rcv_cores],
+            counter_mark: CounterSnapshot::default(),
+            zc_sends_mark: 0,
+            zc_fallbacks_mark: 0,
+            acks_mark: 0,
+            cwnd_limited_mark: 0,
+            delivered_mark: 0,
+            last_t: SimTime::ZERO,
+            verdicts: Vec::new(),
+        }
+    }
+
+    /// The most recent verdict (attached to telemetry samples).
+    fn last_verdict(&self) -> Option<LimitingFactor> {
+        self.verdicts.last().map(|(_, v)| *v)
+    }
 }
 
 /// A configured, runnable simulation.
@@ -184,14 +240,18 @@ struct Runner {
     /// Telemetry sampler; `None` (the default) costs one branch per
     /// dispatch of events that never get scheduled.
     sampler: Option<TelemetrySampler>,
+    /// Bottleneck-attribution state; `None` unless
+    /// [`crate::WorkloadSpec::attribution`] is on.
+    attrib: Option<AttribState>,
 }
 
 impl Runner {
     fn new(cfg: SimConfig, burst: Bytes) -> Self {
         let mut rng = SimRng::seed_from_u64(cfg.workload.seed);
         let n = cfg.workload.num_flows;
-        let snd_host = SimHost::new(&cfg.sender, n, &mut rng.fork());
-        let rcv_host = SimHost::new(&cfg.receiver, n, &mut rng.fork());
+        let attribution = cfg.workload.attribution;
+        let snd_host = SimHost::new(&cfg.sender, n, attribution, &mut rng.fork());
+        let rcv_host = SimHost::new(&cfg.receiver, n, attribution, &mut rng.fork());
         let mut switch = SharedBufferSwitch::new(
             cfg.path.switch_buffer,
             &[cfg.path.usable_rate()],
@@ -265,6 +325,11 @@ impl Runner {
         let sampler = cfg.workload.telemetry.map(|tick| {
             TelemetrySampler::new(tick, n, snd_host.busy_snapshot(), rcv_host.busy_snapshot())
         });
+        let attrib = attribution.then(|| {
+            let snd_cores = snd_host.ledger().map_or(0, |l| l.num_cores());
+            let rcv_cores = rcv_host.ledger().map_or(0, |l| l.num_cores());
+            AttribState::new(snd_cores, rcv_cores)
+        });
         Runner {
             cfg,
             burst,
@@ -299,6 +364,7 @@ impl Runner {
             omit_time,
             end_time,
             sampler,
+            attrib,
         }
     }
 
@@ -378,14 +444,19 @@ impl Runner {
             None => TxMode::Copy,
         };
         let window = flow.sender.inflight();
-        let mut svc = self
+        let svc = self
             .snd_host
             .cost
             .tx_app_service(self.burst, mode, window, &mut flow.rng);
+        // The copy/zerocopy write and the optional user-space checksum
+        // are charged as separate stints on the same FIFO app core, so
+        // the ledger can tell them apart; back to back they complete at
+        // the exact same instant as one combined stint.
+        let mut done = self.snd_host.serve_app(f, now, svc, Stage::TxApp);
         if self.cfg.workload.user_checksum {
-            svc += self.snd_host.cost.checksum_service(self.burst, &mut flow.rng);
+            let ck = self.snd_host.cost.checksum_service(self.burst, &mut flow.rng);
+            done = self.snd_host.serve_app(f, now, ck, Stage::Checksum);
         }
-        let done = self.snd_host.serve_app(f, now, svc);
         self.q.push(done, Ev::AppWriteDone(f, mode));
     }
 
@@ -471,10 +542,10 @@ impl Runner {
             .snd_host
             .cost
             .tx_softirq_service(self.burst, &mut self.flows[f].rng);
-        let t_irq = self.snd_host.serve_irq(f, now, svc);
+        let t_irq = self.snd_host.serve_irq(f, now, svc, Stage::TxSoftirq);
         let window = self.flows[f].sender.inflight();
         let fab = self.snd_host.cost.fabric_tx_service(self.burst, mode, window);
-        let t_fab = self.snd_host.serve_fabric(now, fab);
+        let t_fab = self.snd_host.serve_fabric(now, fab, Stage::FabricTx);
         let wire = self.cfg.sender.offload.wire_bytes(self.burst);
         let wire_done = self.snd_host.nic_transmit(t_irq.max(t_fab), wire);
         // Edge hop to the switch, then the switch-arrival logic runs
@@ -561,12 +632,12 @@ impl Runner {
             .rcv_host
             .cost
             .rx_softirq_service(self.burst, &mut self.flows[f].rng);
-        let t_irq = self.rcv_host.serve_irq(f, now, svc);
+        let t_irq = self.rcv_host.serve_irq(f, now, svc, Stage::RxSoftirq);
         let fab = self
             .rcv_host
             .cost
             .fabric_rx_service(self.burst, self.cfg.workload.skip_rx_copy);
-        let t_fab = self.rcv_host.serve_fabric(now, fab);
+        let t_fab = self.rcv_host.serve_fabric(now, fab, Stage::FabricRx);
         self.q
             .push(t_irq.max(t_fab), Ev::RxSoftirqDone { flow: f, idx });
     }
@@ -599,15 +670,18 @@ impl Runner {
             return;
         }
         flow.rx_app_busy = true;
-        let mut svc = self.rcv_host.cost.rx_app_service(
+        let svc = self.rcv_host.cost.rx_app_service(
             self.burst,
             self.cfg.workload.skip_rx_copy,
             &mut flow.rng,
         );
+        // Read copy and user checksum: separate ledger stages, same
+        // completion instant as one combined stint (see on_app_write).
+        let mut done = self.rcv_host.serve_app(f, now, svc, Stage::RxApp);
         if self.cfg.workload.user_checksum {
-            svc += self.rcv_host.cost.checksum_service(self.burst, &mut flow.rng);
+            let ck = self.rcv_host.cost.checksum_service(self.burst, &mut flow.rng);
+            done = self.rcv_host.serve_app(f, now, ck, Stage::Checksum);
         }
-        let done = self.rcv_host.serve_app(f, now, svc);
         self.q.push(done, Ev::RxAppReadDone(f));
     }
 
@@ -647,7 +721,7 @@ impl Runner {
         }
         {
             let svc = self.snd_host.cost.ack_service(&mut self.flows[f].rng);
-            self.snd_host.charge_irq(f, svc);
+            self.snd_host.charge_irq(f, svc, Stage::Ack);
         }
         let flow = &mut self.flows[f];
         let _outcome = flow.sender.on_ack(cum, idx, rwnd, now);
@@ -853,6 +927,7 @@ impl Runner {
         self.snd_busy_mark = self.snd_host.busy_snapshot();
         self.rcv_busy_mark = self.rcv_host.busy_snapshot();
         self.last_tick = now;
+        self.classify_interval(now);
         for flow in &mut self.flows {
             let delta = flow.delivered_bursts - flow.interval_mark;
             flow.interval_mark = flow.delivered_bursts;
@@ -864,6 +939,116 @@ impl Runner {
         let next = now + SimDuration::from_secs(1);
         if next <= self.end_time {
             self.q.push(next, Ev::IntervalTick);
+        }
+    }
+
+    /// Current cumulative drop/pause/wire counters.
+    fn counters(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            ring_drops: self.ring_drops,
+            switch_drops: self.switch_drops,
+            random_drops: self.random_drops,
+            fault_drops: self.fault_drops,
+            pause_frames: self.pause_parks,
+            wire_sent: self.wire_sent,
+        }
+    }
+
+    /// Classify the interval ending at `now` and re-arm the marks.
+    /// No-op when attribution is off or the interval is empty; strictly
+    /// read-only on flow/host/RNG state.
+    fn classify_interval(&mut self, now: SimTime) {
+        let Some(mut at) = self.attrib.take() else { return };
+        if now > at.last_t {
+            let obs = self.interval_obs(&at, now);
+            at.verdicts.push((now, classify(&obs)));
+            self.rearm_attrib_marks(&mut at, now);
+        }
+        self.attrib = Some(at);
+    }
+
+    /// Build the classifier's observation for `(at.last_t, now]`.
+    fn interval_obs(&self, at: &AttribState, now: SimTime) -> IntervalObs {
+        let dt = now.saturating_since(at.last_t).as_secs_f64();
+        let snd_ledger = self.snd_host.ledger().expect("attribution implies sender ledger");
+        let rcv_ledger = self.rcv_host.ledger().expect("attribution implies receiver ledger");
+        // Peak (not mean) busy fraction over a core-index range: one
+        // pegged core bottlenecks the pipeline no matter how idle its
+        // siblings are.
+        let peak = |totals: &[SimDuration], marks: &[SimDuration], lo: usize, hi: usize| {
+            (lo..hi)
+                .map(|i| totals[i].saturating_sub(marks[i]).as_secs_f64() / dt)
+                .fold(0.0f64, f64::max)
+        };
+        let snd_totals = snd_ledger.core_totals();
+        let rcv_totals = rcv_ledger.core_totals();
+        let snd_app = self.snd_host.app_core_count();
+        let snd_cores = snd_app + self.snd_host.irq_core_count();
+        let rcv_app = self.rcv_host.app_core_count();
+        let rcv_cores = rcv_app + self.rcv_host.irq_core_count();
+        let counters = self.counters();
+        let zc_sends: u64 =
+            self.flows.iter().map(|fl| fl.zc.as_ref().map_or(0, |z| z.zerocopy_sends())).sum();
+        let zc_fallbacks: u64 =
+            self.flows.iter().map(|fl| fl.zc.as_ref().map_or(0, |z| z.fallback_sends())).sum();
+        let acks: u64 = self.flows.iter().map(|fl| fl.sender.acks_processed()).sum();
+        let cwnd_limited: u64 =
+            self.flows.iter().map(|fl| fl.sender.cwnd_limited_acks()).sum();
+        let delivered: u64 = self.flows.iter().map(|fl| fl.delivered_bursts).sum();
+        let delivered_bits = (delivered - at.delivered_mark) as f64 * self.burst.bits() as f64;
+        IntervalObs {
+            switch_drops: counters.switch_drops - at.counter_mark.switch_drops,
+            ring_drops: counters.ring_drops - at.counter_mark.ring_drops,
+            pause_parks: counters.pause_frames - at.counter_mark.pause_frames,
+            zc_sends: zc_sends - at.zc_sends_mark,
+            zc_fallbacks: zc_fallbacks - at.zc_fallbacks_mark,
+            acks: acks - at.acks_mark,
+            cwnd_limited_acks: cwnd_limited - at.cwnd_limited_mark,
+            snd_app_busy: peak(&snd_totals, &at.snd_mark, 0, snd_app),
+            snd_irq_busy: peak(&snd_totals, &at.snd_mark, snd_app, snd_cores),
+            rcv_irq_busy: peak(&rcv_totals, &at.rcv_mark, rcv_app, rcv_cores),
+            rcv_app_busy: peak(&rcv_totals, &at.rcv_mark, 0, rcv_app),
+            delivered_gbps: delivered_bits / dt / 1e9,
+            usable_gbps: self.cfg.path.usable_rate().as_gbps(),
+            fq_total_gbps: self
+                .cfg
+                .workload
+                .fq_rate
+                .map(|r| r.as_gbps() * self.flows.len() as f64),
+        }
+    }
+
+    /// Reset the attribution marks to the current cumulative state.
+    fn rearm_attrib_marks(&self, at: &mut AttribState, now: SimTime) {
+        if let Some(l) = self.snd_host.ledger() {
+            at.snd_mark = l.core_totals();
+        }
+        if let Some(l) = self.rcv_host.ledger() {
+            at.rcv_mark = l.core_totals();
+        }
+        at.counter_mark = self.counters();
+        at.zc_sends_mark =
+            self.flows.iter().map(|fl| fl.zc.as_ref().map_or(0, |z| z.zerocopy_sends())).sum();
+        at.zc_fallbacks_mark =
+            self.flows.iter().map(|fl| fl.zc.as_ref().map_or(0, |z| z.fallback_sends())).sum();
+        at.acks_mark = self.flows.iter().map(|fl| fl.sender.acks_processed()).sum();
+        at.cwnd_limited_mark =
+            self.flows.iter().map(|fl| fl.sender.cwnd_limited_acks()).sum();
+        at.delivered_mark = self.flows.iter().map(|fl| fl.delivered_bursts).sum();
+        at.last_t = now;
+    }
+
+    /// One host's whole-run stage decomposition out of its ledger.
+    fn stage_profile(host: &SimHost) -> StageProfile {
+        let ledger = host.ledger().expect("attribution implies ledger");
+        StageProfile {
+            clock_hz: host.cost.clock_hz(),
+            cores: (0..ledger.num_cores())
+                .map(|i| CoreProfile {
+                    role: host.core_role(i),
+                    stage_busy: ledger.core_row(i).to_vec(),
+                })
+                .collect(),
         }
     }
 
@@ -900,17 +1085,14 @@ impl Runner {
                 ca_state,
                 bytes_retrans: Bytes::new(sender.retx_bursts() * self.burst.as_u64()),
                 retr_packets: sender.retr_packets(),
+                // IntervalTick sorts before TelemetryTick at equal
+                // timestamps (FIFO push order), so a 1 s telemetry
+                // cadence sees each interval's fresh verdict.
+                limiting: self.attrib.as_ref().and_then(|a| a.last_verdict()),
             };
             sampler.sample_flow(now, f, self.burst, flow.delivered_bursts, info);
         }
-        let counters = CounterSnapshot {
-            ring_drops: self.ring_drops,
-            switch_drops: self.switch_drops,
-            random_drops: self.random_drops,
-            fault_drops: self.fault_drops,
-            pause_frames: self.pause_parks,
-            wire_sent: self.wire_sent,
-        };
+        let counters = self.counters();
         let since = sampler.last_sample();
         let (snd_mark, rcv_mark) = sampler.busy_marks();
         // The end-of-run flush can land exactly on the last tick; a
@@ -943,6 +1125,14 @@ impl Runner {
         self.snd_busy_mark = self.snd_host.busy_snapshot();
         self.rcv_busy_mark = self.rcv_host.busy_snapshot();
         self.last_tick = now;
+        // Attribution classifies measured intervals only: re-arm at the
+        // omit boundary (without classifying) so warm-up slow start
+        // never pollutes the verdict histogram — same contract as
+        // `cpu_intervals` and the per-flow interval series.
+        if let Some(mut at) = self.attrib.take() {
+            self.rearm_attrib_marks(&mut at, now);
+            self.attrib = Some(at);
+        }
     }
 
     /// End-of-run burst conservation: every burst handed to the wire is
@@ -979,6 +1169,11 @@ impl Runner {
 
     fn finish(mut self) -> Result<RunResult, SimError> {
         self.check_conservation()?;
+        // Final partial attribution interval (a duration that is not a
+        // tick multiple leaves a tail after the last in-range tick) —
+        // classified before the telemetry flush so the flush sample
+        // carries the final verdict.
+        self.classify_interval(self.end_time);
         // Final partial-interval flush so per-interval byte counts sum
         // exactly to the delivered-bytes ledger — data that arrived
         // after the last tick (or after the last in-range tick on a
@@ -990,6 +1185,15 @@ impl Runner {
                 self.telemetry_sample(self.end_time, &mut sampler);
             }
             sampler.finish()
+        });
+        let attribution = self.attrib.take().map(|at| {
+            let verdict = BottleneckVerdict::from_intervals(&at.verdicts);
+            Attribution {
+                verdicts: at.verdicts,
+                verdict,
+                sender_profile: Self::stage_profile(&self.snd_host),
+                receiver_profile: Self::stage_profile(&self.rcv_host),
+            }
         });
         if std::env::var_os("NETSIM_DEBUG_FLOWS").is_some() {
             for (i, flow) in self.flows.iter().enumerate() {
@@ -1056,6 +1260,7 @@ impl Runner {
             wire_sent: self.wire_sent,
             events: self.q.total_popped(),
             telemetry,
+            attribution,
         })
     }
 }

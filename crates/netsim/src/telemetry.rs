@@ -17,6 +17,7 @@
 //! allocates: the only cost is one `Option` discriminant in the
 //! runner.
 
+use crate::attribution::LimitingFactor;
 use simcore::{BitRate, Bytes, SimDuration, SimTime, TimeSeries};
 
 /// Sender congestion-avoidance state, as `ss -tin` would name it.
@@ -67,6 +68,10 @@ pub struct TcpInfoSample {
     /// of the final sample exactly — the interval-vs-ledger invariant
     /// the tests pin down.
     pub interval_bytes: Bytes,
+    /// The most recent per-interval bottleneck verdict, when
+    /// [`crate::WorkloadSpec::attribution`] is on and at least one
+    /// interval has been classified.
+    pub limiting: Option<LimitingFactor>,
 }
 
 /// One `ethtool -S` + `mpstat`-style host snapshot. All counters are
@@ -229,6 +234,7 @@ impl TelemetrySampler {
                 retr_packets: info.retr_packets,
                 delivered_bytes: Bytes::new(delivered_bursts * burst.as_u64()),
                 interval_bytes: Bytes::new(delta * burst.as_u64()),
+                limiting: info.limiting,
             },
         );
     }
@@ -288,6 +294,7 @@ pub(crate) struct FlowInfo {
     pub(crate) ca_state: CaState,
     pub(crate) bytes_retrans: Bytes,
     pub(crate) retr_packets: u64,
+    pub(crate) limiting: Option<LimitingFactor>,
 }
 
 #[cfg(test)]
@@ -307,6 +314,7 @@ mod tests {
             ca_state: CaState::SlowStart,
             bytes_retrans: Bytes::ZERO,
             retr_packets: 0,
+            limiting: Some(LimitingFactor::CwndLimited),
         }
     }
 

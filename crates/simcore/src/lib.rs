@@ -19,6 +19,8 @@
 //!   tick (§III-G).
 //! * [`watchdog`] — event-loop liveness guards ([`Watchdog`]) that turn
 //!   a livelocked or runaway simulation into a structured error.
+//! * [`ledger`] — a per-core, per-stage busy-time matrix
+//!   ([`CycleLedger`]) backing the bottleneck-attribution profiles.
 //!
 //! Nothing in this crate knows about TCP, Linux, or NICs; it is the
 //! domain-neutral substrate.
@@ -29,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod ledger;
 pub mod rng;
 pub mod series;
 pub mod stats;
@@ -37,6 +40,7 @@ pub mod units;
 pub mod watchdog;
 
 pub use engine::EventQueue;
+pub use ledger::CycleLedger;
 pub use rng::SimRng;
 pub use series::TimeSeries;
 pub use stats::{RunningStats, Summary};

@@ -94,6 +94,12 @@ pub struct TcpSender {
     /// A TLP may fire once per progress-free period.
     tlp_armed: bool,
     tlp_events: u64,
+    /// ACKs that advanced the window (the denominator of the
+    /// cwnd-limited fraction).
+    acks_processed: u64,
+    /// Of those, ACKs where the flight pressed against cwnd — Linux's
+    /// `tcp_is_cwnd_limited()` signal, counted for attribution.
+    cwnd_limited_acks: u64,
 }
 
 impl std::fmt::Debug for TcpSender {
@@ -144,6 +150,8 @@ impl TcpSender {
             last_progress: SimTime::ZERO,
             tlp_armed: true,
             tlp_events: 0,
+            acks_processed: 0,
+            cwnd_limited_acks: 0,
         }
     }
 
@@ -334,6 +342,10 @@ impl TcpSender {
             let cwnd = self.cc.cwnd().min(self.rwnd);
             let threshold = if self.cc.in_slow_start() { cwnd / 2 } else { cwnd };
             let cwnd_limited = pre_ack >= threshold;
+            self.acks_processed += 1;
+            if cwnd_limited {
+                self.cwnd_limited_acks += 1;
+            }
             self.cc.on_ack(out.newly_acked, rtt_sample, now, inflight, cwnd_limited);
         }
         out
@@ -458,6 +470,17 @@ impl TcpSender {
     /// Total retransmitted bursts.
     pub fn retx_bursts(&self) -> u64 {
         self.retx_bursts
+    }
+
+    /// ACKs that advanced the window so far.
+    pub fn acks_processed(&self) -> u64 {
+        self.acks_processed
+    }
+
+    /// Of [`TcpSender::acks_processed`], how many found the flight
+    /// pressing against cwnd (`tcp_is_cwnd_limited()` true).
+    pub fn cwnd_limited_acks(&self) -> u64 {
+        self.cwnd_limited_acks
     }
 
     /// Retransmissions in MTU packets — iperf3's `Retr`.
