@@ -5,22 +5,28 @@
 //! repro list                 # what can be reproduced
 //! repro fig05                # one figure
 //! repro table1 table2        # several artefacts
-//! repro all                  # everything (long)
+//! repro all                  # everything (experiments run concurrently)
 //! repro ablations            # the design-choice ablations
 //! repro --trace out/ ext_telemetry  # + JSON-lines telemetry traces
 //! REPRO_EFFORT=smoke repro fig05    # quick CI-sized run
 //! REPRO_EFFORT=full  repro all      # paper-faithful 60 s × 10 reps
+//! REPRO_CACHE_DIR=~/.cache/repro repro fig05  # content-addressed cache
+//! REPRO_JOBS=4 repro all            # cap concurrent repetitions
 //! ```
+//!
+//! The environment (`REPRO_EFFORT`, `REPRO_JOBS`, `REPRO_TRACE_DIR`,
+//! `REPRO_CACHE_DIR`) is resolved exactly once here, into a
+//! [`RunCtx`], and threaded explicitly through every experiment.
 
 use harness::experiments::{ablations, ExperimentId};
-use harness::Effort;
+use harness::{RunCache, RunCtx};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ctx = RunCtx::from_env();
     // `--trace <dir>`: per-repetition JSON-lines telemetry traces.
-    // Plumbed as REPRO_TRACE_DIR because experiments build their own
-    // harnesses internally (same pattern as REPRO_CSV_DIR/REPRO_EFFORT).
     if let Some(pos) = args.iter().position(|a| a == "--trace") {
         if pos + 1 >= args.len() {
             eprintln!("--trace needs a directory argument");
@@ -28,10 +34,9 @@ fn main() {
         }
         let dir = args.remove(pos + 1);
         args.remove(pos);
-        std::env::set_var("REPRO_TRACE_DIR", &dir);
         eprintln!("writing telemetry traces to {dir}/");
+        ctx.trace_dir = Some(PathBuf::from(dir));
     }
-    let effort = Effort::from_env();
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
         usage();
         return;
@@ -48,14 +53,22 @@ fn main() {
     for arg in &args {
         match arg.as_str() {
             "all" => {
-                for id in ExperimentId::ALL {
-                    run_one(id, effort);
+                // Every experiment on its own coordination thread; the
+                // process-wide gate bounds how many repetitions
+                // actually simulate at once, so this is
+                // work-conserving, not oversubscribed. Output is
+                // collected per experiment and printed in paper order.
+                let n = ExperimentId::ALL.len();
+                let outputs =
+                    harness::sched::run_tasks(true, n, |i| run_one(ExperimentId::ALL[i], &ctx));
+                for out in outputs {
+                    println!("{out}");
                 }
-                println!("{}", ablations::run_all_rendered(effort));
+                println!("{}", ablations::run_all_rendered(&ctx));
             }
-            "ablations" => println!("{}", ablations::run_all_rendered(effort)),
+            "ablations" => println!("{}", ablations::run_all_rendered(&ctx)),
             name => match ExperimentId::ALL.iter().find(|id| id.name() == name) {
-                Some(&id) => run_one(id, effort),
+                Some(&id) => println!("{}", run_one(id, &ctx)),
                 None => {
                     eprintln!("unknown experiment '{name}' — try 'repro list'");
                     std::process::exit(2);
@@ -73,11 +86,21 @@ fn main() {
     }
 }
 
-fn run_one(id: ExperimentId, effort: Effort) {
-    eprintln!("running {} at {effort:?} effort...", id.name());
+/// Run one experiment and return its rendered output; progress,
+/// wall-clock and cache hit/miss counts go to stderr. Each experiment
+/// gets a private handle onto the shared cache directory so its
+/// hit/miss counters stay per-experiment even when `all` runs
+/// experiments concurrently.
+fn run_one(id: ExperimentId, ctx: &RunCtx) -> String {
+    let mut ctx = ctx.clone();
+    let cache = ctx.cache.as_ref().map(|c| {
+        Arc::new(RunCache::new(c.dir().to_path_buf()).with_cost_model_version(c.cost_model_version()))
+    });
+    ctx.cache = cache.clone();
+    eprintln!("running {} at {:?} effort...", id.name(), ctx.effort);
     let start = std::time::Instant::now();
-    let artifact = id.run(effort);
-    println!("{}", artifact.render_ascii());
+    let artifact = id.run(&ctx);
+    let rendered = artifact.render_ascii();
     // Open data: dump CSVs when REPRO_CSV_DIR is set (the paper
     // releases all collected data; so do we).
     if let Some(dir) = std::env::var_os("REPRO_CSV_DIR") {
@@ -95,7 +118,18 @@ fn run_one(id: ExperimentId, effort: Effort) {
             }
         }
     }
-    eprintln!("({} done in {:.1}s)\n", id.name(), start.elapsed().as_secs_f64());
+    let secs = start.elapsed().as_secs_f64();
+    match &cache {
+        Some(c) => eprintln!(
+            "({} done in {secs:.1}s; cache: {} hit(s), {} miss(es), {} store(s))\n",
+            id.name(),
+            c.stats.hits(),
+            c.stats.misses(),
+            c.stats.stores(),
+        ),
+        None => eprintln!("({} done in {secs:.1}s)\n", id.name()),
+    }
+    rendered
 }
 
 fn usage() {
@@ -104,6 +138,8 @@ fn usage() {
          flags:       --trace <dir> to write per-repetition JSON-lines telemetry traces\n\
                       (plus .folded/.perf.txt cycle profiles per repetition)\n\
          environment: REPRO_EFFORT=smoke|standard|full (default standard)\n\
+                      REPRO_JOBS=<n> to cap concurrently simulating repetitions\n\
+                      REPRO_CACHE_DIR=<dir> content-addressed report cache\n\
                       REPRO_CSV_DIR=<dir> to also dump CSV data files\n\
                       REPRO_TRACE_DIR=<dir> same as --trace"
     );

@@ -1,0 +1,107 @@
+//! The run context: everything the environment used to leak into
+//! arbitrary call sites, resolved once at harness entry.
+//!
+//! `Effort::from_env`, `REPRO_TRACE_DIR`, `REPRO_CACHE_DIR` and
+//! `REPRO_JOBS` are read exactly once — by [`RunCtx::from_env`] in the
+//! `repro` binary — and threaded explicitly from there. Tests build a
+//! [`RunCtx`] directly and never touch process-global environment
+//! variables, which would race across test threads under the parallel
+//! scheduler.
+
+use crate::cache::RunCache;
+use crate::effort::Effort;
+use crate::runner::TestHarness;
+use crate::sched;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Resolved run-wide configuration.
+#[derive(Debug, Clone)]
+pub struct RunCtx {
+    /// Simulation effort (repetitions and durations).
+    pub effort: Effort,
+    /// Concurrency bound for the process-wide scheduler gate (display
+    /// only here; the gate itself is sized on first use).
+    pub jobs: usize,
+    /// Telemetry-trace output directory (`--trace` / `REPRO_TRACE_DIR`).
+    pub trace_dir: Option<PathBuf>,
+    /// Content-addressed report cache (`REPRO_CACHE_DIR`).
+    pub cache: Option<Arc<RunCache>>,
+}
+
+impl RunCtx {
+    /// A context at the given effort, with no tracing and no cache —
+    /// what tests and library callers start from.
+    pub fn new(effort: Effort) -> Self {
+        RunCtx { effort, jobs: sched::jobs_from_env(), trace_dir: None, cache: None }
+    }
+
+    /// Resolve the environment once: `REPRO_EFFORT`, `REPRO_JOBS`,
+    /// `REPRO_TRACE_DIR`, `REPRO_CACHE_DIR`.
+    pub fn from_env() -> Self {
+        RunCtx {
+            effort: Effort::from_env(),
+            jobs: sched::jobs_from_env(),
+            trace_dir: std::env::var_os("REPRO_TRACE_DIR").map(PathBuf::from),
+            cache: RunCache::from_env().map(Arc::new),
+        }
+    }
+
+    /// Builder: write telemetry traces to `dir`.
+    pub fn with_trace_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.trace_dir = Some(dir.into());
+        self
+    }
+
+    /// Builder: consult and fill `cache`.
+    pub fn with_cache(mut self, cache: Arc<RunCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// A harness with the context's effort-default repetition count.
+    pub fn harness(&self) -> TestHarness {
+        self.harness_with_reps(self.effort.repetitions())
+    }
+
+    /// A harness with an explicit repetition count (single-run
+    /// diagnosis experiments use 1).
+    pub fn harness_with_reps(&self, repetitions: usize) -> TestHarness {
+        let mut h = TestHarness::new(repetitions);
+        h.trace_dir = self.trace_dir.clone();
+        h.cache = self.cache.clone();
+        h
+    }
+}
+
+impl Default for RunCtx {
+    fn default() -> Self {
+        RunCtx::new(Effort::Standard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_inherits_ctx_settings() {
+        let cache = Arc::new(RunCache::new("/tmp/nonexistent-cache-dir-for-test"));
+        let ctx = RunCtx::new(Effort::Smoke)
+            .with_trace_dir("/tmp/traces")
+            .with_cache(cache);
+        let h = ctx.harness();
+        assert_eq!(h.repetitions, Effort::Smoke.repetitions());
+        assert_eq!(h.trace_dir.as_deref(), Some(std::path::Path::new("/tmp/traces")));
+        assert!(h.cache.is_some());
+        assert_eq!(ctx.harness_with_reps(1).repetitions, 1);
+    }
+
+    #[test]
+    fn plain_ctx_has_no_observers() {
+        let ctx = RunCtx::new(Effort::Smoke);
+        let h = ctx.harness();
+        assert!(h.trace_dir.is_none());
+        assert!(h.cache.is_none());
+    }
+}

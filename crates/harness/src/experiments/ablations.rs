@@ -5,7 +5,7 @@
 //! paper's recommendations.
 
 use super::common::{run_or_empty, run_row, throughput_figure};
-use crate::effort::Effort;
+use crate::ctx::RunCtx;
 use crate::render::{FigureData, TableData};
 use crate::scenario::Scenario;
 use crate::testbeds::{AmLightPath, EsnetPath, Testbeds};
@@ -17,7 +17,8 @@ use tcpstack::CcAlgorithm;
 /// §III-A — core affinity: with `irqbalance` left on, "the performance
 /// of a single 100G flow can vary from 20 Gbps to 55 Gbps on the same
 /// hardware". Reports tuned vs untuned pinning, min–max across runs.
-pub fn core_affinity(effort: Effort) -> TableData {
+pub fn core_affinity(ctx: &RunCtx) -> TableData {
+    let effort = ctx.effort;
     let tuned = Testbeds::amlight_host(KernelVersion::L6_8);
     let mut untuned = tuned.clone();
     untuned.cores = CoreAllocation::stock(32);
@@ -26,7 +27,7 @@ pub fn core_affinity(effort: Effort) -> TableData {
     let opts = Iperf3Opts::new(effort.lan_secs()).omit(effort.omit_secs(false));
     // Extra repetitions: the whole point is the placement lottery.
     let reps = (effort.repetitions() * 2).max(6);
-    let harness = crate::runner::TestHarness::new(reps);
+    let harness = ctx.harness_with_reps(reps);
     let mut table = TableData::new(
         "Ablation: IRQ/app core affinity (Intel LAN, single stream)",
         vec!["Configuration", "Mean", "Min", "Max", "stdev"],
@@ -46,7 +47,8 @@ pub fn core_affinity(effort: Effort) -> TableData {
 
 /// §III-D — `iommu=pt`: lifted 8-stream throughput from 80 to
 /// 181 Gbps on the ESnet hosts (kernel 5.15).
-pub fn iommu_passthrough(effort: Effort) -> TableData {
+pub fn iommu_passthrough(ctx: &RunCtx) -> TableData {
+    let effort = ctx.effort;
     let on = Testbeds::esnet_host(KernelVersion::L5_15);
     let mut off = on.clone();
     off.iommu_pt = false;
@@ -57,7 +59,7 @@ pub fn iommu_passthrough(effort: Effort) -> TableData {
         Scenario::symmetric("iommu=pt", on, path.clone(), opts.clone()),
         Scenario::symmetric("default IOMMU", off, path, opts),
     ];
-    let summaries = run_row(&scenarios, effort);
+    let summaries = run_row(&scenarios, ctx);
     let mut table = TableData::new(
         "Ablation: iommu=pt (AMD, 8 streams, kernel 5.15; paper: 80 -> 181 Gbps)",
         vec!["Configuration", "Ave Tput", "stdev"],
@@ -74,7 +76,8 @@ pub fn iommu_passthrough(effort: Effort) -> TableData {
 
 /// §III-D — `tcp_rmem`/`tcp_wmem` ceilings: stock 6 MB buffers
 /// strangle a 104 ms path to under a gigabit.
-pub fn buffer_sysctls(effort: Effort) -> TableData {
+pub fn buffer_sysctls(ctx: &RunCtx) -> TableData {
+    let effort = ctx.effort;
     let tuned = Testbeds::amlight_host(KernelVersion::L6_8);
     let mut stock = tuned.clone();
     stock.sysctl = SysctlConfig::stock();
@@ -97,7 +100,7 @@ pub fn buffer_sysctls(effort: Effort) -> TableData {
                 Scenario::symmetric("stock", stock.clone(), Testbeds::amlight_path(p), opts.clone()),
                 Scenario::symmetric("tuned", tuned.clone(), Testbeds::amlight_path(p), opts),
             ],
-            effort,
+            ctx,
         );
         table.push_row(vec![
             p.label().into(),
@@ -110,7 +113,8 @@ pub fn buffer_sysctls(effort: Effort) -> TableData {
 
 /// §III-D — RX ring sizing (`ethtool -G rx 8192`): deeper rings absorb
 /// longer line-rate trains before dropping (helped the AMD hosts).
-pub fn ring_size(effort: Effort) -> TableData {
+pub fn ring_size(ctx: &RunCtx) -> TableData {
+    let effort = ctx.effort;
     let tuned = Testbeds::esnet_host(KernelVersion::L6_8);
     let mut small = tuned.clone();
     small.ring_entries = Some(1024);
@@ -123,7 +127,7 @@ pub fn ring_size(effort: Effort) -> TableData {
         Scenario::symmetric("rx ring 8192", tuned, path.clone(), opts.clone()),
         Scenario::symmetric("rx ring 1024", small, path, opts),
     ];
-    let summaries = run_row(&scenarios, effort);
+    let summaries = run_row(&scenarios, ctx);
     let mut table = TableData::new(
         "Ablation: RX ring depth (AMD, single stream, zerocopy unpaced, WAN)",
         vec!["Configuration", "Ave Tput", "Retr"],
@@ -141,7 +145,8 @@ pub fn ring_size(effort: Effort) -> TableData {
 /// §IV-F — congestion control: CUBIC vs BBRv1 vs BBRv3 on the clean
 /// testbed WAN. Throughput is similar; BBR (v1 especially)
 /// retransmits more.
-pub fn congestion_control(effort: Effort) -> TableData {
+pub fn congestion_control(ctx: &RunCtx) -> TableData {
+    let effort = ctx.effort;
     let host = Testbeds::esnet_host(KernelVersion::L6_8);
     let path = Testbeds::esnet_path(EsnetPath::Wan);
     let mut table = TableData::new(
@@ -161,7 +166,7 @@ pub fn congestion_control(effort: Effort) -> TableData {
             )
         })
         .collect();
-    for s in &run_row(&scenarios, effort) {
+    for s in &run_row(&scenarios, ctx) {
         table.push_row(vec![
             s.label.clone(),
             format!("{:.1} Gbps", s.throughput_gbps.mean),
@@ -173,7 +178,8 @@ pub fn congestion_control(effort: Effort) -> TableData {
 }
 
 /// MTU 1500 vs 9000 (§V-C gives the 1500-byte baseline of 24 Gbps).
-pub fn mtu(effort: Effort) -> FigureData {
+pub fn mtu(ctx: &RunCtx) -> FigureData {
+    let effort = ctx.effort;
     let mk_host = |mtu: u64| {
         let mut cfg = Testbeds::amlight_host(KernelVersion::L6_8);
         cfg.offload = linuxhost::OffloadConfig::standard(simcore::Bytes::new(mtu));
@@ -195,13 +201,14 @@ pub fn mtu(effort: Effort) -> FigureData {
         "Ablation: MTU (Intel LAN, single stream, default settings)",
         vec!["LAN".into()],
         grid,
-        effort,
+        ctx,
     )
 }
 
 /// `--skip-rx-copy` (MSG_TRUNC): removes the receiver copy so sender
 /// limits show — the flag patch #1690 adds for exactly this purpose.
-pub fn skip_rx_copy(effort: Effort) -> TableData {
+pub fn skip_rx_copy(ctx: &RunCtx) -> TableData {
+    let effort = ctx.effort;
     let host = Testbeds::amlight_host(KernelVersion::L6_8);
     let lan = Testbeds::amlight_path(AmLightPath::Lan);
     let base = Iperf3Opts::new(effort.lan_secs()).omit(effort.omit_secs(false));
@@ -209,7 +216,7 @@ pub fn skip_rx_copy(effort: Effort) -> TableData {
         Scenario::symmetric("normal receive", host.clone(), lan.clone(), base.clone()),
         Scenario::symmetric("--skip-rx-copy", host, lan, base.skip_rx_copy()),
     ];
-    let summaries = run_row(&scenarios, effort);
+    let summaries = run_row(&scenarios, ctx);
     let mut table = TableData::new(
         "Ablation: --skip-rx-copy (Intel LAN, single stream)",
         vec!["Configuration", "Ave Tput", "Receiver CPU"],
@@ -226,7 +233,8 @@ pub fn skip_rx_copy(effort: Effort) -> TableData {
 
 /// §II-C: "We tested BIG TCP for both IPv4 and IPv6, but found no
 /// significant difference" — reproduce that null result.
-pub fn address_family(effort: Effort) -> TableData {
+pub fn address_family(ctx: &RunCtx) -> TableData {
+    let effort = ctx.effort;
     let mk = |v6: bool| {
         let mut cfg = Testbeds::amlight_host(KernelVersion::L6_8);
         if v6 {
@@ -243,7 +251,7 @@ pub fn address_family(effort: Effort) -> TableData {
         Scenario::symmetric("BIG TCP over IPv4", mk(false), lan.clone(), opts.clone()),
         Scenario::symmetric("BIG TCP over IPv6", mk(true), lan, opts),
     ];
-    let summaries = run_row(&scenarios, effort);
+    let summaries = run_row(&scenarios, ctx);
     let mut table = TableData::new(
         "Ablation: IPv4 vs IPv6 BIG TCP (Intel LAN, single stream; paper: no difference)",
         vec!["Family", "Ave Tput", "stdev"],
@@ -260,7 +268,8 @@ pub fn address_family(effort: Effort) -> TableData {
 
 /// Pacing-rate sweep around the Fig. 10 operating points: where does
 /// per-flow pacing stop paying?
-pub fn pacing_sweep(effort: Effort) -> FigureData {
+pub fn pacing_sweep(ctx: &RunCtx) -> FigureData {
+    let effort = ctx.effort;
     let host = Testbeds::esnet_host(KernelVersion::L6_8);
     let path = Testbeds::esnet_path(EsnetPath::Wan);
     let rates = [5.0, 10.0, 15.0, 20.0, 25.0];
@@ -284,7 +293,7 @@ pub fn pacing_sweep(effort: Effort) -> FigureData {
             )
         })
         .collect();
-    let summaries = run_row(&scenarios, effort);
+    let summaries = run_row(&scenarios, ctx);
     fig.push_series(
         "aggregate throughput",
         summaries.iter().map(|s| s.throughput_gbps).collect(),
@@ -293,25 +302,25 @@ pub fn pacing_sweep(effort: Effort) -> FigureData {
 }
 
 /// Run every ablation and render.
-pub fn run_all_rendered(effort: Effort) -> String {
+pub fn run_all_rendered(ctx: &RunCtx) -> String {
     let mut out = String::new();
-    out.push_str(&core_affinity(effort).render_ascii());
+    out.push_str(&core_affinity(ctx).render_ascii());
     out.push('\n');
-    out.push_str(&iommu_passthrough(effort).render_ascii());
+    out.push_str(&iommu_passthrough(ctx).render_ascii());
     out.push('\n');
-    out.push_str(&buffer_sysctls(effort).render_ascii());
+    out.push_str(&buffer_sysctls(ctx).render_ascii());
     out.push('\n');
-    out.push_str(&ring_size(effort).render_ascii());
+    out.push_str(&ring_size(ctx).render_ascii());
     out.push('\n');
-    out.push_str(&congestion_control(effort).render_ascii());
+    out.push_str(&congestion_control(ctx).render_ascii());
     out.push('\n');
-    out.push_str(&mtu(effort).render_ascii());
+    out.push_str(&mtu(ctx).render_ascii());
     out.push('\n');
-    out.push_str(&skip_rx_copy(effort).render_ascii());
+    out.push_str(&skip_rx_copy(ctx).render_ascii());
     out.push('\n');
-    out.push_str(&address_family(effort).render_ascii());
+    out.push_str(&address_family(ctx).render_ascii());
     out.push('\n');
-    out.push_str(&pacing_sweep(effort).render_ascii());
+    out.push_str(&pacing_sweep(ctx).render_ascii());
     out
 }
 

@@ -11,10 +11,10 @@
 //! whose verdict mismatches its expectation renders `MISMATCH` and
 //! counts as a failed scenario (non-zero `repro` exit).
 
+use crate::ctx::RunCtx;
 use crate::effort::Effort;
 use crate::experiments::common;
 use crate::render::TableData;
-use crate::runner::TestHarness;
 use crate::scenario::Scenario;
 use crate::testbeds::Testbeds;
 use iperf3sim::Iperf3Opts;
@@ -93,15 +93,15 @@ fn narratives(effort: Effort) -> Vec<Narrative> {
 }
 
 /// Run the narratives; one table row per scenario.
-pub fn diagnosis(effort: Effort) -> TableData {
+pub fn diagnosis(ctx: &RunCtx) -> TableData {
     let mut table = TableData::new(
         "ext_bottleneck — attribution engine vs the paper's diagnosis narratives",
         vec!["scenario", "Gbps", "zc fallback", "verdict", "share", "expected", "agrees"],
     );
     // Each narrative is one run's diagnosis, not an aggregate (more
     // seeds come from --trace); the verdict must be stable per seed.
-    let harness = TestHarness::new(1);
-    for Narrative { scenario, expected } in narratives(effort) {
+    let harness = ctx.harness_with_reps(1);
+    for Narrative { scenario, expected } in narratives(ctx.effort) {
         let summary = common::run_or_empty(&harness, &scenario);
         let verdict = summary
             .reports
@@ -139,7 +139,7 @@ mod tests {
     #[test]
     fn narratives_agree_at_smoke_effort() {
         let before = common::failed_scenario_count();
-        let table = diagnosis(Effort::Smoke);
+        let table = diagnosis(&RunCtx::new(Effort::Smoke));
         assert_eq!(table.rows.len(), 4);
         for row in &table.rows {
             assert_eq!(row[6], "yes", "{row:?}");

@@ -1,6 +1,6 @@
 //! Shared helpers for the experiment definitions.
 
-use crate::effort::Effort;
+use crate::ctx::RunCtx;
 use crate::render::{FigureData, Series};
 use crate::runner::{TestHarness, TestSummary};
 use crate::scenario::Scenario;
@@ -37,31 +37,51 @@ pub fn record_scenario_failure(label: &str, why: impl std::fmt::Display) {
     eprintln!("warning: scenario '{label}': {why}");
 }
 
+/// Run a whole batch of scenarios through one harness; each failed
+/// scenario degrades to zeros exactly like [`run_or_empty`]. The batch
+/// flattens to `(scenario, repetition)` jobs on the bounded pool, so
+/// the entire grid runs work-conservingly instead of scenario by
+/// scenario.
+pub fn run_batch_or_empty(harness: &TestHarness, scenarios: &[Scenario]) -> Vec<TestSummary> {
+    harness
+        .run_batch(scenarios)
+        .into_iter()
+        .zip(scenarios)
+        .map(|(result, sc)| {
+            result.unwrap_or_else(|e| {
+                FAILED_SCENARIOS.fetch_add(1, Ordering::Relaxed);
+                eprintln!("warning: {e}; reporting zeros for '{}'", sc.label);
+                TestSummary::empty(sc.label.as_str())
+            })
+        })
+        .collect()
+}
+
 /// Run a grid of scenarios (series × x-positions) and assemble a
 /// throughput figure. `grid[s][x]` is the scenario for series `s` at
-/// x-position `x`.
+/// x-position `x`. The whole grid is submitted as one batch.
 pub fn throughput_figure(
     title: &str,
     x_labels: Vec<String>,
     grid: Vec<(String, Vec<Scenario>)>,
-    effort: Effort,
+    ctx: &RunCtx,
 ) -> FigureData {
-    let harness = TestHarness::new(effort.repetitions());
+    let harness = ctx.harness();
+    let flat: Vec<Scenario> =
+        grid.iter().flat_map(|(_, scenarios)| scenarios.iter().cloned()).collect();
+    let mut summaries = run_batch_or_empty(&harness, &flat).into_iter();
     let mut fig = FigureData::new(title, "Gbps", x_labels);
     for (name, scenarios) in grid {
-        let points: Vec<Summary> = scenarios
-            .iter()
-            .map(|sc| run_or_empty(&harness, sc).throughput_gbps)
-            .collect();
+        let points: Vec<Summary> =
+            scenarios.iter().map(|_| summaries.next().expect("summary").throughput_gbps).collect();
         fig.push_series(name, points);
     }
     fig
 }
 
 /// Run one row of scenarios and return the summaries (for tables).
-pub fn run_row(scenarios: &[Scenario], effort: Effort) -> Vec<TestSummary> {
-    let harness = TestHarness::new(effort.repetitions());
-    scenarios.iter().map(|sc| run_or_empty(&harness, sc)).collect()
+pub fn run_row(scenarios: &[Scenario], ctx: &RunCtx) -> Vec<TestSummary> {
+    run_batch_or_empty(&ctx.harness(), scenarios)
 }
 
 /// Build a CPU-utilisation figure from already-run summaries: for each

@@ -3,7 +3,7 @@
 //! study that exercises the fault-injection subsystem.
 
 use super::common::throughput_figure;
-use crate::effort::Effort;
+use crate::ctx::RunCtx;
 use crate::render::FigureData;
 use crate::scenario::Scenario;
 use iperf3sim::Iperf3Opts;
@@ -18,7 +18,8 @@ use simcore::{BitRate, Bytes, SimDuration};
 ///
 /// The preview hosts are Intel machines fitted with ConnectX-7 (the
 /// AmLight CX-5 has no hardware GRO).
-pub fn hw_gro(effort: Effort) -> Vec<FigureData> {
+pub fn hw_gro(ctx: &RunCtx) -> Vec<FigureData> {
+    let effort = ctx.effort;
     let lan = PathSpec::lan("Intel LAN (CX-7)", BitRate::gbps(100.0));
     let host = |mtu: u64, hw: bool| -> HostConfig {
         let kernel = if hw { KernelVersion::L6_11 } else { KernelVersion::L6_8 };
@@ -43,13 +44,14 @@ pub fn hw_gro(effort: Effort) -> Vec<FigureData> {
         "SV-C: Hardware GRO preview (Intel + ConnectX-7, single stream)",
         vec!["MTU 9000".into(), "MTU 1500".into()],
         grid,
-        effort,
+        ctx,
     )]
 }
 
 /// §V-C — BIG TCP and MSG_ZEROCOPY combined on a custom
 /// `MAX_SKB_FRAGS=45` kernel: "up to 65 % improved performance".
-pub fn bigtcp_zerocopy(effort: Effort) -> Vec<FigureData> {
+pub fn bigtcp_zerocopy(ctx: &RunCtx) -> Vec<FigureData> {
+    let effort = ctx.effort;
     let lan = PathSpec::lan("AmLight LAN", BitRate::gbps(100.0));
     let base = HostConfig::amlight_intel(KernelVersion::L6_8);
     let mut bigtcp = base.clone();
@@ -95,7 +97,7 @@ pub fn bigtcp_zerocopy(effort: Effort) -> Vec<FigureData> {
         "SV-C: BIG TCP + MSG_ZEROCOPY on a MAX_SKB_FRAGS=45 kernel (Intel LAN)",
         vec!["LAN".into()],
         grid,
-        effort,
+        ctx,
     )]
 }
 
@@ -103,7 +105,8 @@ pub fn bigtcp_zerocopy(effort: Effort) -> Vec<FigureData> {
 /// each fault class injected mid-test. Recovery is left entirely to
 /// the modelled TCP machinery (RTO/TLP, cwnd regrowth, window
 /// updates), so the per-fault throughput cost *is* the result.
-pub fn fault_recovery(effort: Effort) -> Vec<FigureData> {
+pub fn fault_recovery(ctx: &RunCtx) -> Vec<FigureData> {
+    let effort = ctx.effort;
     let lan = PathSpec::lan("ESnet LAN", BitRate::gbps(200.0));
     let host = HostConfig::esnet_amd(KernelVersion::L6_8);
     let secs = effort.lan_secs();
@@ -132,6 +135,6 @@ pub fn fault_recovery(effort: Effort) -> Vec<FigureData> {
         "Robustness: throughput under injected faults (ESnet LAN, single stream)",
         vec!["LAN".into()],
         grid,
-        effort,
+        ctx,
     )]
 }

@@ -1,6 +1,7 @@
 //! Figures 4–13.
 
 use super::common::{constant_series, cpu_figure, run_row, throughput_figure};
+use crate::ctx::RunCtx;
 use crate::effort::Effort;
 use crate::render::FigureData;
 use crate::scenario::Scenario;
@@ -57,7 +58,8 @@ fn esnet_x_labels() -> Vec<String> {
 /// Fig. 4 — baremetal vs tuned VM on AmLight (Intel, kernel 5.10,
 /// single stream, default and zerocopy+pacing): the two environments
 /// must agree within the run-to-run spread (§III-H).
-pub fn fig04(effort: Effort) -> Vec<FigureData> {
+pub fn fig04(ctx: &RunCtx) -> Vec<FigureData> {
+    let effort = ctx.effort;
     let vm = Testbeds::amlight_host(KernelVersion::L5_10);
     let bm = HostConfig::amlight_intel_baremetal(KernelVersion::L5_10);
     let zc = |o: Iperf3Opts| o.zerocopy().fq_rate(BitRate::gbps(AMLIGHT_PACE));
@@ -71,13 +73,14 @@ pub fn fig04(effort: Effort) -> Vec<FigureData> {
         "Fig. 4: Baremetal vs VM, AmLight (Intel, single stream, kernel 5.10)",
         amlight_x_labels(),
         grid,
-        effort,
+        ctx,
     )]
 }
 
 /// Fig. 5 — single-stream results at AmLight (Intel, kernel 6.8):
 /// default, zerocopy alone, zerocopy+pacing(50G), BIG TCP (150 KB).
-pub fn fig05(effort: Effort) -> Vec<FigureData> {
+pub fn fig05(ctx: &RunCtx) -> Vec<FigureData> {
+    let effort = ctx.effort;
     let host = Testbeds::amlight_host(KernelVersion::L6_8);
     let mut bigtcp_host = host.clone();
     bigtcp_host.offload = bigtcp_host
@@ -95,13 +98,14 @@ pub fn fig05(effort: Effort) -> Vec<FigureData> {
         "Fig. 5: Single-stream results at AmLight (Intel host, kernel 6.8)",
         amlight_x_labels(),
         grid,
-        effort,
+        ctx,
     )]
 }
 
 /// Fig. 6 — single-stream results at ESnet (AMD, kernel 6.8): default
 /// vs zerocopy+pacing(40G); the WAN catches up to the LAN.
-pub fn fig06(effort: Effort) -> Vec<FigureData> {
+pub fn fig06(ctx: &RunCtx) -> Vec<FigureData> {
+    let effort = ctx.effort;
     let host = Testbeds::esnet_host(KernelVersion::L6_8);
     let mk = |label: &str, zc: bool| {
         let scenarios = EsnetPath::ALL
@@ -121,7 +125,7 @@ pub fn fig06(effort: Effort) -> Vec<FigureData> {
         "Fig. 6: Single-stream results at ESnet (AMD host, kernel 6.8)",
         esnet_x_labels(),
         grid,
-        effort,
+        ctx,
     )]
 }
 
@@ -129,17 +133,18 @@ pub fn fig06(effort: Effort) -> Vec<FigureData> {
 /// stream, kernel 6.5): on the LAN the receiver is the bottleneck, on
 /// the WAN the sender; zerocopy+pacing collapses the sender CPU.
 /// Returns the CPU figure and the companion throughput figure.
-pub fn fig07(effort: Effort) -> Vec<FigureData> {
+pub fn fig07(ctx: &RunCtx) -> Vec<FigureData> {
     cpu_latency_figure(
         "Fig. 7: CPU utilisation at various latencies (Intel, single stream, kernel 6.5)",
         &Testbeds::amlight_host(KernelVersion::L6_5),
-        effort,
+        ctx,
     )
 }
 
 /// Fig. 8 — same study on the ESnet AMD hosts: the same shape at lower
 /// throughput, with a hotter sender on the WAN.
-pub fn fig08(effort: Effort) -> Vec<FigureData> {
+pub fn fig08(ctx: &RunCtx) -> Vec<FigureData> {
+    let effort = ctx.effort;
     let host = Testbeds::esnet_host(KernelVersion::L6_5);
     let mk = |label: &str, zc: bool| {
         let scenarios: Vec<Scenario> = EsnetPath::ALL
@@ -152,7 +157,7 @@ pub fn fig08(effort: Effort) -> Vec<FigureData> {
                 Scenario::symmetric(label, host.clone(), Testbeds::esnet_path(p), opts)
             })
             .collect();
-        (label.to_string(), run_row(&scenarios, effort))
+        (label.to_string(), run_row(&scenarios, ctx))
     };
     let rows = vec![mk("default", false), mk("zc+pace40", true)];
     let mut figs = vec![cpu_figure(
@@ -168,7 +173,8 @@ pub fn fig08(effort: Effort) -> Vec<FigureData> {
     figs
 }
 
-fn cpu_latency_figure(title: &str, host: &HostConfig, effort: Effort) -> Vec<FigureData> {
+fn cpu_latency_figure(title: &str, host: &HostConfig, ctx: &RunCtx) -> Vec<FigureData> {
+    let effort = ctx.effort;
     let mk = |label: &str, zc: bool| {
         let scenarios: Vec<Scenario> = AmLightPath::ALL
             .iter()
@@ -184,7 +190,7 @@ fn cpu_latency_figure(title: &str, host: &HostConfig, effort: Effort) -> Vec<Fig
                 Scenario::symmetric(label, h, Testbeds::amlight_path(p), opts)
             })
             .collect();
-        (label.to_string(), run_row(&scenarios, effort))
+        (label.to_string(), run_row(&scenarios, ctx))
     };
     let rows = vec![mk("default", false), mk("zc+pace50", true)];
     let mut figs = vec![cpu_figure(title, amlight_x_labels(), rows.clone())];
@@ -211,7 +217,8 @@ fn throughput_companion(
 /// Fig. 9 — sender performance with zerocopy for various `optmem_max`
 /// values (Intel, kernel 6.5, zerocopy + 50 Gbps pacing). Produces the
 /// throughput figure and the sender-CPU figure.
-pub fn fig09(effort: Effort) -> Vec<FigureData> {
+pub fn fig09(ctx: &RunCtx) -> Vec<FigureData> {
+    let effort = ctx.effort;
     let base = Testbeds::amlight_host(KernelVersion::L6_5);
     let variants = [
         ("optmem 20KB (default)", simcore::Bytes::kib(20)),
@@ -243,7 +250,7 @@ pub fn fig09(effort: Effort) -> Vec<FigureData> {
                 )
             })
             .collect();
-        let summaries = run_row(&scenarios, effort);
+        let summaries = run_row(&scenarios, ctx);
         tput.push_series(label, summaries.iter().map(|s| s.throughput_gbps).collect());
         cpu.push_series(label, summaries.iter().map(|s| s.sender_cpu_pct).collect());
     }
@@ -253,7 +260,8 @@ pub fn fig09(effort: Effort) -> Vec<FigureData> {
 /// Fig. 10 — 8 parallel flows on the ESnet testbed (kernel 6.8):
 /// default vs zerocopy at various pacing rates, against the "Max Tput"
 /// line.
-pub fn fig10(effort: Effort) -> Vec<FigureData> {
+pub fn fig10(ctx: &RunCtx) -> Vec<FigureData> {
+    let effort = ctx.effort;
     let host = Testbeds::esnet_host(KernelVersion::L6_8);
     let secs = effort.multi_secs();
     let mk = |label: &str, zc: bool, pace: Option<f64>| {
@@ -284,7 +292,7 @@ pub fn fig10(effort: Effort) -> Vec<FigureData> {
         "Fig. 10: 8 parallel flows, ESnet testbed (AMD, kernel 6.8)",
         esnet_x_labels(),
         grid,
-        effort,
+        ctx,
     );
     // The NIC bounds unpaced runs at ~197 Gbps effective.
     fig.push_series("Max Tput (NIC)", constant_series(197.0, EsnetPath::ALL.len()));
@@ -295,7 +303,8 @@ pub fn fig10(effort: Effort) -> Vec<FigureData> {
 /// default baseline decays with RTT; zerocopy alone suffers from the
 /// ~16 Gbps of production cross traffic; pacing at 10/9 Gbps per flow
 /// is stable at every latency.
-pub fn fig11(effort: Effort) -> Vec<FigureData> {
+pub fn fig11(ctx: &RunCtx) -> Vec<FigureData> {
+    let effort = ctx.effort;
     let host = Testbeds::amlight_host(KernelVersion::L6_8);
     let secs = effort.multi_secs();
     let mk = |label: &str, zc: bool, pace: Option<f64>| {
@@ -326,13 +335,14 @@ pub fn fig11(effort: Effort) -> Vec<FigureData> {
         "Fig. 11: 8 parallel flows, AmLight testbed (Intel, kernel 6.8)",
         amlight_x_labels(),
         grid,
-        effort,
+        ctx,
     )]
 }
 
 /// Fig. 12 — kernel version results on ESnet (AMD, single stream,
 /// default settings): 6.5 ≈ +12 % over 5.15, 6.8 ≈ +17 % over 6.5.
-pub fn fig12(effort: Effort) -> Vec<FigureData> {
+pub fn fig12(ctx: &RunCtx) -> Vec<FigureData> {
+    let effort = ctx.effort;
     let grid = KernelVersion::STUDY
         .iter()
         .map(|&k| {
@@ -356,7 +366,7 @@ pub fn fig12(effort: Effort) -> Vec<FigureData> {
         "Fig. 12: Kernel version results, ESnet (AMD, single stream)",
         esnet_x_labels(),
         grid,
-        effort,
+        ctx,
     )]
 }
 
@@ -364,7 +374,8 @@ pub fn fig12(effort: Effort) -> Vec<FigureData> {
 /// LAN runs use default settings (+27 % from 5.15 to 6.8); WAN runs use
 /// zerocopy+pacing(50G) and are flat across kernels, pinned at the
 /// pacing rate (§IV-E).
-pub fn fig13(effort: Effort) -> Vec<FigureData> {
+pub fn fig13(ctx: &RunCtx) -> Vec<FigureData> {
+    let effort = ctx.effort;
     let grid = KernelVersion::STUDY
         .iter()
         .map(|&k| {
@@ -392,6 +403,6 @@ pub fn fig13(effort: Effort) -> Vec<FigureData> {
         "Fig. 13: Kernel version results, AmLight (Intel, single stream; WAN paced at 50G)",
         amlight_x_labels(),
         grid,
-        effort,
+        ctx,
     )]
 }

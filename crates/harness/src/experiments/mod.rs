@@ -1,6 +1,6 @@
 //! The paper's experiments, one function per table/figure.
 //!
-//! Every function takes an [`Effort`](crate::Effort) and returns
+//! Every function takes a [`RunCtx`](crate::RunCtx) and returns
 //! render-ready [`FigureData`](crate::FigureData) /
 //! [`TableData`](crate::TableData). The mapping to the paper:
 //!
@@ -34,7 +34,7 @@ pub mod figures;
 pub mod tables;
 pub mod telemetry;
 
-use crate::effort::Effort;
+use crate::ctx::RunCtx;
 use crate::render::{FigureData, TableData};
 
 /// The output of one experiment: figures or a table.
@@ -166,36 +166,36 @@ impl ExperimentId {
     }
 
     /// Run the experiment, returning its artifact.
-    pub fn run(self, effort: Effort) -> Artifact {
+    pub fn run(self, ctx: &RunCtx) -> Artifact {
         match self {
-            ExperimentId::Fig04 => Artifact::Figures(figures::fig04(effort)),
-            ExperimentId::Fig05 => Artifact::Figures(figures::fig05(effort)),
-            ExperimentId::Fig06 => Artifact::Figures(figures::fig06(effort)),
-            ExperimentId::Fig07 => Artifact::Figures(figures::fig07(effort)),
-            ExperimentId::Fig08 => Artifact::Figures(figures::fig08(effort)),
-            ExperimentId::Fig09 => Artifact::Figures(figures::fig09(effort)),
-            ExperimentId::Fig10 => Artifact::Figures(figures::fig10(effort)),
-            ExperimentId::Fig11 => Artifact::Figures(figures::fig11(effort)),
-            ExperimentId::Fig12 => Artifact::Figures(figures::fig12(effort)),
-            ExperimentId::Fig13 => Artifact::Figures(figures::fig13(effort)),
-            ExperimentId::Table1 => Artifact::Table(tables::table1(effort)),
-            ExperimentId::Table2 => Artifact::Table(tables::table2(effort)),
-            ExperimentId::Table3 => Artifact::Table(tables::table3(effort)),
-            ExperimentId::ExtHwGro => Artifact::Figures(extensions::hw_gro(effort)),
-            ExperimentId::ExtBigTcpZc => Artifact::Figures(extensions::bigtcp_zerocopy(effort)),
-            ExperimentId::ExtFaults => Artifact::Figures(extensions::fault_recovery(effort)),
-            ExperimentId::ExtTelemetry => Artifact::Table(telemetry::timeline(effort)),
-            ExperimentId::ExtBottleneck => Artifact::Table(bottleneck::diagnosis(effort)),
+            ExperimentId::Fig04 => Artifact::Figures(figures::fig04(ctx)),
+            ExperimentId::Fig05 => Artifact::Figures(figures::fig05(ctx)),
+            ExperimentId::Fig06 => Artifact::Figures(figures::fig06(ctx)),
+            ExperimentId::Fig07 => Artifact::Figures(figures::fig07(ctx)),
+            ExperimentId::Fig08 => Artifact::Figures(figures::fig08(ctx)),
+            ExperimentId::Fig09 => Artifact::Figures(figures::fig09(ctx)),
+            ExperimentId::Fig10 => Artifact::Figures(figures::fig10(ctx)),
+            ExperimentId::Fig11 => Artifact::Figures(figures::fig11(ctx)),
+            ExperimentId::Fig12 => Artifact::Figures(figures::fig12(ctx)),
+            ExperimentId::Fig13 => Artifact::Figures(figures::fig13(ctx)),
+            ExperimentId::Table1 => Artifact::Table(tables::table1(ctx)),
+            ExperimentId::Table2 => Artifact::Table(tables::table2(ctx)),
+            ExperimentId::Table3 => Artifact::Table(tables::table3(ctx)),
+            ExperimentId::ExtHwGro => Artifact::Figures(extensions::hw_gro(ctx)),
+            ExperimentId::ExtBigTcpZc => Artifact::Figures(extensions::bigtcp_zerocopy(ctx)),
+            ExperimentId::ExtFaults => Artifact::Figures(extensions::fault_recovery(ctx)),
+            ExperimentId::ExtTelemetry => Artifact::Table(telemetry::timeline(ctx)),
+            ExperimentId::ExtBottleneck => Artifact::Table(bottleneck::diagnosis(ctx)),
         }
     }
 
     /// Run and render as terminal text.
-    pub fn run_rendered(self, effort: Effort) -> String {
-        self.run(effort).render_ascii()
+    pub fn run_rendered(self, ctx: &RunCtx) -> String {
+        self.run(ctx).render_ascii()
     }
 }
 
 /// Run every table of the paper (I–III).
-pub fn all_tables(effort: Effort) -> Vec<TableData> {
-    vec![tables::table1(effort), tables::table2(effort), tables::table3(effort)]
+pub fn all_tables(ctx: &RunCtx) -> Vec<TableData> {
+    vec![tables::table1(ctx), tables::table2(ctx), tables::table3(ctx)]
 }

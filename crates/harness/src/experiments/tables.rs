@@ -1,7 +1,7 @@
 //! Tables I–III.
 
 use super::common::run_row;
-use crate::effort::Effort;
+use crate::ctx::RunCtx;
 use crate::render::TableData;
 use crate::runner::TestSummary;
 use crate::scenario::Scenario;
@@ -18,7 +18,8 @@ const PACING_ROWS: [(&str, Option<f64>); 4] = [
     ("15 Gbps / stream", Some(15.0)),
 ];
 
-fn esnet_table(effort: Effort, path: EsnetPath, title: &str) -> TableData {
+fn esnet_table(ctx: &RunCtx, path: EsnetPath, title: &str) -> TableData {
+    let effort = ctx.effort;
     // Tables I/II are kernel 5.15 with default iperf3 settings plus
     // --fq-rate (§IV-C).
     let host = Testbeds::esnet_host(KernelVersion::L5_15);
@@ -35,7 +36,7 @@ fn esnet_table(effort: Effort, path: EsnetPath, title: &str) -> TableData {
             Scenario::symmetric(*label, host.clone(), Testbeds::esnet_path(path), opts)
         })
         .collect();
-    let summaries = run_row(&scenarios, effort);
+    let summaries = run_row(&scenarios, ctx);
     let mut table = TableData::new(title, vec!["Test Config", "Ave Tput", "Retr", "Min", "Max", "stdev"]);
     for s in &summaries {
         table.push_row(row_5col(s));
@@ -63,18 +64,18 @@ fn format_retr(mean: f64) -> String {
 }
 
 /// Table I — ESnet testbed LAN results, 8 streams, no flow control.
-pub fn table1(effort: Effort) -> TableData {
+pub fn table1(ctx: &RunCtx) -> TableData {
     esnet_table(
-        effort,
+        ctx,
         EsnetPath::Lan,
         "Table I: ESnet Testbed, LAN results, no Flow Control (8 streams, kernel 5.15)",
     )
 }
 
 /// Table II — ESnet testbed WAN results, 8 streams, no flow control.
-pub fn table2(effort: Effort) -> TableData {
+pub fn table2(ctx: &RunCtx) -> TableData {
     esnet_table(
-        effort,
+        ctx,
         EsnetPath::Wan,
         "Table II: ESnet Testbed, WAN results, no Flow Control (8 streams, kernel 5.15)",
     )
@@ -83,7 +84,8 @@ pub fn table2(effort: Effort) -> TableData {
 /// Table III — ESnet production DTNs with 802.3x flow control
 /// (RTT = 63 ms): pacing trims retransmits and tightens the per-flow
 /// range without changing the average.
-pub fn table3(effort: Effort) -> TableData {
+pub fn table3(ctx: &RunCtx) -> TableData {
+    let effort = ctx.effort;
     let host = Testbeds::prod_dtn_host();
     let path = Testbeds::prod_dtn_path();
     let rows: [(&str, Option<f64>); 4] = [
@@ -103,7 +105,7 @@ pub fn table3(effort: Effort) -> TableData {
             Scenario::symmetric(*label, host.clone(), path.clone(), opts)
         })
         .collect();
-    let summaries = run_row(&scenarios, effort);
+    let summaries = run_row(&scenarios, ctx);
     let mut table = TableData::new(
         "Table III: ESnet Production DTNs, with Flow Control (8 streams, RTT 63 ms)",
         vec!["Test Config", "Ave Tput", "Retr", "Range"],

@@ -7,10 +7,9 @@
 //! congestion-control algorithm: a single stream at 63 ms RTT, sampled
 //! every second, rendered as one timeline row per interval.
 
-use crate::effort::Effort;
+use crate::ctx::RunCtx;
 use crate::experiments::common;
 use crate::render::TableData;
-use crate::runner::TestHarness;
 use crate::scenario::Scenario;
 use crate::testbeds::{EsnetPath, Testbeds};
 use iperf3sim::Iperf3Opts;
@@ -25,7 +24,8 @@ fn per_core_cell(cores: &[f64]) -> String {
 }
 
 /// One timeline row per sampled interval, CUBIC then BBR.
-pub fn timeline(effort: Effort) -> TableData {
+pub fn timeline(ctx: &RunCtx) -> TableData {
+    let effort = ctx.effort;
     let host = Testbeds::esnet_host(KernelVersion::L6_8);
     let path = Testbeds::esnet_path(EsnetPath::Wan);
     let mut table = TableData::new(
@@ -58,7 +58,7 @@ pub fn timeline(effort: Effort) -> TableData {
         // The timeline is one run's story, not an aggregate: a single
         // repetition per algorithm (traces for more seeds come from
         // --trace).
-        let summary = common::run_or_empty(&TestHarness::new(1), &sc);
+        let summary = common::run_or_empty(&ctx.harness_with_reps(1), &sc);
         let Some(report) = summary.reports.first() else { continue };
         let Some(telemetry) = &report.telemetry else { continue };
         let host_samples = telemetry.host.samples.values();
@@ -107,7 +107,7 @@ mod tests {
 
     #[test]
     fn timeline_covers_both_algorithms() {
-        let table = timeline(Effort::Smoke);
+        let table = timeline(&RunCtx::new(crate::effort::Effort::Smoke));
         assert_eq!(table.columns.len(), 11);
         let ccs: Vec<&str> = table.rows.iter().map(|r| r[0].as_str()).collect();
         assert!(ccs.contains(&"cubic"), "{ccs:?}");

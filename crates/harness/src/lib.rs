@@ -9,9 +9,18 @@
 //!   calibrated reproductions of Figs. 1–2.
 //! * [`scenario`] — one test configuration (hosts × path × iperf3
 //!   flags).
-//! * [`runner`] — the repetition runner (parallel across seeds via
-//!   scoped threads) producing [`runner::TestSummary`]; failed
-//!   repetitions are retried once and recorded per-seed.
+//! * [`runner`] — the repetition runner (scenario batches flatten into
+//!   `(scenario, repetition)` jobs on the bounded pool) producing
+//!   [`runner::TestSummary`]; failed repetitions are retried once and
+//!   recorded per-seed. Seeds derive from scenario fingerprints, not
+//!   loop positions.
+//! * [`sched`] — the bounded work-conserving pool and the process-wide
+//!   concurrency gate (`REPRO_JOBS`).
+//! * [`cache`] — the content-addressed run cache (`REPRO_CACHE_DIR`):
+//!   checksummed JSON reports keyed on canonical scenario + seed +
+//!   cost-model version.
+//! * [`ctx`] — [`ctx::RunCtx`]: effort, tracing, cache and parallelism
+//!   resolved once at entry and threaded explicitly.
 //! * [`render`] — ASCII tables and grouped bar charts for terminal
 //!   reports.
 //! * [`trace`] — JSON-lines telemetry traces (`--trace <dir>`), one
@@ -28,15 +37,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
+pub mod ctx;
 pub mod effort;
 pub mod experiments;
 pub mod profile;
 pub mod render;
 pub mod runner;
 pub mod scenario;
+pub mod sched;
 pub mod testbeds;
 pub mod trace;
 
+pub use cache::RunCache;
+pub use ctx::RunCtx;
 pub use effort::Effort;
 pub use render::{FigureData, Series, TableData};
 pub use runner::{FailedRep, ScenarioError, TestHarness, TestSummary};

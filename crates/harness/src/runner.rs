@@ -3,20 +3,31 @@
 //! The paper's methodology (§III-G): run every configuration for 60
 //! seconds, at least 10 times, with `mpstat` sampling CPU alongside;
 //! report mean, stdev, min and max. Repetitions only differ by seed
-//! here, and are independent simulations — so they run on parallel
-//! threads via `std::thread::scope`.
+//! here, and are independent simulations — so a batch of scenarios
+//! flattens into `(scenario, repetition)` jobs on the bounded
+//! work-conserving pool in [`crate::sched`], with results landing in
+//! deterministic slot order.
+//!
+//! Seeds are *derived*, not positional: repetition `i` of a scenario
+//! runs on `derive_seed(scenario.fingerprint(), base_seed, i)`, so a
+//! scenario's seeds depend only on what it is — never on where it sits
+//! in a grid or which loop launched it. When a
+//! [`RunCache`](crate::cache::RunCache) is attached, each repetition is
+//! looked up by content address before simulating and stored after.
 //!
 //! Real campaigns lose repetitions (a host reboots, a watchdog fires):
 //! a failed repetition is recorded per-seed and retried once with a
 //! perturbed seed, survivors are aggregated, and the whole scenario
 //! only errors out when *no* repetition produced a report.
 
+use crate::cache::RunCache;
 use crate::scenario::Scenario;
+use crate::sched;
 use iperf3sim::{Iperf3Report, RunError};
-use simcore::{RunningStats, SimDuration, Summary};
+use simcore::{derive_seed, RunningStats, SimDuration, Summary};
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Outcome slot for one repetition: the report (with the seed that
@@ -141,15 +152,24 @@ impl TestSummary {
 pub struct TestHarness {
     /// Number of repetitions per scenario.
     pub repetitions: usize,
-    /// Base seed; repetition `i` runs with `base_seed + i`.
+    /// Base seed mixed into the derivation; repetition `i` of a
+    /// scenario runs with
+    /// `derive_seed(scenario.fingerprint(), base_seed, i)`.
     pub base_seed: u64,
-    /// Run repetitions on parallel threads.
+    /// Run repetitions on parallel threads (bounded by the process-wide
+    /// scheduler gate).
     pub parallel: bool,
     /// Write a JSON-lines telemetry trace plus simulated-`perf`
     /// profile files per surviving repetition into this directory (the
-    /// `--trace <dir>` flag; also settable via `REPRO_TRACE_DIR`).
-    /// Forces telemetry sampling and bottleneck attribution on.
+    /// `--trace <dir>` flag, threaded through
+    /// [`RunCtx`](crate::ctx::RunCtx)). Forces telemetry sampling and
+    /// bottleneck attribution on.
     pub trace_dir: Option<PathBuf>,
+    /// Content-addressed report cache, consulted per repetition before
+    /// simulating and filled after. Repetitions that carry observers
+    /// (telemetry sampling or attribution, e.g. under tracing) bypass
+    /// it.
+    pub cache: Option<Arc<RunCache>>,
 }
 
 impl Default for TestHarness {
@@ -158,13 +178,14 @@ impl Default for TestHarness {
             repetitions: 5,
             base_seed: 1000,
             parallel: true,
-            trace_dir: std::env::var_os("REPRO_TRACE_DIR").map(PathBuf::from),
+            trace_dir: None,
+            cache: None,
         }
     }
 }
 
-/// Retried seeds flip the top bit: far from the `base_seed + i` range,
-/// so a retry never collides with another repetition's seed.
+/// Retried seeds flip the top bit of the derived seed, so a retry
+/// never collides with another repetition's seed stream.
 const RETRY_SEED_XOR: u64 = 0x8000_0000_0000_0000;
 
 /// Pause before a retry — stands in for "wait for the testbed to
@@ -209,52 +230,80 @@ impl TestHarness {
     /// [`TestSummary::failed_reps`]. Only a scenario with *zero*
     /// surviving repetitions is an error.
     pub fn run(&self, scenario: &Scenario) -> Result<TestSummary, ScenarioError> {
-        let slots: Mutex<Vec<Option<Slot>>> = Mutex::new(vec![None; self.repetitions]);
+        self.run_batch(std::slice::from_ref(scenario))
+            .pop()
+            .expect("one scenario yields one result")
+    }
 
-        let run_one = |i: usize| {
-            let seed = self.base_seed + i as u64;
-            let outcome = match self.attempt(scenario, seed) {
-                Ok(report) => Ok((seed, report)),
-                Err(RunError::Invalid(problems)) => Err(FailedRep {
-                    seed,
-                    error: RunError::Invalid(problems).to_string(),
-                    retried: false,
-                    invalid: true,
-                }),
-                Err(first) => {
-                    // Runtime failure: one retry, perturbed seed,
-                    // bounded backoff.
-                    std::thread::sleep(RETRY_BACKOFF);
-                    let retry_seed = seed ^ RETRY_SEED_XOR;
-                    match self.attempt(scenario, retry_seed) {
-                        Ok(report) => Ok((retry_seed, report)),
-                        Err(_) => Err(FailedRep {
-                            seed,
-                            error: first.to_string(),
-                            retried: true,
-                            invalid: false,
-                        }),
-                    }
-                }
-            };
-            slots.lock().expect("slots lock")[i] = Some(outcome);
+    /// Run a whole batch of scenarios: every `(scenario, repetition)`
+    /// pair becomes one job on the bounded pool, so an entire figure
+    /// grid saturates the scheduler gate instead of running scenarios
+    /// one after another. Results return in scenario order and are
+    /// bit-identical to sequential execution.
+    pub fn run_batch(
+        &self,
+        scenarios: &[Scenario],
+    ) -> Vec<Result<TestSummary, ScenarioError>> {
+        let reps = self.repetitions;
+        let fingerprints: Vec<u64> = scenarios.iter().map(Scenario::fingerprint).collect();
+        let job = |j: usize| -> Slot {
+            let (si, i) = (j / reps, j % reps);
+            self.run_one_rep(&scenarios[si], derive_seed(fingerprints[si], self.base_seed, i as u64))
         };
-
-        if self.parallel && self.repetitions > 1 {
-            std::thread::scope(|s| {
-                let run_one = &run_one;
-                for i in 0..self.repetitions {
-                    s.spawn(move || run_one(i));
-                }
-            });
+        let slots: Vec<Option<Slot>> = if self.parallel {
+            sched::run_batch(sched::global_gate(), scenarios.len() * reps, |j| Some(job(j)))
         } else {
-            for i in 0..self.repetitions {
-                run_one(i);
+            (0..scenarios.len() * reps).map(|j| Some(job(j))).collect()
+        };
+        slots
+            .chunks(reps)
+            .zip(scenarios)
+            .zip(&fingerprints)
+            .map(|((chunk, sc), &fp)| self.finish_scenario(sc, fp, chunk.to_vec()))
+            .collect()
+    }
+
+    /// One repetition: attempt, then one retry on a perturbed seed for
+    /// runtime failures.
+    fn run_one_rep(&self, scenario: &Scenario, seed: u64) -> Slot {
+        match self.attempt(scenario, seed) {
+            Ok(report) => Ok((seed, report)),
+            Err(RunError::Invalid(problems)) => Err(FailedRep {
+                seed,
+                error: RunError::Invalid(problems).to_string(),
+                retried: false,
+                invalid: true,
+            }),
+            Err(first) => {
+                // Runtime failure: one retry, perturbed seed, bounded
+                // backoff.
+                std::thread::sleep(RETRY_BACKOFF);
+                let retry_seed = seed ^ RETRY_SEED_XOR;
+                match self.attempt(scenario, retry_seed) {
+                    Ok(report) => Ok((retry_seed, report)),
+                    Err(_) => Err(FailedRep {
+                        seed,
+                        error: first.to_string(),
+                        retried: true,
+                        invalid: false,
+                    }),
+                }
             }
         }
+    }
 
-        let (reports, failures) =
-            Self::collect_slots(slots.into_inner().expect("slots lock"), self.base_seed);
+    /// Aggregate one scenario's repetition slots into a summary (or a
+    /// scenario-level error), writing traces for the survivors.
+    fn finish_scenario(
+        &self,
+        scenario: &Scenario,
+        fingerprint: u64,
+        slots: Vec<Option<Slot>>,
+    ) -> Result<TestSummary, ScenarioError> {
+        let seeds: Vec<u64> = (0..slots.len())
+            .map(|i| derive_seed(fingerprint, self.base_seed, i as u64))
+            .collect();
+        let (reports, failures) = Self::collect_slots(slots, &seeds);
         if reports.is_empty() {
             // Deterministic config errors read the same on every seed:
             // report them as one Invalid, not N identical failures.
@@ -295,9 +344,10 @@ impl TestHarness {
     /// thread died before writing its result — a panic swallowed by a
     /// crashed thread, an OOM kill) into a recorded runtime failure so
     /// the scenario degrades instead of panicking the whole harness.
+    /// `seeds[i]` is the seed repetition `i` would have run with.
     fn collect_slots(
         slots: Vec<Option<Slot>>,
-        base_seed: u64,
+        seeds: &[u64],
     ) -> (Vec<(usize, u64, Iperf3Report)>, Vec<FailedRep>) {
         let mut reports = Vec::new();
         let mut failures = Vec::new();
@@ -306,7 +356,7 @@ impl TestHarness {
                 Some(Ok((seed, report))) => reports.push((i, seed, report)),
                 Some(Err(failure)) => failures.push(failure),
                 None => failures.push(FailedRep {
-                    seed: base_seed + i as u64,
+                    seed: seeds[i],
                     error: format!("repetition {i}: worker died before reporting a result"),
                     retried: false,
                     invalid: false,
@@ -326,6 +376,29 @@ impl TestHarness {
                 opts = opts.telemetry(SimDuration::from_secs(1));
             }
             opts = opts.attribution();
+        }
+        // Observer-free runs are pure functions of (scenario, seed):
+        // consult the content-addressed cache before simulating, fill
+        // it after. Runs carrying telemetry/attribution bypass it (the
+        // cached payload deliberately excludes observer data).
+        let cacheable = opts.telemetry.is_none() && !opts.attribution;
+        if cacheable {
+            if let Some(cache) = &self.cache {
+                let key = cache.key(scenario, seed);
+                if let Some(report) = cache.lookup(&key) {
+                    return Ok(report);
+                }
+                let report = iperf3sim::run_with_faults(
+                    &scenario.client,
+                    &scenario.server,
+                    &scenario.path,
+                    &opts,
+                    &scenario.faults,
+                    scenario.event_budget,
+                )?;
+                cache.store(&key, &report);
+                return Ok(report);
+            }
         }
         iperf3sim::run_with_faults(
             &scenario.client,
@@ -445,11 +518,12 @@ mod tests {
         // AllRepetitionsFailed with one record per seed.
         let sc = scenario().with_faults(FaultPlan::none()).with_event_budget(10);
         let err = TestHarness::new(2).with_base_seed(7).run(&sc).unwrap_err();
+        let rep0_seed = simcore::derive_seed(sc.fingerprint(), 7, 0);
         match err {
             ScenarioError::AllRepetitionsFailed { failures, .. } => {
                 assert_eq!(failures.len(), 2);
                 assert!(failures.iter().all(|f| f.retried));
-                assert!(failures.iter().any(|f| f.seed == 7));
+                assert!(failures.iter().any(|f| f.seed == rep0_seed));
                 assert!(failures[0].error.contains("stalled"), "{}", failures[0].error);
             }
             other => panic!("expected AllRepetitionsFailed, got {other}"),
@@ -462,7 +536,7 @@ mod tests {
         // panic the harness: the empty slot reads as a runtime failure
         // so the usual degradation path (aggregate the survivors, or
         // AllRepetitionsFailed) applies.
-        let (reports, failures) = TestHarness::collect_slots(vec![None, None], 50);
+        let (reports, failures) = TestHarness::collect_slots(vec![None, None], &[50, 51]);
         assert!(reports.is_empty());
         assert_eq!(failures.len(), 2);
         assert_eq!(failures[0].seed, 50);

@@ -69,6 +69,14 @@ impl Scenario {
         self
     }
 
+    /// The scenario's stable 64-bit fingerprint — the identity seeds
+    /// and cache keys derive from. `label` (and the hosts'/path's
+    /// display names) are excluded, so renaming never re-seeds a run.
+    pub fn fingerprint(&self) -> u64 {
+        use simcore::Canonicalize;
+        self.canon_fingerprint()
+    }
+
     /// Full description for logs.
     pub fn describe(&self) -> String {
         let mut d = format!(
@@ -83,6 +91,20 @@ impl Scenario {
             d.push_str(&format!(" | {} fault(s)", self.faults.events.len()));
         }
         d
+    }
+}
+
+impl simcore::Canonicalize for Scenario {
+    fn canonicalize(&self, c: &mut simcore::Canon) {
+        c.scope("client", |cc| self.client.canonicalize(cc));
+        c.scope("server", |cc| self.server.canonicalize(cc));
+        c.scope("path", |cc| self.path.canonicalize(cc));
+        c.scope("opts", |cc| self.opts.canonicalize(cc));
+        c.scope("faults", |cc| self.faults.canonicalize(cc));
+        match self.event_budget {
+            None => c.put_str("event_budget", "default"),
+            Some(n) => c.put_u64("event_budget", n),
+        }
     }
 }
 

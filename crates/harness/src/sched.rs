@@ -1,0 +1,238 @@
+//! The scenario scheduler: a bounded work-conserving pool.
+//!
+//! Experiments flatten into `(scenario, repetition)` jobs; this module
+//! runs any such indexed job list on `std::thread::scope` workers
+//! pulling from a shared injector (an atomic next-index counter — all
+//! jobs are known up front, so stealing degenerates to "take the next
+//! undone index"). Results land in deterministic slot order: job `i`
+//! writes slot `i`, whatever thread ran it, so parallel and sequential
+//! execution produce bit-identical output.
+//!
+//! Concurrency is bounded globally by a [`Gate`]: every *leaf* job (one
+//! simulated repetition) holds a permit while it computes, so nested
+//! fan-out — `repro all` running experiments on threads, each
+//! experiment batching scenarios, each scenario running repetitions —
+//! cannot multiply into `experiments × scenarios × reps` live
+//! simulations. Coordination threads never hold permits, only leaves
+//! do, so the nesting cannot deadlock either.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// A counting semaphore bounding how many simulations run at once.
+#[derive(Debug)]
+pub struct Gate {
+    capacity: usize,
+    in_use: Mutex<usize>,
+    freed: Condvar,
+}
+
+/// RAII permit from a [`Gate`]; releases on drop.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    gate: &'a Gate,
+}
+
+impl Gate {
+    /// A gate admitting `capacity` concurrent jobs.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "gate capacity must be positive");
+        Gate { capacity, in_use: Mutex::new(0), freed: Condvar::new() }
+    }
+
+    /// Maximum concurrent permits.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Block until a permit is free, then take it.
+    pub fn permit(&self) -> Permit<'_> {
+        let mut in_use = self.in_use.lock().expect("gate lock");
+        while *in_use >= self.capacity {
+            in_use = self.freed.wait(in_use).expect("gate wait");
+        }
+        *in_use += 1;
+        Permit { gate: self }
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut in_use = self.gate.in_use.lock().expect("gate lock");
+        *in_use -= 1;
+        self.gate.freed.notify_one();
+    }
+}
+
+/// Parallelism from the environment: `REPRO_JOBS` if set (≥ 1), else
+/// the machine's available parallelism.
+pub fn jobs_from_env() -> usize {
+    match std::env::var("REPRO_JOBS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        Some(_) => {
+            eprintln!("REPRO_JOBS must be >= 1; using available parallelism");
+            default_jobs()
+        }
+        None => default_jobs(),
+    }
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The process-wide gate, sized from `REPRO_JOBS` on first use. Every
+/// harness that is not given an explicit gate shares this one, so
+/// however many experiments and scenarios are in flight, at most this
+/// many repetitions simulate concurrently.
+pub fn global_gate() -> &'static Gate {
+    static GATE: OnceLock<Gate> = OnceLock::new();
+    GATE.get_or_init(|| Gate::new(jobs_from_env()))
+}
+
+/// Run jobs `0..n` through `f`, at most `gate.capacity()` at a time,
+/// and return the results in index order.
+///
+/// Workers pull indices from a shared injector and hold a gate permit
+/// only while computing a job, so concurrent batches (from parallel
+/// experiments or tests) share the bound instead of stacking on top of
+/// each other. `f` runs on worker threads — it must not itself call
+/// back into a batch on the same gate while holding state the inner
+/// batch needs (leaf jobs never do).
+pub fn run_batch<T, F>(gate: &Gate, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = gate.capacity().min(n);
+    if workers <= 1 {
+        return (0..n).map(|i| {
+            let _permit = gate.permit();
+            f(i)
+        }).collect();
+    }
+
+    let injector = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = injector.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = {
+                    let _permit = gate.permit();
+                    f(i)
+                };
+                *slots[i].lock().expect("slot lock") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .expect("slot lock")
+                .unwrap_or_else(|| panic!("job {i} produced no result (worker died)"))
+        })
+        .collect()
+}
+
+/// Run `n` coordination-level tasks concurrently (no permits held):
+/// used for experiment-level fan-out, where each task spends its life
+/// blocked on inner [`run_batch`] calls and holding a permit would
+/// starve the leaves. Results return in index order.
+pub fn run_tasks<T, F>(parallel: bool, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    if !parallel || n == 1 {
+        return (0..n).map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for (i, slot) in slots.iter().enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                *slot.lock().expect("slot lock") = Some(f(i));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .expect("slot lock")
+                .unwrap_or_else(|| panic!("task {i} produced no result (worker died)"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_land_in_slot_order() {
+        let gate = Gate::new(4);
+        let out = run_batch(&gate, 16, |i| i * i);
+        assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let gate = Gate::new(2);
+        let out: Vec<usize> = run_batch(&gate, 0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn gate_bounds_concurrency() {
+        let gate = Gate::new(3);
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        run_batch(&gate, 24, |_| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 3, "peak {}", peak.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn nested_batches_share_the_gate_without_deadlock() {
+        // Coordination tasks (no permit) fan out to leaf batches on a
+        // capacity-1 gate: must complete, sequentially.
+        let gate = Gate::new(1);
+        let out = run_tasks(true, 3, |t| {
+            let inner = run_batch(&gate, 4, |i| t * 10 + i);
+            inner.iter().sum::<usize>()
+        });
+        assert_eq!(out, vec![6, 46, 86]);
+    }
+
+    #[test]
+    fn run_tasks_sequential_matches_parallel() {
+        let seq = run_tasks(false, 5, |i| i + 1);
+        let par = run_tasks(true, 5, |i| i + 1);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Gate::new(0);
+    }
+}

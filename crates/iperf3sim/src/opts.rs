@@ -197,6 +197,26 @@ impl Iperf3Opts {
     }
 }
 
+impl simcore::Canonicalize for Iperf3Opts {
+    /// `seed` is excluded (it is *derived from* the fingerprint, per
+    /// repetition), as are `telemetry`/`attribution` — observers that
+    /// sample the run without changing the traffic.
+    fn canonicalize(&self, c: &mut simcore::Canon) {
+        c.scope("version", |c| self.version.canonicalize(c));
+        c.put_u64("parallel", self.parallel as u64);
+        c.put_u64("time_secs", self.time_secs);
+        c.put_u64("omit_secs", self.omit_secs);
+        match self.fq_rate {
+            None => c.put_str("fq_rate_bps", "none"),
+            Some(rate) => c.put_f64("fq_rate_bps", rate.as_bps()),
+        }
+        c.put_bool("zerocopy", self.zerocopy);
+        c.put_bool("sendfile", self.sendfile);
+        c.put_bool("skip_rx_copy", self.skip_rx_copy);
+        c.put_str("congestion", self.congestion.name());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

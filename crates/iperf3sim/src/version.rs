@@ -62,6 +62,14 @@ impl Default for Iperf3Version {
     }
 }
 
+impl simcore::Canonicalize for Iperf3Version {
+    fn canonicalize(&self, c: &mut simcore::Canon) {
+        c.put_u64("minor", self.minor as u64);
+        c.put_bool("patch_1690", self.patch_1690);
+        c.put_bool("patch_1728", self.patch_1728);
+    }
+}
+
 impl fmt::Display for Iperf3Version {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "iperf 3.{}", self.minor)?;

@@ -124,6 +124,16 @@ impl CoreAllocation {
     }
 }
 
+impl simcore::Canonicalize for CoreAllocation {
+    fn canonicalize(&self, c: &mut simcore::Canon) {
+        let irq: Vec<u64> = self.irq_cores.iter().map(|&x| x as u64).collect();
+        let app: Vec<u64> = self.app_cores.iter().map(|&x| x as u64).collect();
+        c.put_u64_seq("irq_cores", &irq);
+        c.put_u64_seq("app_cores", &app);
+        c.put_bool("irqbalance", self.irqbalance);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

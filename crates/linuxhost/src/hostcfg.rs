@@ -191,6 +191,27 @@ impl HostConfig {
     }
 }
 
+impl simcore::Canonicalize for HostConfig {
+    /// `name` is display-only and deliberately excluded: renaming a
+    /// host must not re-seed or re-simulate its scenarios.
+    fn canonicalize(&self, c: &mut simcore::Canon) {
+        c.put_str("cpu", &format!("{:?}", self.cpu));
+        c.put_str("nic", &format!("{:?}", self.nic));
+        c.put_str("kernel", &format!("{:?}", self.kernel));
+        c.scope("sysctl", |c| self.sysctl.canonicalize(c));
+        c.scope("offload", |c| self.offload.canonicalize(c));
+        c.scope("cores", |c| self.cores.canonicalize(c));
+        c.put_str("virt", &format!("{:?}", self.virt));
+        c.put_bool("iommu_pt", self.iommu_pt);
+        match self.ring_entries {
+            None => c.put_str("ring_entries", "default"),
+            Some(n) => c.put_u64("ring_entries", n as u64),
+        }
+        c.put_bool("performance_governor", self.performance_governor);
+        c.put_bool("smt_off", self.smt_off);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

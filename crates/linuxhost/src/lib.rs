@@ -41,7 +41,7 @@ pub mod virt;
 pub mod zerocopy;
 
 pub use advisor::{advise, Intent, Recommendation, Severity};
-pub use costmodel::{CostModel, Stage, TxMode};
+pub use costmodel::{CostModel, Stage, TxMode, COST_MODEL_VERSION};
 pub use cpu::{CoreAllocation, CpuArch};
 pub use hostcfg::HostConfig;
 pub use kernel::KernelVersion;

@@ -160,6 +160,20 @@ impl OffloadConfig {
     }
 }
 
+impl simcore::Canonicalize for OffloadConfig {
+    fn canonicalize(&self, c: &mut simcore::Canon) {
+        c.put_u64("gso_max_size", self.gso_max_size.as_u64());
+        c.put_u64("gro_max_size", self.gro_max_size.as_u64());
+        c.put_u64("mtu", self.mtu.as_u64());
+        c.put_u64("max_skb_frags", self.max_skb_frags as u64);
+        c.put_bool("hw_gro", self.hw_gro);
+        c.put_str("addr_family", match self.addr_family {
+            AddrFamily::V4 => "v4",
+            AddrFamily::V6 => "v6",
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

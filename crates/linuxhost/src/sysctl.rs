@@ -120,6 +120,29 @@ impl Default for SysctlConfig {
     }
 }
 
+impl simcore::Canonicalize for BufTriple {
+    fn canonicalize(&self, c: &mut simcore::Canon) {
+        c.put_u64("min", self.min.as_u64());
+        c.put_u64("default", self.default.as_u64());
+        c.put_u64("max", self.max.as_u64());
+    }
+}
+
+impl simcore::Canonicalize for SysctlConfig {
+    fn canonicalize(&self, c: &mut simcore::Canon) {
+        c.scope("tcp_rmem", |c| self.tcp_rmem.canonicalize(c));
+        c.scope("tcp_wmem", |c| self.tcp_wmem.canonicalize(c));
+        c.put_u64("rmem_max", self.rmem_max.as_u64());
+        c.put_u64("wmem_max", self.wmem_max.as_u64());
+        c.put_u64("optmem_max", self.optmem_max.as_u64());
+        c.put_str("default_qdisc", match self.default_qdisc {
+            Qdisc::Fq => "fq",
+            Qdisc::FqCodel => "fq_codel",
+        });
+        c.put_bool("tcp_no_metrics_save", self.tcp_no_metrics_save);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -50,6 +50,14 @@ impl CrossTrafficSpec {
     }
 }
 
+impl simcore::Canonicalize for CrossTrafficSpec {
+    fn canonicalize(&self, c: &mut simcore::Canon) {
+        c.put_f64("mean_rate_bps", self.mean_rate.as_bps());
+        c.put_f64("burst_rate_bps", self.burst_rate.as_bps());
+        c.put_u64("mean_burst_ns", self.mean_burst.as_nanos());
+    }
+}
+
 /// Live state of the on/off process.
 #[derive(Debug, Clone)]
 pub struct CrossTraffic {

@@ -142,6 +142,28 @@ impl PathSpec {
     }
 }
 
+impl simcore::Canonicalize for PathSpec {
+    /// `name` is display-only and excluded: renaming a path must not
+    /// re-seed or re-simulate the scenarios that run over it.
+    fn canonicalize(&self, c: &mut simcore::Canon) {
+        c.put_str("class", &format!("{:?}", self.class));
+        c.put_u64("rtt_ns", self.rtt.as_nanos());
+        c.put_f64("bottleneck_bps", self.bottleneck.as_bps());
+        match self.policy_cap {
+            None => c.put_str("policy_cap_bps", "none"),
+            Some(cap) => c.put_f64("policy_cap_bps", cap.as_bps()),
+        }
+        c.put_u64("switch_buffer_bytes", self.switch_buffer.as_u64());
+        c.put_bool("flow_control", self.flow_control);
+        match &self.cross_traffic {
+            None => c.put_str("cross_traffic", "none"),
+            Some(spec) => c.scope("cross_traffic", |c| spec.canonicalize(c)),
+        }
+        c.put_f64("random_loss", self.random_loss);
+        c.put_bool("red", self.red);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

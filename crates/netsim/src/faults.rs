@@ -182,6 +182,37 @@ impl FaultPlan {
     }
 }
 
+impl simcore::Canonicalize for Fault {
+    fn canonicalize(&self, c: &mut simcore::Canon) {
+        c.put_str("kind", self.kind());
+        c.put_u64("duration_ns", self.duration().as_nanos());
+        if let Fault::BurstyLoss { mean_bad, mean_good, loss_bad, .. } = self {
+            c.put_u64("mean_bad_ns", mean_bad.as_nanos());
+            c.put_u64("mean_good_ns", mean_good.as_nanos());
+            c.put_f64("loss_bad", *loss_bad);
+        }
+    }
+}
+
+impl simcore::Canonicalize for FaultEvent {
+    fn canonicalize(&self, c: &mut simcore::Canon) {
+        c.put_u64("at_ns", self.at.as_nanos());
+        c.scope("fault", |c| self.fault.canonicalize(c));
+    }
+}
+
+impl simcore::Canonicalize for FaultPlan {
+    /// Events are sorted by (start, kind) before canonicalization so a
+    /// plan means the same schedule regardless of builder-call order.
+    fn canonicalize(&self, c: &mut simcore::Canon) {
+        let mut sorted: Vec<&FaultEvent> = self.events.iter().collect();
+        sorted.sort_by_key(|ev| (ev.at, ev.fault.kind()));
+        let items: Vec<&dyn simcore::Canonicalize> =
+            sorted.iter().map(|ev| *ev as &dyn simcore::Canonicalize).collect();
+        c.put_seq("events", &items);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

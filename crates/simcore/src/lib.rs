@@ -21,6 +21,10 @@
 //!   a livelocked or runaway simulation into a structured error.
 //! * [`ledger`] — a per-core, per-stage busy-time matrix
 //!   ([`CycleLedger`]) backing the bottleneck-attribution profiles.
+//! * [`canon`] — canonical configuration serialization and stable
+//!   FNV-1a fingerprints ([`Canon`], [`Canonicalize`]), from which the
+//!   harness derives position-free per-repetition seeds and
+//!   content-addressed cache keys.
 //!
 //! Nothing in this crate knows about TCP, Linux, or NICs; it is the
 //! domain-neutral substrate.
@@ -30,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod canon;
 pub mod engine;
 pub mod ledger;
 pub mod rng;
@@ -39,6 +44,7 @@ pub mod time;
 pub mod units;
 pub mod watchdog;
 
+pub use canon::{derive_seed, fnv1a_64, Canon, Canonicalize};
 pub use engine::EventQueue;
 pub use ledger::CycleLedger;
 pub use rng::SimRng;

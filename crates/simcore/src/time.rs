@@ -219,6 +219,12 @@ impl fmt::Display for SimTime {
     }
 }
 
+impl crate::canon::Canonicalize for SimDuration {
+    fn canonicalize(&self, c: &mut crate::canon::Canon) {
+        c.put_u64("ns", self.0);
+    }
+}
+
 impl fmt::Display for SimDuration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.0 >= 1_000_000_000 {

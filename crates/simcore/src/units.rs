@@ -284,6 +284,18 @@ impl fmt::Display for BitRate {
     }
 }
 
+impl crate::canon::Canonicalize for Bytes {
+    fn canonicalize(&self, c: &mut crate::canon::Canon) {
+        c.put_u64("bytes", self.0);
+    }
+}
+
+impl crate::canon::Canonicalize for BitRate {
+    fn canonicalize(&self, c: &mut crate::canon::Canon) {
+        c.put_f64("bps", self.0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

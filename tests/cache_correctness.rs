@@ -1,0 +1,180 @@
+//! Correctness of the content-addressed run cache.
+//!
+//! The contract: a cache hit is *bit-identical* to the run it
+//! replaces, anything unreadable (truncated, bit-flipped, wrong
+//! header) is silently recomputed, and bumping the cost-model version
+//! orphans every existing entry.
+
+use dtnperf::prelude::*;
+use harness::{RunCache, TestSummary};
+use iperf3sim::Iperf3Opts;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn scenario(label: &str) -> Scenario {
+    Scenario::symmetric(
+        label,
+        Testbeds::esnet_host(KernelVersion::L6_8),
+        Testbeds::esnet_path(EsnetPath::Lan),
+        Iperf3Opts::new(2).omit(0),
+    )
+}
+
+/// A fresh, empty cache directory unique to this test.
+fn cache_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro_cache_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn harness_with(cache: Arc<RunCache>, reps: usize) -> TestHarness {
+    let mut h = TestHarness::new(reps);
+    h.cache = Some(cache);
+    h
+}
+
+/// Every observable float of the summary, bit-compared.
+fn assert_bit_identical(a: &TestSummary, b: &TestSummary) {
+    let floats = |s: &TestSummary| {
+        vec![
+            s.throughput_gbps.mean,
+            s.throughput_gbps.stdev,
+            s.throughput_gbps.min,
+            s.throughput_gbps.max,
+            s.retr.mean,
+            s.min_stream_gbps,
+            s.max_stream_gbps,
+            s.sender_cpu_pct.mean,
+            s.receiver_cpu_pct.mean,
+            s.zc_fallback,
+        ]
+    };
+    for (x, y) in floats(a).iter().zip(floats(b).iter()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "cached run drifted from cold run: {x} vs {y}");
+    }
+    for (ra, rb) in a.reports.iter().zip(b.reports.iter()) {
+        let bytes = |r: &Iperf3Report| -> u64 { r.streams.iter().map(|s| s.bytes.as_u64()).sum() };
+        assert_eq!(bytes(ra), bytes(rb));
+        assert_eq!(ra.sum_retr(), rb.sum_retr());
+        assert_eq!(ra.sum_bitrate().as_bps().to_bits(), rb.sum_bitrate().as_bps().to_bits());
+    }
+}
+
+/// Cold run fills the cache; a second run over the same directory is
+/// served entirely from it, bit-identical to the cold result.
+#[test]
+fn warm_run_is_bit_identical_and_fully_cached() {
+    let dir = cache_dir("warm");
+    let sc = scenario("cache-warm");
+
+    let cold_cache = Arc::new(RunCache::new(&dir));
+    let cold = harness_with(cold_cache.clone(), 2).run(&sc).expect("cold run");
+    assert_eq!(cold_cache.stats.hits(), 0);
+    assert_eq!(cold_cache.stats.misses(), 2);
+    assert_eq!(cold_cache.stats.stores(), 2);
+
+    let warm_cache = Arc::new(RunCache::new(&dir));
+    let warm = harness_with(warm_cache.clone(), 2).run(&sc).expect("warm run");
+    assert_eq!(warm_cache.stats.hits(), 2, "warm run must be served from the cache");
+    assert_eq!(warm_cache.stats.misses(), 0);
+    assert_eq!(warm_cache.stats.stores(), 0);
+    assert_bit_identical(&cold, &warm);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A truncated entry is rejected by its checksum and transparently
+/// recomputed; the recomputed result still matches the cold run.
+#[test]
+fn truncated_entry_is_recomputed() {
+    let dir = cache_dir("trunc");
+    let sc = scenario("cache-trunc");
+    let cold = harness_with(Arc::new(RunCache::new(&dir)), 1).run(&sc).expect("cold");
+
+    for entry in std::fs::read_dir(&dir).expect("cache dir") {
+        let path = entry.expect("entry").path();
+        let bytes = std::fs::read(&path).expect("read entry");
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate entry");
+    }
+
+    let cache = Arc::new(RunCache::new(&dir));
+    let again = harness_with(cache.clone(), 1).run(&sc).expect("recomputed");
+    assert_eq!(cache.stats.hits(), 0, "truncated entry must not hit");
+    assert_eq!(cache.stats.misses(), 1);
+    assert_eq!(cache.stats.stores(), 1, "recomputed entry must be stored back");
+    assert_bit_identical(&cold, &again);
+
+    // The repaired entry hits again.
+    let repaired = Arc::new(RunCache::new(&dir));
+    harness_with(repaired.clone(), 1).run(&sc).expect("repaired");
+    assert_eq!(repaired.stats.hits(), 1);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A single flipped payload bit fails the checksum: rejected and
+/// recomputed, never served corrupt.
+#[test]
+fn bit_flipped_entry_is_rejected() {
+    let dir = cache_dir("flip");
+    let sc = scenario("cache-flip");
+    let cold = harness_with(Arc::new(RunCache::new(&dir)), 1).run(&sc).expect("cold");
+
+    for entry in std::fs::read_dir(&dir).expect("cache dir") {
+        let path = entry.expect("entry").path();
+        let mut bytes = std::fs::read(&path).expect("read entry");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("flip bit");
+    }
+
+    let cache = Arc::new(RunCache::new(&dir));
+    let again = harness_with(cache.clone(), 1).run(&sc).expect("recomputed");
+    assert_eq!(cache.stats.hits(), 0, "corrupt entry must not hit");
+    assert_eq!(cache.stats.misses(), 1);
+    assert_bit_identical(&cold, &again);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Bumping the cost-model version changes every content address: a
+/// populated cache yields no hits under the new version, and entries
+/// written under either version coexist.
+#[test]
+fn cost_model_version_bump_invalidates() {
+    let dir = cache_dir("version");
+    let sc = scenario("cache-version");
+    harness_with(Arc::new(RunCache::new(&dir)), 1).run(&sc).expect("v-current");
+
+    let bumped = Arc::new(RunCache::new(&dir).with_cost_model_version(u32::MAX));
+    harness_with(bumped.clone(), 1).run(&sc).expect("v-bumped");
+    assert_eq!(bumped.stats.hits(), 0, "a version bump must orphan old entries");
+    assert_eq!(bumped.stats.misses(), 1);
+    assert_eq!(bumped.stats.stores(), 1);
+
+    // Both generations now live side by side; each hits under its own
+    // version.
+    let old = Arc::new(RunCache::new(&dir));
+    harness_with(old.clone(), 1).run(&sc).expect("old again");
+    assert_eq!(old.stats.hits(), 1);
+    let newer = Arc::new(RunCache::new(&dir).with_cost_model_version(u32::MAX));
+    harness_with(newer.clone(), 1).run(&sc).expect("new again");
+    assert_eq!(newer.stats.hits(), 1);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Runs carrying observers (telemetry sampling or attribution) bypass
+/// the cache entirely — their payload would be incomplete.
+#[test]
+fn observer_runs_bypass_the_cache() {
+    let dir = cache_dir("observers");
+    let mut sc = scenario("cache-observers");
+    sc.opts = sc.opts.telemetry(SimDuration::from_secs(1));
+    let cache = Arc::new(RunCache::new(&dir));
+    harness_with(cache.clone(), 1).run(&sc).expect("telemetry run");
+    assert_eq!(cache.stats.hits() + cache.stats.misses() + cache.stats.stores(), 0);
+    assert!(!dir.exists(), "no cache directory should be created for observer runs");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,137 @@
+//! Determinism guarantees of the scheduler and the seed derivation.
+//!
+//! Two properties keep `repro` reproducible under parallelism:
+//!
+//! 1. **Slot-order identity** — a batch run on the parallel pool is
+//!    bit-identical to the same batch run sequentially (results land
+//!    in slot order, whatever thread computed them).
+//! 2. **Positional independence** — a scenario's seeds derive from its
+//!    content fingerprint, so its results do not change when it is
+//!    reordered within a grid, run alongside different siblings, or
+//!    run alone.
+
+use dtnperf::prelude::*;
+use harness::experiments::figures;
+use harness::{RunCtx, Scenario, TestHarness, TestSummary};
+use iperf3sim::Iperf3Opts;
+
+fn lan_scenario(label: &str, secs: u64) -> Scenario {
+    Scenario::symmetric(
+        label,
+        Testbeds::esnet_host(KernelVersion::L6_8),
+        Testbeds::esnet_path(EsnetPath::Lan),
+        Iperf3Opts::new(secs).omit(0),
+    )
+}
+
+fn wan_scenario(label: &str, secs: u64) -> Scenario {
+    Scenario::symmetric(
+        label,
+        Testbeds::esnet_host(KernelVersion::L6_8),
+        Testbeds::esnet_path(EsnetPath::Wan),
+        Iperf3Opts::new(secs).omit(0).zerocopy(),
+    )
+}
+
+/// Every float in the summary, bit-compared.
+fn assert_bit_identical(a: &TestSummary, b: &TestSummary) {
+    let fields = |s: &TestSummary| {
+        vec![
+            s.throughput_gbps.mean,
+            s.throughput_gbps.stdev,
+            s.throughput_gbps.min,
+            s.throughput_gbps.max,
+            s.retr.mean,
+            s.retr.stdev,
+            s.min_stream_gbps,
+            s.max_stream_gbps,
+            s.sender_cpu_pct.mean,
+            s.receiver_cpu_pct.mean,
+            s.zc_fallback,
+        ]
+    };
+    for (x, y) in fields(a).iter().zip(fields(b).iter()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "float drift in '{}': {x} vs {y}", a.label);
+    }
+    assert_eq!(a.reports.len(), b.reports.len(), "'{}' report count", a.label);
+    for (ra, rb) in a.reports.iter().zip(b.reports.iter()) {
+        let bytes = |r: &Iperf3Report| -> u64 { r.streams.iter().map(|s| s.bytes.as_u64()).sum() };
+        assert_eq!(bytes(ra), bytes(rb), "'{}' byte totals differ", a.label);
+        assert_eq!(ra.sum_retr(), rb.sum_retr(), "'{}' retransmit totals differ", a.label);
+    }
+}
+
+/// A mixed batch run on the parallel pool is bit-identical to the same
+/// batch run sequentially.
+#[test]
+fn parallel_batch_is_bit_identical_to_sequential() {
+    let scenarios = vec![
+        lan_scenario("det-lan-a", 2),
+        wan_scenario("det-wan", 2),
+        lan_scenario("det-lan-b", 3),
+    ];
+    let par: Vec<TestSummary> = TestHarness::new(2)
+        .run_batch(&scenarios)
+        .into_iter()
+        .map(|r| r.expect("parallel run"))
+        .collect();
+    let seq: Vec<TestSummary> = TestHarness::new(2)
+        .sequential()
+        .run_batch(&scenarios)
+        .into_iter()
+        .map(|r| r.expect("sequential run"))
+        .collect();
+    assert_eq!(par.len(), seq.len());
+    for (p, s) in par.iter().zip(seq.iter()) {
+        assert_bit_identical(p, s);
+    }
+}
+
+/// A scenario's results are unaffected by its siblings: alone, batched
+/// with others, or at a different grid position, the derived seeds —
+/// and therefore every bit of the summary — are the same.
+#[test]
+fn scenario_results_independent_of_siblings_and_position() {
+    let subject = lan_scenario("det-subject", 2);
+    let alone = TestHarness::new(2).run(&subject).expect("alone");
+    let batch = vec![wan_scenario("det-sibling-a", 2), subject.clone(), lan_scenario("det-sibling-b", 2)];
+    let mut in_batch = TestHarness::new(2).run_batch(&batch);
+    let from_batch = in_batch.remove(1).expect("batched");
+    assert_bit_identical(&alone, &from_batch);
+}
+
+/// Scenario fingerprints hash content, not presentation: the display
+/// label does not participate, every semantic field does.
+#[test]
+fn fingerprint_ignores_label_but_not_content() {
+    let a = lan_scenario("one name", 2);
+    let mut b = a.clone();
+    b.label = "completely different name".into();
+    assert_eq!(a.fingerprint(), b.fingerprint(), "label must not affect the fingerprint");
+
+    let mut c = a.clone();
+    c.opts = c.opts.zerocopy();
+    assert_ne!(a.fingerprint(), c.fingerprint(), "opts changes must change the fingerprint");
+
+    let mut d = a.clone();
+    d.client.sysctl.rmem_max = Bytes::mib(64);
+    assert_ne!(a.fingerprint(), d.fingerprint(), "host changes must change the fingerprint");
+}
+
+/// The same experiment produces byte-identical rendered output across
+/// two invocations — the experiment-level determinism the golden
+/// tables in EXPERIMENTS.md rely on.
+#[test]
+fn experiment_rendering_is_reproducible() {
+    let ctx = RunCtx::new(Effort::Smoke);
+    let first = figures::fig06(&ctx);
+    let second = figures::fig06(&ctx);
+    assert_eq!(
+        first[0].render_ascii(),
+        second[0].render_ascii(),
+        "fig06 must render identically on every invocation"
+    );
+    let csv_a = first[0].to_csv();
+    let csv_b = second[0].to_csv();
+    assert_eq!(csv_a, csv_b);
+}

@@ -4,10 +4,11 @@
 
 use dtnperf::prelude::*;
 use harness::experiments::{figures, tables};
+use harness::RunCtx;
 
 #[test]
 fn fig06_structure_and_ordering() {
-    let figs = figures::fig06(Effort::Smoke);
+    let figs = figures::fig06(&RunCtx::new(Effort::Smoke));
     assert_eq!(figs.len(), 1);
     let fig = &figs[0];
     assert_eq!(fig.x_labels, vec!["LAN".to_string(), "WAN".to_string()]);
@@ -27,7 +28,7 @@ fn fig06_structure_and_ordering() {
 
 #[test]
 fn table3_structure_and_ordering() {
-    let table = tables::table3(Effort::Smoke);
+    let table = tables::table3(&RunCtx::new(Effort::Smoke));
     assert_eq!(table.columns, vec!["Test Config", "Ave Tput", "Retr", "Range"]);
     assert_eq!(table.rows.len(), 4);
     assert_eq!(table.rows[0][0], "unpaced");
@@ -53,7 +54,7 @@ fn table3_structure_and_ordering() {
 
 #[test]
 fn fig12_kernel_ordering() {
-    let figs = figures::fig12(Effort::Smoke);
+    let figs = figures::fig12(&RunCtx::new(Effort::Smoke));
     let fig = &figs[0];
     assert_eq!(fig.series.len(), 3, "5.15 / 6.5 / 6.8");
     // LAN column strictly improves with kernel version.
@@ -64,7 +65,7 @@ fn fig12_kernel_ordering() {
 #[test]
 fn experiment_ids_render() {
     // The cheapest artefact end-to-end through the registry interface.
-    let out = harness::experiments::ExperimentId::ExtBigTcpZc.run_rendered(Effort::Smoke);
+    let out = harness::experiments::ExperimentId::ExtBigTcpZc.run_rendered(&RunCtx::new(Effort::Smoke));
     assert!(out.contains("BIG TCP"));
     assert!(out.contains("Gbps"));
 }
