@@ -1,0 +1,192 @@
+//! `bench` — the perf-trajectory binary.
+//!
+//! Runs the canonical scenarios (fig05 single-stream, table3
+//! multi-stream, and the 256-flow `ext_scale` fan-in) against the
+//! discrete-event engine and emits `BENCH_<date>.json` with events/sec,
+//! ns/event and wall-clock per scenario. Each committed file is one
+//! point on the perf trajectory; CI uploads the JSON as an artifact.
+//!
+//! ```text
+//! cargo run --release -p bench               # full effort, BENCH_<date>.json in .
+//! BENCH_EFFORT=smoke cargo run --release -p bench   # CI smoke (short runs)
+//! BENCH_OUT_DIR=target cargo run --release -p bench # choose the output dir
+//! BENCH_ONLY=fanin cargo run --release -p bench     # substring-filter the cases
+//! ```
+
+use dtnperf::prelude::*;
+use std::fmt::Write as _;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// One benchmarked scenario: a full `SimConfig` plus its display name.
+struct Case {
+    name: &'static str,
+    cfg: SimConfig,
+}
+
+/// One measured scenario for the JSON report.
+struct Measurement {
+    name: &'static str,
+    flows: usize,
+    sim_secs: f64,
+    events: u64,
+    goodput_gbps: f64,
+    wall_secs_min: f64,
+    wall_secs_mean: f64,
+    events_per_sec: f64,
+    ns_per_event: f64,
+}
+
+fn cases(smoke: bool) -> Vec<Case> {
+    // Smoke halves the simulated durations so CI stays fast; the
+    // scenario *shapes* (hosts, paths, flow counts) never change, so a
+    // smoke point is still comparable to another smoke point.
+    let single_secs = if smoke { 2 } else { 4 };
+    let multi_secs = if smoke { 2 } else { 4 };
+    let fanin_secs = if smoke { 1 } else { 2 };
+
+    let amlight = Testbeds::amlight_host(KernelVersion::L6_8);
+    let dtn = Testbeds::prod_dtn_host();
+    let fanin = Testbeds::fanin_host(256);
+
+    vec![
+        Case {
+            name: "fig05_single_stream",
+            cfg: SimConfig {
+                sender: amlight.clone(),
+                receiver: amlight,
+                path: Testbeds::amlight_path(AmLightPath::Wan25ms),
+                workload: WorkloadSpec::single_stream(single_secs)
+                    .with_zerocopy()
+                    .with_fq_rate(BitRate::gbps(50.0)),
+            },
+        },
+        Case {
+            name: "table3_multi_stream",
+            cfg: SimConfig {
+                sender: dtn.clone(),
+                receiver: dtn,
+                path: Testbeds::prod_dtn_path(),
+                workload: WorkloadSpec::parallel(8, multi_secs)
+                    .with_fq_rate(BitRate::gbps(10.0)),
+            },
+        },
+        Case {
+            name: "scale_fanin_256",
+            cfg: SimConfig {
+                sender: fanin.clone(),
+                receiver: fanin,
+                path: Testbeds::fanin_path(false),
+                workload: WorkloadSpec::parallel(256, fanin_secs),
+            },
+        },
+    ]
+}
+
+fn run_once(cfg: &SimConfig) -> RunResult {
+    Simulation::new(cfg.clone())
+        .expect("bench scenario must validate")
+        .run()
+        .expect("bench scenario must complete")
+}
+
+fn measure(case: &Case, warmup: usize, iters: usize) -> Measurement {
+    for _ in 0..warmup {
+        let _ = run_once(&case.cfg);
+    }
+    let mut walls = Vec::with_capacity(iters);
+    let mut result = None;
+    for _ in 0..iters {
+        let start = Instant::now();
+        let r = run_once(&case.cfg);
+        walls.push(start.elapsed().as_secs_f64());
+        result = Some(r);
+    }
+    let result = result.expect("at least one iteration");
+    let wall_min = walls.iter().cloned().fold(f64::INFINITY, f64::min);
+    let wall_mean = walls.iter().sum::<f64>() / walls.len() as f64;
+    let events = result.events;
+    Measurement {
+        name: case.name,
+        flows: case.cfg.workload.num_flows,
+        sim_secs: case.cfg.workload.duration.as_secs_f64(),
+        events,
+        goodput_gbps: result.total_goodput().as_gbps(),
+        wall_secs_min: wall_min,
+        wall_secs_mean: wall_mean,
+        events_per_sec: events as f64 / wall_min,
+        ns_per_event: wall_min * 1e9 / events as f64,
+    }
+}
+
+/// Civil date (UTC) from the system clock, without a date library:
+/// days-since-epoch to year/month/day (Howard Hinnant's algorithm).
+fn today_utc() -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .expect("clock before 1970")
+        .as_secs();
+    let days = (secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn render_json(date: &str, effort: &str, rows: &[Measurement]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"date\": \"{date}\",");
+    let _ = writeln!(out, "  \"effort\": \"{effort}\",");
+    out.push_str("  \"scenarios\": [\n");
+    for (i, m) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"name\": \"{}\",", m.name);
+        let _ = writeln!(out, "      \"flows\": {},", m.flows);
+        let _ = writeln!(out, "      \"sim_secs\": {:.1},", m.sim_secs);
+        let _ = writeln!(out, "      \"events\": {},", m.events);
+        let _ = writeln!(out, "      \"goodput_gbps\": {:.3},", m.goodput_gbps);
+        let _ = writeln!(out, "      \"wall_secs_min\": {:.6},", m.wall_secs_min);
+        let _ = writeln!(out, "      \"wall_secs_mean\": {:.6},", m.wall_secs_mean);
+        let _ = writeln!(out, "      \"events_per_sec\": {:.0},", m.events_per_sec);
+        let _ = writeln!(out, "      \"ns_per_event\": {:.1}", m.ns_per_event);
+        out.push_str(if i + 1 == rows.len() { "    }\n" } else { "    },\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let effort = std::env::var("BENCH_EFFORT").unwrap_or_else(|_| "full".into());
+    let smoke = effort == "smoke";
+    let (warmup, iters) = if smoke { (0, 1) } else { (1, 3) };
+    let out_dir = std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| ".".into());
+    let date = today_utc();
+
+    // Substring filter for profiling sessions targeting one scenario.
+    let only = std::env::var("BENCH_ONLY").unwrap_or_default();
+
+    let mut rows = Vec::new();
+    for case in cases(smoke).into_iter().filter(|c| c.name.contains(&only)) {
+        eprintln!("bench: running {} ({} warmup + {} iters)...", case.name, warmup, iters);
+        let m = measure(&case, warmup, iters);
+        eprintln!(
+            "bench: {:<22} {:>12} events  {:>12.0} events/s  {:>7.1} ns/event  {:>8.3} s wall  {:>7.2} Gbps",
+            m.name, m.events, m.events_per_sec, m.ns_per_event, m.wall_secs_min, m.goodput_gbps
+        );
+        rows.push(m);
+    }
+
+    let json = render_json(&date, &effort, &rows);
+    std::fs::create_dir_all(&out_dir).expect("create bench output dir");
+    let path = format!("{out_dir}/BENCH_{date}.json");
+    std::fs::write(&path, &json).expect("write bench report");
+    println!("{path}");
+}

@@ -89,10 +89,10 @@ mod tests {
 
     #[test]
     fn experiment_registry_is_complete() {
-        assert_eq!(ExperimentId::ALL.len(), 18);
+        assert_eq!(ExperimentId::ALL.len(), 19);
         let names: Vec<&str> = ExperimentId::ALL.iter().map(|e| e.name()).collect();
         for figure in
-            ["fig04", "fig05", "fig10", "table1", "table3", "ext_hw_gro", "ext_faults", "ext_telemetry", "ext_bottleneck"]
+            ["fig04", "fig05", "fig10", "table1", "table3", "ext_hw_gro", "ext_faults", "ext_telemetry", "ext_bottleneck", "ext_scale"]
         {
             assert!(names.contains(&figure), "{figure} missing from registry");
         }

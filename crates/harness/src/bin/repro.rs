@@ -134,7 +134,7 @@ fn run_one(id: ExperimentId, ctx: &RunCtx) -> String {
 
 fn usage() {
     eprintln!(
-        "usage: repro [--trace <dir>] [list | all | ablations | fig04..fig13 | table1..table3 | ext_hw_gro | ext_bigtcp_zc | ext_faults | ext_telemetry | ext_bottleneck]...\n\
+        "usage: repro [--trace <dir>] [list | all | ablations | fig04..fig13 | table1..table3 | ext_hw_gro | ext_bigtcp_zc | ext_faults | ext_telemetry | ext_bottleneck | ext_scale]...\n\
          flags:       --trace <dir> to write per-repetition JSON-lines telemetry traces\n\
                       (plus .folded/.perf.txt cycle profiles per repetition)\n\
          environment: REPRO_EFFORT=smoke|standard|full (default standard)\n\

@@ -53,6 +53,17 @@ impl Effort {
         }
     }
 
+    /// Duration (seconds) for the many-flow `ext_scale` fan-in runs —
+    /// short by design: 256 flows generate roughly 256× the events of a
+    /// single stream, so paper-length tests would dominate wall-clock.
+    pub fn scale_secs(self) -> u64 {
+        match self {
+            Effort::Smoke => 2,
+            Effort::Standard => 6,
+            Effort::Full => 20,
+        }
+    }
+
     /// Warm-up seconds excluded from measurements (`iperf3 -O`).
     pub fn omit_secs(self, wan: bool) -> u64 {
         match self {
@@ -89,6 +100,7 @@ mod tests {
             assert!(w[0].lan_secs() <= w[1].lan_secs());
             assert!(w[0].wan_secs() <= w[1].wan_secs());
             assert!(w[0].multi_secs() <= w[1].multi_secs());
+            assert!(w[0].scale_secs() <= w[1].scale_secs());
         }
     }
 

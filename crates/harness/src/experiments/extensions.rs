@@ -1,11 +1,14 @@
 //! §V-C future-work experiments (hardware GRO, the BIG TCP +
-//! MSG_ZEROCOPY custom kernel) plus the fault-recovery robustness
-//! study that exercises the fault-injection subsystem.
+//! MSG_ZEROCOPY custom kernel), the fault-recovery robustness study
+//! that exercises the fault-injection subsystem, and the many-flow
+//! `ext_scale` fan-in study that extends the paper's `-P 16` axis
+//! toward fleet scale.
 
 use super::common::throughput_figure;
 use crate::ctx::RunCtx;
 use crate::render::FigureData;
 use crate::scenario::Scenario;
+use crate::testbeds::Testbeds;
 use iperf3sim::Iperf3Opts;
 use linuxhost::{HostConfig, KernelVersion};
 use nethw::{NicModel, PathSpec};
@@ -134,6 +137,42 @@ pub fn fault_recovery(ctx: &RunCtx) -> Vec<FigureData> {
     vec![throughput_figure(
         "Robustness: throughput under injected faults (ESnet LAN, single stream)",
         vec!["LAN".into()],
+        grid,
+        ctx,
+    )]
+}
+
+/// Flow counts the fan-in study sweeps (the paper stops at `-P 16`).
+pub const SCALE_FLOWS: [usize; 3] = [16, 64, 256];
+
+/// Scale study: N identical host-pairs (16/64/256) converging on one
+/// shared 100 G switch egress, with and without 802.3x pause at the
+/// receiver edge — the paper's Fig. 9–11 parallel-stream axis extended
+/// toward the ROADMAP's fleet-scale direction. Each pair gets its own
+/// IRQ + app core (see [`Testbeds::fanin_host`]), so the shared egress
+/// buffer, not any host CPU, is the contended resource.
+pub fn scale_fanin(ctx: &RunCtx) -> Vec<FigureData> {
+    let effort = ctx.effort;
+    let secs = effort.scale_secs();
+    let mk = |pause: bool| {
+        let label = if pause { "802.3x pause" } else { "no pause" };
+        let scenarios = SCALE_FLOWS
+            .iter()
+            .map(|&n| {
+                Scenario::symmetric(
+                    format!("{label} P{n}"),
+                    Testbeds::fanin_host(n),
+                    Testbeds::fanin_path(pause),
+                    Iperf3Opts::new(secs).omit(1).parallel(n),
+                )
+            })
+            .collect();
+        (label.to_string(), scenarios)
+    };
+    let grid = vec![mk(false), mk(true)];
+    vec![throughput_figure(
+        "Scale: N host-pairs through one shared 100G switch (fan-in)",
+        SCALE_FLOWS.iter().map(|n| format!("{n} flows")).collect(),
         grid,
         ctx,
     )]

@@ -22,6 +22,7 @@
 //! | [`extensions::hw_gro`] | §V-C — hardware GRO preview |
 //! | [`extensions::bigtcp_zerocopy`] | §V-C — BIG TCP + zerocopy custom kernel |
 //! | [`extensions::fault_recovery`] | robustness — recovery from injected faults |
+//! | [`extensions::scale_fanin`] | scale — 16/64/256-flow fan-in through one switch |
 //! | [`telemetry::timeline`] | §III-G — ss/ethtool/mpstat timeline on the ESnet WAN |
 //! | [`bottleneck::diagnosis`] | diagnosis narratives vs the attribution engine |
 //! | [`ablations`] | design-choice ablations (affinity, IOMMU, ring, CC, MTU, sysctls) |
@@ -116,11 +117,13 @@ pub enum ExperimentId {
     ExtTelemetry,
     /// Diagnosis narratives vs the bottleneck-attribution engine.
     ExtBottleneck,
+    /// Scale: many-flow fan-in through one shared switch.
+    ExtScale,
 }
 
 impl ExperimentId {
     /// All paper artefacts in order of appearance.
-    pub const ALL: [ExperimentId; 18] = [
+    pub const ALL: [ExperimentId; 19] = [
         ExperimentId::Fig04,
         ExperimentId::Fig05,
         ExperimentId::Fig06,
@@ -139,6 +142,7 @@ impl ExperimentId {
         ExperimentId::ExtFaults,
         ExperimentId::ExtTelemetry,
         ExperimentId::ExtBottleneck,
+        ExperimentId::ExtScale,
     ];
 
     /// Short name ("fig05", "table1", …).
@@ -162,6 +166,7 @@ impl ExperimentId {
             ExperimentId::ExtFaults => "ext_faults",
             ExperimentId::ExtTelemetry => "ext_telemetry",
             ExperimentId::ExtBottleneck => "ext_bottleneck",
+            ExperimentId::ExtScale => "ext_scale",
         }
     }
 
@@ -186,6 +191,7 @@ impl ExperimentId {
             ExperimentId::ExtFaults => Artifact::Figures(extensions::fault_recovery(ctx)),
             ExperimentId::ExtTelemetry => Artifact::Table(telemetry::timeline(ctx)),
             ExperimentId::ExtBottleneck => Artifact::Table(bottleneck::diagnosis(ctx)),
+            ExperimentId::ExtScale => Artifact::Figures(extensions::scale_fanin(ctx)),
         }
     }
 

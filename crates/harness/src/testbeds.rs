@@ -15,7 +15,7 @@
 //!   production backbone at 63 ms, 802.3x flow control on the edge,
 //!   light bursty cross traffic on the transit path.
 
-use linuxhost::{HostConfig, KernelVersion};
+use linuxhost::{CoreAllocation, HostConfig, KernelVersion};
 use nethw::{CrossTrafficSpec, PathSpec};
 use simcore::{BitRate, Bytes, SimDuration};
 
@@ -136,6 +136,41 @@ impl Testbeds {
                 burst_rate: BitRate::gbps(20.0),
                 mean_burst: SimDuration::from_millis(2),
             })
+    }
+
+    /// An aggregate endpoint standing in for `pairs` identical
+    /// host-pairs feeding one shared switch (the `ext_scale`
+    /// experiment). Each pair contributes one dedicated IRQ core and
+    /// one dedicated app core, so no single host CPU is the contended
+    /// resource — only the shared egress below is.
+    pub fn fanin_host(pairs: usize) -> HostConfig {
+        let n = pairs as u32;
+        let mut host = HostConfig::esnet_amd(KernelVersion::L6_8);
+        host.name = format!("fanin-{pairs}pair");
+        host.cores = CoreAllocation {
+            irq_cores: (0..n).collect(),
+            app_cores: (n..2 * n).collect(),
+            irqbalance: false,
+        };
+        host
+    }
+
+    /// The shared fan-in switch: every pair converges on one 100 G
+    /// egress behind a 64 MB shared buffer at a metro 10 ms RTT.
+    /// `pause` enables 802.3x at the receiver edge (arrivals park
+    /// upstream instead of overflowing the ring).
+    pub fn fanin_path(pause: bool) -> PathSpec {
+        let p = PathSpec::wan(
+            if pause { "fan-in 100G pause" } else { "fan-in 100G" },
+            BitRate::gbps(100.0),
+            SimDuration::from_millis(10),
+        )
+        .with_switch_buffer(Bytes::mib(64));
+        if pause {
+            p.with_flow_control()
+        } else {
+            p
+        }
     }
 }
 

@@ -118,6 +118,12 @@ pub fn run_with_faults(
         return Err(RunError::Invalid(errors));
     }
     let result = Simulation::new(cfg)?.run()?;
+    // Run-level warnings (e.g. past-scheduled events clamped by the
+    // release-mode queue) don't fail the run, but must not vanish: the
+    // report is suspect and the reader should know.
+    for warning in result.warnings() {
+        eprintln!("warning: {warning}");
+    }
     Ok(Iperf3Report::from_run(opts.command_line(&server.name), &result))
 }
 

@@ -22,6 +22,17 @@ pub enum SimError {
         /// What the watchdog observed.
         trip: WatchdogTrip,
     },
+    /// An internal invariant the event loop relies on was violated
+    /// (a peeked event vanished, a sender ran ahead of its app-write
+    /// bookkeeping, a ledger disappeared mid-run). Previously these
+    /// were hot-path panics that killed the whole worker; as a typed
+    /// error the harness records the rep as failed and carries on.
+    StateCorruption {
+        /// Simulated time at which the corruption was detected.
+        at: SimTime,
+        /// Which invariant broke.
+        what: String,
+    },
     /// End-of-run burst accounting did not balance: every burst put on
     /// the wire must be delivered, dropped (with a counted cause), or
     /// still in flight when the clock stops.
@@ -56,6 +67,9 @@ impl fmt::Display for SimError {
             SimError::Stalled { at, trip } => {
                 write!(f, "simulation stalled at t={at}: {trip}")
             }
+            SimError::StateCorruption { at, what } => {
+                write!(f, "simulation state corrupted at t={at}: {what}")
+            }
             SimError::ConservationViolation { wire_sent, delivered, dropped, in_flight } => write!(
                 f,
                 "burst conservation violated: sent {wire_sent} != delivered {delivered} \
@@ -84,6 +98,14 @@ mod tests {
         };
         assert!(e.to_string().contains("stalled"));
         assert!(e.to_string().contains("livelock"));
+        assert!(!e.is_config_error());
+
+        let e = SimError::StateCorruption {
+            at: SimTime::from_nanos(3),
+            what: "peeked event vanished".into(),
+        };
+        assert!(e.to_string().contains("corrupted"));
+        assert!(e.to_string().contains("peeked event vanished"));
         assert!(!e.is_config_error());
 
         let e = SimError::ConservationViolation {

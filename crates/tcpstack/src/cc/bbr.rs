@@ -27,6 +27,8 @@ const PROBE_CYCLE: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
 const CWND_GAIN: f64 = 2.0;
 /// Bandwidth filter length (rounds).
 const BW_FILTER_LEN: usize = 10;
+/// Min-RTT filter expiry, as in Linux BBR's 10 s ProbeRTT cadence.
+const MIN_RTT_EXPIRY: SimDuration = SimDuration::from_secs(10);
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mode {
@@ -52,7 +54,11 @@ pub struct Bbr {
     mode: Mode,
     /// Recent delivery-rate maxima (bits/s), newest last.
     bw_samples: Vec<f64>,
-    min_rtt: Option<SimDuration>,
+    /// Propagation estimate and when it was last re-anchored. Expires
+    /// after [`MIN_RTT_EXPIRY`] (the ProbeRTT stand-in): without
+    /// expiry, a path change that raises the base RTT would leave the
+    /// model pinned to a stale floor forever.
+    min_rtt: Option<(SimDuration, SimTime)>,
     cwnd: Bytes,
     init_cwnd: Bytes,
     cycle_index: usize,
@@ -108,11 +114,16 @@ impl Bbr {
 
     fn bdp(&self) -> Bytes {
         match self.min_rtt {
-            Some(rtt) if self.btlbw() > 0.0 => {
+            Some((rtt, _)) if self.btlbw() > 0.0 => {
                 Bytes::new((self.btlbw() / 8.0 * rtt.as_secs_f64()) as u64)
             }
             _ => self.init_cwnd,
         }
+    }
+
+    /// Current propagation estimate (fallback before the first sample).
+    fn min_rtt_or(&self, fallback: SimDuration) -> SimDuration {
+        self.min_rtt.map_or(fallback, |(rtt, _)| rtt)
     }
 
     fn pacing_gain(&self) -> f64 {
@@ -145,16 +156,21 @@ impl CongestionControl for Bbr {
         // BBR is model-based: delivery-rate samples are useful whether
         // or not the window was the limit.
         if let Some(r) = rtt {
+            // Keep the min, but re-anchor on any sample once the
+            // estimate is older than the ProbeRTT cadence — the
+            // documented stand-in for draining to probe the floor.
             self.min_rtt = Some(match self.min_rtt {
-                None => r,
-                Some(m) => m.min(r),
+                None => (r, now),
+                Some((m, _)) if r <= m => (r, now),
+                Some((_, since)) if now.saturating_since(since) > MIN_RTT_EXPIRY => (r, now),
+                Some(kept) => kept,
             });
         }
         // Delivery-rate sampling: accumulate acked bytes over one
         // round (≈ min RTT) and convert to a rate — per-ACK samples
         // would undercount wildly when ACKs arrive per GSO burst.
         self.round_delivered += acked.as_f64();
-        let round_len = self.min_rtt.unwrap_or(SimDuration::from_millis(10));
+        let round_len = self.min_rtt_or(SimDuration::from_millis(10));
         let elapsed = now.saturating_since(self.round_start);
         let round_complete = elapsed >= round_len && !elapsed.is_zero();
         if round_complete {
@@ -192,7 +208,7 @@ impl CongestionControl for Bbr {
             }
             Mode::ProbeBw => {
                 // Advance the gain cycle once per min-RTT.
-                let phase = self.min_rtt.unwrap_or(SimDuration::from_millis(10));
+                let phase = self.min_rtt_or(SimDuration::from_millis(10));
                 if now.saturating_since(self.cycle_start) >= phase {
                     self.cycle_index = (self.cycle_index + 1) % PROBE_CYCLE.len();
                     self.cycle_start = now;
@@ -330,6 +346,28 @@ mod tests {
         bbr.on_rto(SimTime::ZERO);
         assert!(bbr.in_slow_start());
         assert_eq!(bbr.cwnd(), Bytes::kib(128));
+    }
+
+    #[test]
+    fn min_rtt_reanchors_after_expiry() {
+        let mut bbr = Bbr::v1(Bytes::new(9000), Bytes::kib(128));
+        // Converge on a 20 ms path, then flap onto a 60 ms path: the
+        // model must adopt the new floor within the 10 s expiry, not
+        // keep the stale 20 ms estimate forever.
+        let end = drive_to_steady(&mut bbr, 10.0, 20, 30);
+        assert_eq!(bbr.min_rtt_or(SimDuration::ZERO), SimDuration::from_millis(20));
+        let rtt = SimDuration::from_millis(60);
+        let per_rtt = Bytes::new((10.0e9 / 8.0 * rtt.as_secs_f64()) as u64);
+        let mut now = end;
+        for _ in 0..200 {
+            now += rtt;
+            bbr.on_ack(per_rtt, Some(rtt), now, per_rtt, true);
+        }
+        assert_eq!(
+            bbr.min_rtt_or(SimDuration::ZERO),
+            SimDuration::from_millis(60),
+            "stale propagation floor must expire"
+        );
     }
 
     #[test]

@@ -1,6 +1,15 @@
-//! RTT estimation and RTO computation (RFC 6298).
+//! RTT estimation and RTO computation (RFC 6298), plus a windowed
+//! min-RTT filter.
+//!
+//! `min_rtt` is *windowed* the way Linux's `tcp_min_rtt` is
+//! (net/ipv4/tcp_input.c, `minmax_running_min`): an all-time minimum
+//! never expires, so after a path change that *raises* the base RTT
+//! (reroute, link flap onto a longer path) BBR and HyStart would keep a
+//! stale propagation floor forever. The filter keeps the three best
+//! (value, time) estimates staggered across a ~10 s window and forgets
+//! anything older than the window.
 
-use simcore::SimDuration;
+use simcore::{SimDuration, SimTime};
 
 /// Linux's minimum RTO (200 ms).
 pub const MIN_RTO: SimDuration = SimDuration::from_millis(200);
@@ -8,12 +17,84 @@ pub const MIN_RTO: SimDuration = SimDuration::from_millis(200);
 /// Maximum RTO we allow (Linux caps at 120 s; tests never get there).
 pub const MAX_RTO: SimDuration = SimDuration::from_secs(120);
 
-/// SRTT/RTTVAR estimator.
+/// Window over which the min-RTT filter remembers samples (Linux keeps
+/// BBR's propagation filter at 10 s; `tcp_min_rtt_wlen` defaults to
+/// 300 s but the shorter horizon is what matters for model-based CC).
+pub const MIN_RTT_WINDOW: SimDuration = SimDuration::from_secs(10);
+
+/// Windowed running-min over `(time, value)` samples: Linux's
+/// `lib/minmax.c` estimator, mirrored for minima. Three staggered
+/// estimates cover the window in O(1) space — no sample deque.
+#[derive(Debug, Clone, Copy)]
+struct MinRttFilter {
+    window: SimDuration,
+    /// Best, second-best and third-best (time, value), oldest first.
+    s: [(SimTime, SimDuration); 3],
+}
+
+impl MinRttFilter {
+    fn new(window: SimDuration) -> Self {
+        let init = (SimTime::ZERO, SimDuration::from_secs(3600));
+        MinRttFilter { window, s: [init; 3] }
+    }
+
+    /// Current windowed minimum.
+    fn get(&self) -> SimDuration {
+        self.s[0].1
+    }
+
+    /// Feed one measurement taken at `now`.
+    fn update(&mut self, now: SimTime, meas: SimDuration) {
+        // A new overall min, or an expired window, resets everything.
+        if meas <= self.s[0].1 || now.saturating_since(self.s[2].0) > self.window {
+            self.s = [(now, meas); 3];
+            return;
+        }
+        if meas <= self.s[1].1 {
+            self.s[1] = (now, meas);
+            self.s[2] = (now, meas);
+        } else if meas <= self.s[2].1 {
+            self.s[2] = (now, meas);
+        }
+        self.subwin_update(now, meas);
+    }
+
+    /// Age out the best estimate as it passes through the window's
+    /// quarter/half/full marks, so the filter "forgets" smoothly
+    /// instead of snapping when the whole window expires.
+    fn subwin_update(&mut self, now: SimTime, meas: SimDuration) {
+        let dt = now.saturating_since(self.s[0].0);
+        if dt > self.window {
+            // Best estimate fell out of the window: promote the others
+            // and take the new sample as third-best. At most three
+            // passes (then all slots hold the fresh sample).
+            self.s[0] = self.s[1];
+            self.s[1] = self.s[2];
+            self.s[2] = (now, meas);
+            if now.saturating_since(self.s[0].0) > self.window {
+                self.s[0] = self.s[1];
+                self.s[1] = self.s[2];
+                if now.saturating_since(self.s[0].0) > self.window {
+                    self.s[0] = self.s[1];
+                }
+            }
+        } else if self.s[1].0 == self.s[0].0 && dt > self.window / 4 {
+            // Passed a quarter of the window without a new second-best:
+            // start one so the succession is staggered.
+            self.s[1] = (now, meas);
+            self.s[2] = (now, meas);
+        } else if self.s[2].0 == self.s[1].0 && dt > self.window / 2 {
+            self.s[2] = (now, meas);
+        }
+    }
+}
+
+/// SRTT/RTTVAR estimator with a windowed min-RTT.
 #[derive(Debug, Clone)]
 pub struct RttEstimator {
     srtt: Option<SimDuration>,
     rttvar: SimDuration,
-    min_rtt: SimDuration,
+    min_rtt: MinRttFilter,
 }
 
 impl RttEstimator {
@@ -22,14 +103,15 @@ impl RttEstimator {
         RttEstimator {
             srtt: None,
             rttvar: SimDuration::ZERO,
-            min_rtt: SimDuration::from_secs(3600),
+            min_rtt: MinRttFilter::new(MIN_RTT_WINDOW),
         }
     }
 
-    /// Feed one RTT sample (from a never-retransmitted burst — Karn's
-    /// algorithm is the caller's responsibility).
-    pub fn on_sample(&mut self, sample: SimDuration) {
-        self.min_rtt = self.min_rtt.min(sample);
+    /// Feed one RTT sample observed at `now` (from a never-
+    /// retransmitted burst — Karn's algorithm is the caller's
+    /// responsibility).
+    pub fn on_sample(&mut self, sample: SimDuration, now: SimTime) {
+        self.min_rtt.update(now, sample);
         match self.srtt {
             None => {
                 self.srtt = Some(sample);
@@ -59,10 +141,11 @@ impl RttEstimator {
         self.srtt
     }
 
-    /// Lowest RTT observed (the propagation estimate BBR and HyStart
-    /// rely on).
+    /// Lowest RTT observed within the last [`MIN_RTT_WINDOW`] (the
+    /// propagation estimate BBR and HyStart rely on). Windowed so a
+    /// path change that raises the base RTT is forgotten, not pinned.
     pub fn min_rtt(&self) -> SimDuration {
-        self.min_rtt
+        self.min_rtt.get()
     }
 
     /// Retransmission timeout: `SRTT + 4×RTTVAR`, clamped.
@@ -84,11 +167,15 @@ impl Default for RttEstimator {
 mod tests {
     use super::*;
 
+    fn at(secs: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(secs)
+    }
+
     #[test]
     fn first_sample_initialises() {
         let mut e = RttEstimator::new();
         assert_eq!(e.rto(), SimDuration::from_secs(1));
-        e.on_sample(SimDuration::from_millis(100));
+        e.on_sample(SimDuration::from_millis(100), at(0.1));
         assert_eq!(e.srtt(), Some(SimDuration::from_millis(100)));
         assert_eq!(e.min_rtt(), SimDuration::from_millis(100));
         // RTO = 100 + 4*50 = 300 ms.
@@ -98,8 +185,8 @@ mod tests {
     #[test]
     fn smoothing_converges() {
         let mut e = RttEstimator::new();
-        for _ in 0..100 {
-            e.on_sample(SimDuration::from_millis(50));
+        for i in 0..100 {
+            e.on_sample(SimDuration::from_millis(50), at(i as f64 * 0.05));
         }
         let srtt = e.srtt().unwrap();
         assert!((srtt.as_millis_f64() - 50.0).abs() < 0.5);
@@ -110,9 +197,9 @@ mod tests {
     #[test]
     fn min_rtt_tracks_floor() {
         let mut e = RttEstimator::new();
-        e.on_sample(SimDuration::from_millis(30));
-        e.on_sample(SimDuration::from_millis(10));
-        e.on_sample(SimDuration::from_millis(40));
+        e.on_sample(SimDuration::from_millis(30), at(0.1));
+        e.on_sample(SimDuration::from_millis(10), at(0.2));
+        e.on_sample(SimDuration::from_millis(40), at(0.3));
         assert_eq!(e.min_rtt(), SimDuration::from_millis(10));
     }
 
@@ -121,8 +208,52 @@ mod tests {
         let mut e = RttEstimator::new();
         for i in 0..50 {
             let ms = if i % 2 == 0 { 20 } else { 80 };
-            e.on_sample(SimDuration::from_millis(ms));
+            e.on_sample(SimDuration::from_millis(ms), at(i as f64 * 0.08));
         }
         assert!(e.rto() > SimDuration::from_millis(100));
+    }
+
+    /// The satellite bug: a link flap mid-run reroutes the path onto a
+    /// longer base RTT. The old all-time min pinned the floor at the
+    /// pre-flap value forever; the windowed filter forgets it once the
+    /// window slides past the flap.
+    #[test]
+    fn min_rtt_expires_after_path_flap() {
+        let mut e = RttEstimator::new();
+        // 2 s of steady 10 ms samples on the original path.
+        let mut t = 0.0;
+        while t < 2.0 {
+            e.on_sample(SimDuration::from_millis(10), at(t));
+            t += 0.1;
+        }
+        assert_eq!(e.min_rtt(), SimDuration::from_millis(10));
+        // Flap: the path comes back at 50 ms base RTT.
+        while t < 20.0 {
+            e.on_sample(SimDuration::from_millis(50), at(t));
+            t += 0.1;
+        }
+        assert_eq!(
+            e.min_rtt(),
+            SimDuration::from_millis(50),
+            "stale pre-flap floor must expire with the window"
+        );
+        // And it stays correct if the path later improves again.
+        e.on_sample(SimDuration::from_millis(20), at(t));
+        assert_eq!(e.min_rtt(), SimDuration::from_millis(20));
+    }
+
+    /// Within the window the min is exact, including across the
+    /// staggered sub-window promotions.
+    #[test]
+    fn windowed_min_is_exact_within_window() {
+        let mut e = RttEstimator::new();
+        e.on_sample(SimDuration::from_millis(25), at(0.0));
+        e.on_sample(SimDuration::from_millis(40), at(3.0));
+        e.on_sample(SimDuration::from_millis(35), at(6.0));
+        // 25 ms (t=0) still inside the 10 s window.
+        assert_eq!(e.min_rtt(), SimDuration::from_millis(25));
+        // t=11: the 25 ms estimate has aged out; best survivor is 35 ms.
+        e.on_sample(SimDuration::from_millis(45), at(11.0));
+        assert_eq!(e.min_rtt(), SimDuration::from_millis(35));
     }
 }

@@ -10,7 +10,7 @@
 use crate::cc::CongestionControl;
 use crate::rtt::RttEstimator;
 use simcore::{Bytes, SimDuration, SimTime};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Dup-ACK / SACK reordering threshold, in bursts.
 const DUP_THRESH: u64 = 3;
@@ -67,7 +67,11 @@ pub struct TcpSender {
     snd_una: u64,
     /// Next new burst index.
     snd_nxt: u64,
-    outstanding: BTreeMap<u64, Outstanding>,
+    /// Scoreboard for bursts `[snd_una, snd_nxt)`: entries are created
+    /// at `snd_nxt` and released from the front as `snd_una` advances,
+    /// so the live keys are always contiguous — a deque indexed by
+    /// `idx - snd_una` replaces the old ordered map on the hot path.
+    outstanding: VecDeque<Outstanding>,
     retx_queue: VecDeque<u64>,
     /// Bursts currently in flight (sent, not acked, not marked lost).
     inflight_bursts: u64,
@@ -134,7 +138,7 @@ impl TcpSender {
             mtu,
             snd_una: 0,
             snd_nxt: 0,
-            outstanding: BTreeMap::new(),
+            outstanding: VecDeque::with_capacity(64),
             retx_queue: VecDeque::new(),
             inflight_bursts: 0,
             high_sacked: 0,
@@ -195,6 +199,14 @@ impl TcpSender {
         window_ok && (!self.retx_queue.is_empty() || self.app_buffered > 0)
     }
 
+    /// Scoreboard entry for burst `idx`, if it is still tracked
+    /// (`snd_una <= idx < snd_nxt`).
+    #[inline]
+    fn slot_mut(&mut self, idx: u64) -> Option<&mut Outstanding> {
+        let off = idx.checked_sub(self.snd_una)?;
+        self.outstanding.get_mut(off as usize)
+    }
+
     /// Claim the next transmission slot at time `now`.
     pub fn next_slot(&mut self, now: SimTime) -> SendSlot {
         if self.inflight() + self.burst > self.effective_window() {
@@ -203,7 +215,7 @@ impl TcpSender {
         while let Some(idx) = self.retx_queue.pop_front() {
             // Skip entries that were acknowledged (or cum-released)
             // after being queued for retransmission.
-            let Some(o) = self.outstanding.get_mut(&idx) else { continue };
+            let Some(o) = self.slot_mut(idx) else { continue };
             if o.acked || !o.lost {
                 continue;
             }
@@ -218,10 +230,12 @@ impl TcpSender {
             self.app_buffered -= 1;
             let idx = self.snd_nxt;
             self.snd_nxt += 1;
-            self.outstanding.insert(
-                idx,
-                Outstanding { sent_at: now, retransmitted: false, acked: false, lost: false },
-            );
+            self.outstanding.push_back(Outstanding {
+                sent_at: now,
+                retransmitted: false,
+                acked: false,
+                lost: false,
+            });
             self.inflight_bursts += 1;
             return SendSlot::New(idx);
         }
@@ -232,7 +246,7 @@ impl TcpSender {
     /// queueing). Refreshes the timestamp used for RTT sampling and the
     /// RTO clock — pacer residence time must not count as network RTT.
     pub fn mark_transmitted(&mut self, idx: u64, now: SimTime) {
-        if let Some(o) = self.outstanding.get_mut(&idx) {
+        if let Some(o) = self.slot_mut(idx) {
             if !o.acked {
                 o.sent_at = now;
             }
@@ -252,18 +266,17 @@ impl TcpSender {
         let mut rtt_sample: Option<SimDuration> = None;
 
         // SACK the specific burst.
-        if let Some(o) = self.outstanding.get_mut(&acked_idx) {
+        if let Some(o) = self.slot_mut(acked_idx) {
             if !o.acked {
                 let was_inflight = !o.lost;
                 o.acked = true;
                 o.lost = false;
+                let sample = (!o.retransmitted).then(|| now.saturating_since(o.sent_at));
                 if was_inflight {
                     self.inflight_bursts -= 1;
                 }
                 out.newly_acked += self.burst;
-                if !o.retransmitted {
-                    rtt_sample = Some(now.saturating_since(o.sent_at));
-                }
+                rtt_sample = sample;
             }
         }
         self.high_sacked = self.high_sacked.max(acked_idx);
@@ -271,7 +284,7 @@ impl TcpSender {
         // Cumulative ACK: everything below cum_ack is delivered.
         let advanced = cum_ack > self.snd_una;
         while self.snd_una < cum_ack {
-            if let Some(o) = self.outstanding.remove(&self.snd_una) {
+            if let Some(o) = self.outstanding.pop_front() {
                 if !o.acked {
                     if !o.lost {
                         self.inflight_bursts -= 1;
@@ -301,21 +314,19 @@ impl TcpSender {
         // scoreboard at burst granularity).
         if self.dupacks >= DUP_THRESH as u32 && self.high_sacked > self.snd_una {
             let scan_from = self.snd_una.max(self.loss_scan_floor);
-            let mut newly_lost = Vec::new();
-            for (&idx, o) in self.outstanding.range(scan_from..self.high_sacked) {
-                if !o.acked && !o.lost {
-                    newly_lost.push(idx);
+            let start = (scan_from - self.snd_una) as usize;
+            let end = ((self.high_sacked - self.snd_una) as usize).min(self.outstanding.len());
+            for off in start..end {
+                let o = &mut self.outstanding[off];
+                if o.acked || o.lost {
+                    continue;
                 }
-            }
-            self.loss_scan_floor = self.high_sacked;
-            for idx in newly_lost {
-                if let Some(o) = self.outstanding.get_mut(&idx) {
-                    o.lost = true;
-                }
+                o.lost = true;
                 self.inflight_bursts -= 1;
-                self.retx_queue.push_back(idx);
+                self.retx_queue.push_back(self.snd_una + off as u64);
                 out.marked_lost += 1;
             }
+            self.loss_scan_floor = self.high_sacked;
             if out.marked_lost > 0 && !self.in_recovery {
                 self.in_recovery = true;
                 self.recovery_high = self.snd_nxt;
@@ -325,7 +336,7 @@ impl TcpSender {
         }
 
         if let Some(s) = rtt_sample {
-            self.rtt.on_sample(s);
+            self.rtt.on_sample(s, now);
         }
         if !out.newly_acked.is_zero() {
             self.last_progress = now;
@@ -364,13 +375,13 @@ impl TcpSender {
         self.recovery_high = self.snd_nxt;
         self.dupacks = 0;
         self.retx_queue.clear();
-        for (&idx, o) in self.outstanding.iter_mut() {
+        for (off, o) in self.outstanding.iter_mut().enumerate() {
             if !o.acked {
                 if !o.lost {
                     self.inflight_bursts -= 1;
                 }
                 o.lost = true;
-                self.retx_queue.push_back(idx);
+                self.retx_queue.push_back(self.snd_una + off as u64);
             }
         }
         self.loss_scan_floor = 0;
@@ -393,18 +404,18 @@ impl TcpSender {
     pub fn on_tlp(&mut self, _now: SimTime) {
         self.tlp_armed = false;
         self.tlp_events += 1;
-        let Some((&idx, _)) = self
+        let Some((off, _)) = self
             .outstanding
             .iter()
+            .enumerate()
             .rev()
             .find(|(_, o)| !o.acked && !o.lost)
         else {
             return;
         };
-        if let Some(o) = self.outstanding.get_mut(&idx) {
-            o.lost = true;
-            self.inflight_bursts -= 1;
-        }
+        let idx = self.snd_una + off as u64;
+        self.outstanding[off].lost = true;
+        self.inflight_bursts -= 1;
         self.retx_queue.push_back(idx);
     }
 
@@ -432,7 +443,7 @@ impl TcpSender {
     /// for a timeout clock).
     pub fn rto_deadline(&self) -> Option<SimTime> {
         self.outstanding
-            .values()
+            .iter()
             .take(64)
             .filter(|o| !o.acked && !o.lost)
             .map(|o| o.sent_at)
@@ -442,7 +453,7 @@ impl TcpSender {
                     // Oldest in-flight is beyond the scan cap: fall
                     // back to any in-flight entry (still a valid clock).
                     self.outstanding
-                        .values()
+                        .iter()
                         .find(|o| !o.acked && !o.lost)
                         .map(|o| o.sent_at)
                 } else {
