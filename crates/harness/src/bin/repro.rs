@@ -12,13 +12,21 @@
 //! REPRO_EFFORT=full  repro all      # paper-faithful 60 s × 10 reps
 //! REPRO_CACHE_DIR=~/.cache/repro repro fig05  # content-addressed cache
 //! REPRO_JOBS=4 repro all            # cap concurrent repetitions
+//! REPRO_CHAOS=42 repro fig05        # inject harness faults, verify recovery
 //! ```
 //!
 //! The environment (`REPRO_EFFORT`, `REPRO_JOBS`, `REPRO_TRACE_DIR`,
-//! `REPRO_CACHE_DIR`) is resolved exactly once here, into a
-//! [`RunCtx`], and threaded explicitly through every experiment.
+//! `REPRO_CACHE_DIR`, `REPRO_CHAOS`, `REPRO_CHECKPOINT_EVERY`) is
+//! resolved exactly once here, into a [`RunCtx`], and threaded
+//! explicitly through every experiment.
+//!
+//! Exit codes: `0` clean, `1` failed scenarios (reported as zeros),
+//! `2` usage error, `3` degraded — every artefact rendered, but some
+//! repetitions were lost (see the missing-repetition manifest on
+//! stderr, or `REPRO_MANIFEST=<file>`).
 
 use harness::experiments::{ablations, ExperimentId};
+use harness::supervise::{ErrorBudget, RunLedger};
 use harness::{RunCache, RunCtx};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -50,6 +58,10 @@ fn main() {
         println!("  all");
         return;
     }
+    if let Some(chaos) = &ctx.chaos {
+        eprintln!("chaos mode on (REPRO_CHAOS={}): injecting harness faults", chaos.seed());
+    }
+    RunLedger::global().reset();
     for arg in &args {
         match arg.as_str() {
             "all" => {
@@ -76,6 +88,31 @@ fn main() {
             },
         }
     }
+    if let Some(chaos) = &ctx.chaos {
+        eprintln!("{}", chaos.stats.summary());
+    }
+    // Degraded-run accounting: the ledger has one record per scenario;
+    // missing repetitions produce the manifest and exit code 3. A
+    // failed *scenario* (all repetitions lost, reported as zeros) is
+    // the stronger signal and keeps exit code 1.
+    let ledger = RunLedger::global();
+    let degraded = ledger.degraded();
+    if degraded {
+        let manifest = ledger.manifest_json();
+        match std::env::var_os("REPRO_MANIFEST") {
+            Some(path) => {
+                let path = PathBuf::from(path);
+                match std::fs::write(&path, &manifest) {
+                    Ok(()) => eprintln!("degraded run: manifest written to {}", path.display()),
+                    Err(e) => {
+                        eprintln!("cannot write manifest to {}: {e}", path.display());
+                        eprintln!("{manifest}");
+                    }
+                }
+            }
+            None => eprintln!("degraded run, missing-repetition manifest: {manifest}"),
+        }
+    }
     // Scenarios that failed (watchdog, conservation, invalid config)
     // were reported as zeros inline; reflect them in the exit code so
     // CI and scripts notice.
@@ -84,19 +121,25 @@ fn main() {
         eprintln!("{failed} scenario(s) failed and were reported as zeros — see warnings above");
         std::process::exit(1);
     }
+    if degraded {
+        eprintln!("some repetitions were lost; results above aggregate the survivors");
+        std::process::exit(3);
+    }
 }
 
 /// Run one experiment and return its rendered output; progress,
 /// wall-clock and cache hit/miss counts go to stderr. Each experiment
-/// gets a private handle onto the shared cache directory so its
+/// gets a private handle onto the shared cache directory (so its
 /// hit/miss counters stay per-experiment even when `all` runs
-/// experiments concurrently.
+/// experiments concurrently) and a fresh retry budget sized by effort.
 fn run_one(id: ExperimentId, ctx: &RunCtx) -> String {
     let mut ctx = ctx.clone();
     let cache = ctx.cache.as_ref().map(|c| {
         Arc::new(RunCache::new(c.dir().to_path_buf()).with_cost_model_version(c.cost_model_version()))
     });
     ctx.cache = cache.clone();
+    let budget = Arc::new(ErrorBudget::new(ctx.effort.error_budget()));
+    ctx.budget = Some(budget.clone());
     eprintln!("running {} at {:?} effort...", id.name(), ctx.effort);
     let start = std::time::Instant::now();
     let artifact = id.run(&ctx);
@@ -120,13 +163,33 @@ fn run_one(id: ExperimentId, ctx: &RunCtx) -> String {
     }
     let secs = start.elapsed().as_secs_f64();
     match &cache {
-        Some(c) => eprintln!(
-            "({} done in {secs:.1}s; cache: {} hit(s), {} miss(es), {} store(s))\n",
-            id.name(),
-            c.stats.hits(),
-            c.stats.misses(),
-            c.stats.stores(),
-        ),
+        Some(c) => {
+            // Recovery counts ride after the store count so the
+            // established "cache: H hit(s), M miss(es), S store(s)"
+            // prefix stays grep-stable for CI.
+            let recoveries = if c.stats.recoveries() > 0 {
+                format!(
+                    ", recovered {} corrupt / {} truncated / {} stale",
+                    c.stats.corrupt_recoveries(),
+                    c.stats.truncated_recoveries(),
+                    c.stats.stale_recoveries(),
+                )
+            } else {
+                String::new()
+            };
+            let retries = if budget.spent() > 0 {
+                format!("; retries: {}/{}", budget.spent(), budget.initial())
+            } else {
+                String::new()
+            };
+            eprintln!(
+                "({} done in {secs:.1}s; cache: {} hit(s), {} miss(es), {} store(s){recoveries}{retries})\n",
+                id.name(),
+                c.stats.hits(),
+                c.stats.misses(),
+                c.stats.stores(),
+            );
+        }
         None => eprintln!("({} done in {secs:.1}s)\n", id.name()),
     }
     rendered
@@ -141,6 +204,11 @@ fn usage() {
                       REPRO_JOBS=<n> to cap concurrently simulating repetitions\n\
                       REPRO_CACHE_DIR=<dir> content-addressed report cache\n\
                       REPRO_CSV_DIR=<dir> to also dump CSV data files\n\
-                      REPRO_TRACE_DIR=<dir> same as --trace"
+                      REPRO_TRACE_DIR=<dir> same as --trace\n\
+                      REPRO_CHAOS=<seed> inject harness faults (kills, cache\n\
+                      corruption, trace failures) and verify recovery\n\
+                      REPRO_CHECKPOINT_EVERY=<events> checkpoint cadence\n\
+                      REPRO_MANIFEST=<file> write the degraded-run manifest here\n\
+         exit codes:  0 clean, 1 failed scenario(s), 2 usage, 3 degraded (lost reps)"
     );
 }

@@ -49,12 +49,40 @@ impl CacheKey {
     }
 }
 
-/// Hit/miss/store counters for one cache handle.
+/// What was wrong with an on-disk entry that *existed* but could not
+/// be used. Each kind is counted separately: a rash of corrupt entries
+/// points at the disk, a rash of stale ones at a cost-model bump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheFault {
+    /// Bad magic, failed checksum, or an unparsable payload.
+    Corrupt,
+    /// Header `len` disagrees with the payload (partial write/truncate).
+    Truncated,
+    /// Intact entry from an older schema or cost-model version.
+    Stale,
+}
+
+impl CacheFault {
+    /// Human-readable reason, used in the recovery warning.
+    pub fn reason(self) -> &'static str {
+        match self {
+            CacheFault::Corrupt => "corrupt (checksum or payload mismatch)",
+            CacheFault::Truncated => "truncated (length mismatch)",
+            CacheFault::Stale => "stale (schema or cost-model version)",
+        }
+    }
+}
+
+/// Hit/miss/store counters for one cache handle, plus recovery
+/// counters for entries that existed but had to be recomputed.
 #[derive(Debug, Default)]
 pub struct CacheStats {
     hits: AtomicU64,
     misses: AtomicU64,
     stores: AtomicU64,
+    corrupt: AtomicU64,
+    truncated: AtomicU64,
+    stale: AtomicU64,
 }
 
 impl CacheStats {
@@ -73,11 +101,43 @@ impl CacheStats {
         self.stores.load(Ordering::Relaxed)
     }
 
+    /// Misses caused by a corrupt entry (bad checksum/magic/payload).
+    pub fn corrupt_recoveries(&self) -> u64 {
+        self.corrupt.load(Ordering::Relaxed)
+    }
+
+    /// Misses caused by a truncated entry.
+    pub fn truncated_recoveries(&self) -> u64 {
+        self.truncated.load(Ordering::Relaxed)
+    }
+
+    /// Misses caused by a stale (old schema/cost-model) entry.
+    pub fn stale_recoveries(&self) -> u64 {
+        self.stale.load(Ordering::Relaxed)
+    }
+
+    /// Total misses where an entry existed but was unusable.
+    pub fn recoveries(&self) -> u64 {
+        self.corrupt_recoveries() + self.truncated_recoveries() + self.stale_recoveries()
+    }
+
+    fn count_fault(&self, fault: CacheFault) {
+        let counter = match fault {
+            CacheFault::Corrupt => &self.corrupt,
+            CacheFault::Truncated => &self.truncated,
+            CacheFault::Stale => &self.stale,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Reset all counters (per-experiment reporting).
     pub fn reset(&self) {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.stores.store(0, Ordering::Relaxed);
+        self.corrupt.store(0, Ordering::Relaxed);
+        self.truncated.store(0, Ordering::Relaxed);
+        self.stale.store(0, Ordering::Relaxed);
     }
 }
 
@@ -132,20 +192,42 @@ impl RunCache {
         CacheKey { hi: c.fingerprint(), lo: c.fingerprint_alt() }
     }
 
+    /// The on-disk path of `key`'s entry (whether or not it exists).
+    pub fn entry_path(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(key.file_name())
+    }
+
     /// Load the entry for `key`, if present and intact. Absent, corrupt
     /// and stale entries all read as a miss.
     pub fn lookup(&self, key: &CacheKey) -> Option<Iperf3Report> {
-        let loaded = std::fs::read_to_string(self.dir.join(key.file_name()))
-            .ok()
-            .and_then(|text| decode_entry(&text, self.cost_model_version));
-        match loaded {
-            Some(report) => {
+        self.lookup_detail(key).ok().flatten()
+    }
+
+    /// [`RunCache::lookup`] with the miss cause exposed: `Ok(Some)` is
+    /// a hit, `Ok(None)` means no entry existed, and `Err(fault)` means
+    /// an entry existed but was corrupt/truncated/stale — counted on
+    /// [`RunCache::stats`], logged with the offending path, and left
+    /// for the caller's recompute-and-store to overwrite (self-heal).
+    pub fn lookup_detail(&self, key: &CacheKey) -> Result<Option<Iperf3Report>, CacheFault> {
+        let path = self.entry_path(key);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            return Ok(None);
+        };
+        match decode_entry(&text, self.cost_model_version) {
+            Ok(report) => {
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
-                Some(report)
+                Ok(Some(report))
             }
-            None => {
+            Err(fault) => {
                 self.stats.misses.fetch_add(1, Ordering::Relaxed);
-                None
+                self.stats.count_fault(fault);
+                eprintln!(
+                    "warning: cache entry {} {}: recomputing",
+                    path.display(),
+                    fault.reason()
+                );
+                Err(fault)
             }
         }
     }
@@ -193,33 +275,38 @@ fn encode_entry(report: &Iperf3Report, cost_model_version: u32) -> String {
     )
 }
 
-fn decode_entry(text: &str, cost_model_version: u32) -> Option<Iperf3Report> {
-    let (header, payload) = text.split_once('\n')?;
+fn decode_entry(text: &str, cost_model_version: u32) -> Result<Iperf3Report, CacheFault> {
+    let (header, payload) = text.split_once('\n').ok_or(CacheFault::Truncated)?;
     let mut fields = header.split(' ');
     if fields.next() != Some("dtnperf-cache") {
-        return None;
+        return Err(CacheFault::Corrupt);
     }
     let mut schema = None;
     let mut cost_model = None;
     let mut len = None;
     let mut checksum = None;
     for field in fields {
-        let (k, v) = field.split_once('=')?;
+        let (k, v) = field.split_once('=').ok_or(CacheFault::Corrupt)?;
         match k {
             "schema" => schema = v.parse::<u32>().ok(),
             "cost_model" => cost_model = v.parse::<u32>().ok(),
             "len" => len = v.parse::<usize>().ok(),
             "checksum" => checksum = u64::from_str_radix(v, 16).ok(),
-            _ => return None,
+            _ => return Err(CacheFault::Corrupt),
         }
     }
-    if schema? != SCHEMA || cost_model? != cost_model_version {
-        return None; // stale layout or stale cost model
+    let (schema, cost_model) = (schema.ok_or(CacheFault::Corrupt)?, cost_model.ok_or(CacheFault::Corrupt)?);
+    let (len, checksum) = (len.ok_or(CacheFault::Corrupt)?, checksum.ok_or(CacheFault::Corrupt)?);
+    if schema != SCHEMA || cost_model != cost_model_version {
+        return Err(CacheFault::Stale); // stale layout or stale cost model
     }
-    if len? != payload.len() || checksum? != fnv1a_64(payload.as_bytes()) {
-        return None; // truncated or bit-flipped
+    if len != payload.len() {
+        return Err(CacheFault::Truncated);
     }
-    decode_report(payload)
+    if checksum != fnv1a_64(payload.as_bytes()) {
+        return Err(CacheFault::Corrupt); // bit-flipped
+    }
+    decode_report(payload).ok_or(CacheFault::Corrupt)
 }
 
 /// f64 → exact 16-hex IEEE-754 bits (the only float encoding used).
@@ -479,7 +566,7 @@ mod tests {
     fn truncated_entry_rejected() {
         let entry = encode_entry(&report(), 1);
         let truncated = &entry[..entry.len() - 7];
-        assert!(decode_entry(truncated, 1).is_none());
+        assert_eq!(decode_entry(truncated, 1).unwrap_err(), CacheFault::Truncated);
     }
 
     #[test]
@@ -490,20 +577,56 @@ mod tests {
         let idx = bytes.len() - 10;
         bytes[idx] ^= 0x01;
         let flipped = String::from_utf8(bytes).expect("utf8");
-        assert!(decode_entry(&flipped, 1).is_none());
+        assert_eq!(decode_entry(&flipped, 1).unwrap_err(), CacheFault::Corrupt);
     }
 
     #[test]
     fn cost_model_version_mismatch_rejected() {
         let entry = encode_entry(&report(), 1);
-        assert!(decode_entry(&entry, 2).is_none());
-        assert!(decode_entry(&entry, 1).is_some());
+        assert_eq!(decode_entry(&entry, 2).unwrap_err(), CacheFault::Stale);
+        assert!(decode_entry(&entry, 1).is_ok());
     }
 
     #[test]
     fn garbage_rejected() {
-        assert!(decode_entry("", 1).is_none());
-        assert!(decode_entry("not a cache file\n{}", 1).is_none());
-        assert!(decode_entry("dtnperf-cache schema=1\n{}", 1).is_none());
+        assert_eq!(decode_entry("", 1).unwrap_err(), CacheFault::Truncated);
+        assert_eq!(decode_entry("not a cache file\n{}", 1).unwrap_err(), CacheFault::Corrupt);
+        assert_eq!(
+            decode_entry("dtnperf-cache schema=1\n{}", 1).unwrap_err(),
+            CacheFault::Corrupt
+        );
+    }
+
+    #[test]
+    fn lookup_detail_counts_and_heals_faults() {
+        let dir = std::env::temp_dir().join(format!("cache_heal_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cache = RunCache::new(&dir);
+        let key = CacheKey { hi: 1, lo: 2 };
+        let r = report();
+
+        // Absent: clean miss, no fault counted.
+        assert!(matches!(cache.lookup_detail(&key), Ok(None)));
+        assert_eq!(cache.stats.recoveries(), 0);
+
+        // Store, then truncate on disk: the fault is typed, counted,
+        // and the entry self-heals on the next store.
+        cache.store(&key, &r);
+        let path = cache.entry_path(&key);
+        let bytes = std::fs::read(&path).expect("entry written");
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate");
+        assert!(matches!(cache.lookup_detail(&key), Err(CacheFault::Truncated)));
+        assert_eq!(cache.stats.truncated_recoveries(), 1);
+        assert_eq!(cache.stats.recoveries(), 1);
+
+        cache.store(&key, &r);
+        let healed = cache.lookup_detail(&key).expect("intact").expect("hit");
+        assert!(reports_bit_identical(&r, &healed));
+        assert_eq!(cache.stats.recoveries(), 1, "heal adds no new fault");
+
+        // Recovery counters reset with the rest.
+        cache.stats.reset();
+        assert_eq!(cache.stats.recoveries(), 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,17 +1,19 @@
 //! The run context: everything the environment used to leak into
 //! arbitrary call sites, resolved once at harness entry.
 //!
-//! `Effort::from_env`, `REPRO_TRACE_DIR`, `REPRO_CACHE_DIR` and
-//! `REPRO_JOBS` are read exactly once — by [`RunCtx::from_env`] in the
-//! `repro` binary — and threaded explicitly from there. Tests build a
-//! [`RunCtx`] directly and never touch process-global environment
-//! variables, which would race across test threads under the parallel
-//! scheduler.
+//! `Effort::from_env`, `REPRO_TRACE_DIR`, `REPRO_CACHE_DIR`,
+//! `REPRO_JOBS`, `REPRO_CHAOS` and `REPRO_CHECKPOINT_EVERY` are read
+//! exactly once — by [`RunCtx::from_env`] in the `repro` binary — and
+//! threaded explicitly from there. Tests build a [`RunCtx`] directly
+//! and never touch process-global environment variables, which would
+//! race across test threads under the parallel scheduler.
 
 use crate::cache::RunCache;
+use crate::chaos::ChaosPlan;
 use crate::effort::Effort;
 use crate::runner::TestHarness;
 use crate::sched;
+use crate::supervise::{ErrorBudget, Supervisor};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -27,23 +29,55 @@ pub struct RunCtx {
     pub trace_dir: Option<PathBuf>,
     /// Content-addressed report cache (`REPRO_CACHE_DIR`).
     pub cache: Option<Arc<RunCache>>,
+    /// Harness-level fault injection (`REPRO_CHAOS=<seed>`).
+    pub chaos: Option<Arc<ChaosPlan>>,
+    /// Shared retry budget for the harnesses this context builds
+    /// (`repro` replaces it per experiment).
+    pub budget: Option<Arc<ErrorBudget>>,
+    /// Checkpoint cadence override (`REPRO_CHECKPOINT_EVERY`, events;
+    /// 0 = unset, chaos picks its own default).
+    pub checkpoint_every: u64,
 }
 
 impl RunCtx {
-    /// A context at the given effort, with no tracing and no cache —
-    /// what tests and library callers start from.
+    /// A context at the given effort, with no tracing, no cache, and no
+    /// chaos — what tests and library callers start from.
     pub fn new(effort: Effort) -> Self {
-        RunCtx { effort, jobs: sched::jobs_from_env(), trace_dir: None, cache: None }
+        RunCtx {
+            effort,
+            jobs: sched::jobs_from_env(),
+            trace_dir: None,
+            cache: None,
+            chaos: None,
+            budget: None,
+            checkpoint_every: 0,
+        }
     }
 
     /// Resolve the environment once: `REPRO_EFFORT`, `REPRO_JOBS`,
-    /// `REPRO_TRACE_DIR`, `REPRO_CACHE_DIR`.
+    /// `REPRO_TRACE_DIR`, `REPRO_CACHE_DIR`, `REPRO_CHAOS`,
+    /// `REPRO_CHECKPOINT_EVERY`.
     pub fn from_env() -> Self {
+        let checkpoint_every = std::env::var("REPRO_CHECKPOINT_EVERY")
+            .ok()
+            .and_then(|v| match v.parse::<u64>() {
+                Ok(n) => Some(n),
+                Err(_) => {
+                    eprintln!(
+                        "REPRO_CHECKPOINT_EVERY='{v}' is not an event count; ignoring"
+                    );
+                    None
+                }
+            })
+            .unwrap_or(0);
         RunCtx {
             effort: Effort::from_env(),
             jobs: sched::jobs_from_env(),
             trace_dir: std::env::var_os("REPRO_TRACE_DIR").map(PathBuf::from),
             cache: RunCache::from_env().map(Arc::new),
+            chaos: ChaosPlan::from_env().map(Arc::new),
+            budget: None,
+            checkpoint_every,
         }
     }
 
@@ -59,15 +93,39 @@ impl RunCtx {
         self
     }
 
+    /// Builder: inject harness faults per `chaos`.
+    pub fn with_chaos(mut self, chaos: Arc<ChaosPlan>) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// Builder: draw retries from `budget`.
+    pub fn with_budget(mut self, budget: Arc<ErrorBudget>) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
     /// A harness with the context's effort-default repetition count.
     pub fn harness(&self) -> TestHarness {
         self.harness_with_reps(self.effort.repetitions())
     }
 
     /// A harness with an explicit repetition count (single-run
-    /// diagnosis experiments use 1).
+    /// diagnosis experiments use 1). The supervisor is assembled from
+    /// the context: effort-matched retry policy and deadline, the
+    /// shared budget, the chaos schedule, and the checkpoint cadence.
     pub fn harness_with_reps(&self, repetitions: usize) -> TestHarness {
-        let mut h = TestHarness::new(repetitions);
+        let mut supervisor = Supervisor::for_effort(self.effort);
+        if self.checkpoint_every > 0 {
+            supervisor = supervisor.with_checkpoint_every(self.checkpoint_every);
+        }
+        if let Some(budget) = &self.budget {
+            supervisor = supervisor.with_budget(budget.clone());
+        }
+        if let Some(chaos) = &self.chaos {
+            supervisor = supervisor.with_chaos(chaos.clone());
+        }
+        let mut h = TestHarness::new(repetitions).with_supervisor(supervisor);
         h.trace_dir = self.trace_dir.clone();
         h.cache = self.cache.clone();
         h
@@ -83,6 +141,7 @@ impl Default for RunCtx {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::supervise::DEFAULT_CHECKPOINT_EVERY;
 
     #[test]
     fn harness_inherits_ctx_settings() {
@@ -103,5 +162,28 @@ mod tests {
         let h = ctx.harness();
         assert!(h.trace_dir.is_none());
         assert!(h.cache.is_none());
+        assert!(h.supervisor.chaos().is_none());
+        assert!(h.supervisor.budget().is_none());
+    }
+
+    #[test]
+    fn harness_supervisor_matches_effort_and_wiring() {
+        let budget = Arc::new(ErrorBudget::new(5));
+        let chaos = Arc::new(ChaosPlan::new(99));
+        let ctx = RunCtx::new(Effort::Full)
+            .with_budget(budget.clone())
+            .with_chaos(chaos.clone());
+        let h = ctx.harness();
+        let sup = &h.supervisor;
+        assert_eq!(sup.policy().max_attempts, Effort::Full.retry_attempts());
+        assert_eq!(sup.policy().deadline, Effort::Full.rep_deadline());
+        assert!(Arc::ptr_eq(sup.budget().expect("budget wired"), &budget));
+        assert!(Arc::ptr_eq(sup.chaos().expect("chaos wired"), &chaos));
+        // Chaos without an explicit cadence turns checkpointing on.
+        assert_eq!(sup.checkpoint_cadence(), DEFAULT_CHECKPOINT_EVERY);
+        // An explicit cadence wins.
+        let mut ctx2 = RunCtx::new(Effort::Smoke).with_chaos(chaos);
+        ctx2.checkpoint_every = 7;
+        assert_eq!(ctx2.harness().supervisor.checkpoint_cadence(), 7);
     }
 }

@@ -18,9 +18,15 @@
 //!   concurrency gate (`REPRO_JOBS`).
 //! * [`cache`] — the content-addressed run cache (`REPRO_CACHE_DIR`):
 //!   checksummed JSON reports keyed on canonical scenario + seed +
-//!   cost-model version.
-//! * [`ctx`] — [`ctx::RunCtx`]: effort, tracing, cache and parallelism
-//!   resolved once at entry and threaded explicitly.
+//!   cost-model version, with corrupt/truncated/stale entries counted
+//!   and self-healed.
+//! * [`supervise`] — the run supervisor: crash isolation, wall-clock
+//!   deadlines, error-class-aware retries against a per-experiment
+//!   budget, checkpoint/resume, and the degraded-run ledger.
+//! * [`chaos`] — seeded harness-fault injection (`REPRO_CHAOS`):
+//!   worker kills, cache corruption, trace-write failures.
+//! * [`ctx`] — [`ctx::RunCtx`]: effort, tracing, cache, chaos and
+//!   parallelism resolved once at entry and threaded explicitly.
 //! * [`render`] — ASCII tables and grouped bar charts for terminal
 //!   reports.
 //! * [`trace`] — JSON-lines telemetry traces (`--trace <dir>`), one
@@ -38,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chaos;
 pub mod ctx;
 pub mod effort;
 pub mod experiments;
@@ -46,13 +53,18 @@ pub mod render;
 pub mod runner;
 pub mod scenario;
 pub mod sched;
+pub mod supervise;
 pub mod testbeds;
 pub mod trace;
 
-pub use cache::RunCache;
+pub use cache::{CacheFault, RunCache};
+pub use chaos::{ChaosPlan, ChaosStats};
 pub use ctx::RunCtx;
 pub use effort::Effort;
 pub use render::{FigureData, Series, TableData};
 pub use runner::{FailedRep, ScenarioError, TestHarness, TestSummary};
 pub use scenario::Scenario;
+pub use supervise::{
+    ErrorBudget, ErrorClass, RepError, RetryPolicy, RunLedger, ScenarioRecord, Supervisor,
+};
 pub use testbeds::{AmLightPath, EsnetPath, Testbeds};

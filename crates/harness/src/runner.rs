@@ -21,14 +21,18 @@
 //! only errors out when *no* repetition produced a report.
 
 use crate::cache::RunCache;
+use crate::chaos::ChaosIo;
 use crate::scenario::Scenario;
 use crate::sched;
-use iperf3sim::{Iperf3Report, RunError};
+use crate::supervise::{
+    json_escape, json_unescape, ErrorClass, RepError, RunLedger, ScenarioRecord, Supervisor,
+};
+use crate::trace::{RealIo, TraceIo};
+use iperf3sim::Iperf3Report;
 use simcore::{derive_seed, RunningStats, SimDuration, Summary};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Duration;
 
 /// Outcome slot for one repetition: the report (with the seed that
 /// produced it — a rescued retry runs on a perturbed seed), or the
@@ -36,19 +40,55 @@ use std::time::Duration;
 type Slot = Result<(u64, Iperf3Report), FailedRep>;
 
 /// One repetition that produced no report, identified by its seed.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FailedRep {
-    /// The seed the repetition ran with.
+    /// The seed the repetition was asked to run with (retries perturb
+    /// it, but the failure is recorded against the original).
     pub seed: u64,
-    /// The error, rendered as text (stable across retries).
+    /// The *first* error, rendered as text (stable across retries).
     pub error: String,
-    /// Whether this failure survived a retry (true) or is the
-    /// first-attempt failure that the retry then rescued (false).
-    pub retried: bool,
-    /// The failure was a deterministic flag/config rejection — the
-    /// same on every seed, so not worth retrying — as opposed to a
-    /// runtime failure (watchdog trip, dead worker, …).
-    pub invalid: bool,
+    /// The first error's class — what the retry policy keyed on.
+    pub class: ErrorClass,
+    /// Attempts made before giving up (1 = never retried).
+    pub attempts: u32,
+}
+
+impl FailedRep {
+    /// Was this a deterministic flag/config rejection (the same on
+    /// every seed, so never retried)?
+    pub fn invalid(&self) -> bool {
+        self.class == ErrorClass::InvalidConfig
+    }
+
+    /// Did the failure survive at least one retry?
+    pub fn retried(&self) -> bool {
+        self.attempts > 1
+    }
+
+    /// Serialize for the degraded-run manifest.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"seed\":{},\"class\":\"{}\",\"attempts\":{},\"error\":\"{}\"}}",
+            self.seed,
+            self.class.name(),
+            self.attempts,
+            json_escape(&self.error)
+        )
+    }
+
+    /// Parse exactly what [`FailedRep::to_json`] emits; `None` on any
+    /// deviation (unknown class, malformed escape, missing field).
+    pub fn from_json(s: &str) -> Option<FailedRep> {
+        let s = s.strip_prefix("{\"seed\":")?;
+        let (seed, s) = s.split_once(",\"class\":\"")?;
+        let seed = seed.parse().ok()?;
+        let (class, s) = s.split_once("\",\"attempts\":")?;
+        let class = ErrorClass::parse(class)?;
+        let (attempts, s) = s.split_once(",\"error\":\"")?;
+        let attempts = attempts.parse().ok()?;
+        let error = json_unescape(s.strip_suffix("\"}")?)?;
+        Some(FailedRep { seed, error, class, attempts })
+    }
 }
 
 /// Why a whole scenario produced no summary.
@@ -170,6 +210,9 @@ pub struct TestHarness {
     /// (telemetry sampling or attribution, e.g. under tracing) bypass
     /// it.
     pub cache: Option<Arc<RunCache>>,
+    /// Crash isolation, deadlines, classed retries, chaos schedule —
+    /// every repetition runs under it (see [`crate::supervise`]).
+    pub supervisor: Supervisor,
 }
 
 impl Default for TestHarness {
@@ -180,18 +223,16 @@ impl Default for TestHarness {
             parallel: true,
             trace_dir: None,
             cache: None,
+            supervisor: Supervisor::default(),
         }
     }
 }
 
 /// Retried seeds flip the top bit of the derived seed, so a retry
-/// never collides with another repetition's seed stream.
+/// never collides with another repetition's seed stream. (The second
+/// retry onward re-derives from this mask, keeping every attempt's
+/// seed distinct from every repetition stream.)
 const RETRY_SEED_XOR: u64 = 0x8000_0000_0000_0000;
-
-/// Pause before a retry — stands in for "wait for the testbed to
-/// settle" in a real campaign; bounded so a broken scenario cannot
-/// slow the harness meaningfully.
-const RETRY_BACKOFF: Duration = Duration::from_millis(10);
 
 impl TestHarness {
     /// Harness with `repetitions` runs per scenario.
@@ -218,6 +259,13 @@ impl TestHarness {
     /// and attribution on for every run).
     pub fn with_trace_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.trace_dir = Some(dir.into());
+        self
+    }
+
+    /// Builder: replace the run supervisor (retry policy, error
+    /// budget, chaos schedule, checkpoint cadence).
+    pub fn with_supervisor(mut self, supervisor: Supervisor) -> Self {
+        self.supervisor = supervisor;
         self
     }
 
@@ -263,30 +311,37 @@ impl TestHarness {
             .collect()
     }
 
-    /// One repetition: attempt, then one retry on a perturbed seed for
-    /// runtime failures.
+    /// One repetition: attempt, then retries on perturbed seeds, each
+    /// gated on the error class (a deterministic config rejection reads
+    /// the same on every seed, so it is never rerun), the policy's
+    /// attempt cap, and the shared error budget. The recorded failure
+    /// keeps the *first* error — retries are rescue attempts, not
+    /// evidence.
     fn run_one_rep(&self, scenario: &Scenario, seed: u64) -> Slot {
-        match self.attempt(scenario, seed) {
-            Ok(report) => Ok((seed, report)),
-            Err(RunError::Invalid(problems)) => Err(FailedRep {
-                seed,
-                error: RunError::Invalid(problems).to_string(),
-                retried: false,
-                invalid: true,
-            }),
-            Err(first) => {
-                // Runtime failure: one retry, perturbed seed, bounded
-                // backoff.
-                std::thread::sleep(RETRY_BACKOFF);
-                let retry_seed = seed ^ RETRY_SEED_XOR;
-                match self.attempt(scenario, retry_seed) {
-                    Ok(report) => Ok((retry_seed, report)),
-                    Err(_) => Err(FailedRep {
-                        seed,
-                        error: first.to_string(),
-                        retried: true,
-                        invalid: false,
-                    }),
+        let mut first: Option<RepError> = None;
+        let mut attempt_no: u32 = 1;
+        loop {
+            let attempt_seed = match attempt_no {
+                1 => seed,
+                2 => seed ^ RETRY_SEED_XOR,
+                n => derive_seed(seed, RETRY_SEED_XOR, n as u64),
+            };
+            match self.attempt(scenario, attempt_seed) {
+                Ok(report) => return Ok((attempt_seed, report)),
+                Err(e) => {
+                    let class = e.class;
+                    let first = first.get_or_insert(e);
+                    if self.supervisor.may_retry(class, attempt_no) {
+                        std::thread::sleep(self.supervisor.policy().backoff(attempt_no + 1));
+                        attempt_no += 1;
+                    } else {
+                        return Err(FailedRep {
+                            seed,
+                            error: first.error.clone(),
+                            class: first.class,
+                            attempts: attempt_no,
+                        });
+                    }
                 }
             }
         }
@@ -300,14 +355,24 @@ impl TestHarness {
         fingerprint: u64,
         slots: Vec<Option<Slot>>,
     ) -> Result<TestSummary, ScenarioError> {
+        let expected = slots.len();
         let seeds: Vec<u64> = (0..slots.len())
             .map(|i| derive_seed(fingerprint, self.base_seed, i as u64))
             .collect();
         let (reports, failures) = Self::collect_slots(slots, &seeds);
+        // Every scenario reports into the global ledger — success,
+        // degraded, or total loss — so `repro` can account for every
+        // repetition in the end-of-run manifest.
+        RunLedger::global().record(ScenarioRecord {
+            label: scenario.label.clone(),
+            expected,
+            completed: reports.len(),
+            failed: failures.clone(),
+        });
         if reports.is_empty() {
             // Deterministic config errors read the same on every seed:
             // report them as one Invalid, not N identical failures.
-            if let Some(first) = failures.iter().find(|x| x.invalid) {
+            if let Some(first) = failures.iter().find(|x| x.invalid()) {
                 return Err(ScenarioError::Invalid {
                     label: scenario.label.clone(),
                     problems: vec![first.error.clone()],
@@ -319,15 +384,30 @@ impl TestHarness {
             });
         }
         if let Some(dir) = &self.trace_dir {
+            // Under chaos the writes go through the fault-injecting
+            // shim: a lost trace degrades to a warning, never to a
+            // lost repetition.
+            let chaos_io = self.supervisor.chaos().map(|plan| ChaosIo::new(plan.clone()));
+            let io: &dyn TraceIo = match &chaos_io {
+                Some(io) => io,
+                None => &RealIo,
+            };
             for (i, seed, report) in &reports {
-                if let Err(e) = crate::trace::write_rep_trace(dir, &scenario.label, *i, *seed, report)
-                {
+                if let Err(e) = crate::trace::write_rep_trace_with(
+                    io,
+                    dir,
+                    &scenario.label,
+                    *i,
+                    *seed,
+                    report,
+                ) {
                     eprintln!(
                         "warning: could not write trace for '{}' rep {i}: {e}",
                         scenario.label
                     );
                 }
-                if let Err(e) = crate::trace::write_rep_profiles(dir, &scenario.label, *i, report)
+                if let Err(e) =
+                    crate::trace::write_rep_profiles_with(io, dir, &scenario.label, *i, report)
                 {
                     eprintln!(
                         "warning: could not write profiles for '{}' rep {i}: {e}",
@@ -358,15 +438,15 @@ impl TestHarness {
                 None => failures.push(FailedRep {
                     seed: seeds[i],
                     error: format!("repetition {i}: worker died before reporting a result"),
-                    retried: false,
-                    invalid: false,
+                    class: ErrorClass::WorkerDeath,
+                    attempts: 1,
                 }),
             }
         }
         (reports, failures)
     }
 
-    fn attempt(&self, scenario: &Scenario, seed: u64) -> Result<Iperf3Report, RunError> {
+    fn attempt(&self, scenario: &Scenario, seed: u64) -> Result<Iperf3Report, RepError> {
         let mut opts = scenario.opts.clone().seed(seed);
         // Tracing needs samples: default to a 1 s tick unless the
         // scenario already chose one, and turn on attribution so the
@@ -377,6 +457,21 @@ impl TestHarness {
             }
             opts = opts.attribution();
         }
+        // The simulation itself always runs under the supervisor:
+        // crash-isolated, stepped under a wall-clock deadline, and —
+        // when chaos is on — killed and resumed per the schedule.
+        let simulate = || {
+            self.supervisor.drive(seed, || {
+                iperf3sim::start_session(
+                    &scenario.client,
+                    &scenario.server,
+                    &scenario.path,
+                    &opts,
+                    &scenario.faults,
+                    scenario.event_budget,
+                )
+            })
+        };
         // Observer-free runs are pure functions of (scenario, seed):
         // consult the content-addressed cache before simulating, fill
         // it after. Runs carrying telemetry/attribution bypass it (the
@@ -385,29 +480,31 @@ impl TestHarness {
         if cacheable {
             if let Some(cache) = &self.cache {
                 let key = cache.key(scenario, seed);
-                if let Some(report) = cache.lookup(&key) {
-                    return Ok(report);
-                }
-                let report = iperf3sim::run_with_faults(
-                    &scenario.client,
-                    &scenario.server,
-                    &scenario.path,
-                    &opts,
-                    &scenario.faults,
-                    scenario.event_budget,
-                )?;
+                let clean_miss = match cache.lookup_detail(&key) {
+                    Ok(Some(report)) => return Ok(report),
+                    Ok(None) => true,
+                    // Corrupt/truncated/stale entry: already counted
+                    // and logged by the cache — recompute and overwrite
+                    // (self-heal).
+                    Err(_fault) => false,
+                };
+                let report = simulate()?;
                 cache.store(&key, &report);
+                // Chaos poisons only entries stored after a clean
+                // miss: a store that just healed a poisoned entry is
+                // left alone, so the cache converges instead of
+                // being re-corrupted forever.
+                if clean_miss {
+                    if let Some(chaos) = self.supervisor.chaos() {
+                        if let Some(damage) = chaos.cache_damage(seed) {
+                            chaos.damage_entry(&cache.entry_path(&key), damage);
+                        }
+                    }
+                }
                 return Ok(report);
             }
         }
-        iperf3sim::run_with_faults(
-            &scenario.client,
-            &scenario.server,
-            &scenario.path,
-            &opts,
-            &scenario.faults,
-            scenario.event_budget,
-        )
+        simulate()
     }
 
     fn aggregate(
@@ -522,7 +619,8 @@ mod tests {
         match err {
             ScenarioError::AllRepetitionsFailed { failures, .. } => {
                 assert_eq!(failures.len(), 2);
-                assert!(failures.iter().all(|f| f.retried));
+                assert!(failures.iter().all(|f| f.retried()));
+                assert!(failures.iter().all(|f| f.class == ErrorClass::WatchdogBudget));
                 assert!(failures.iter().any(|f| f.seed == rep0_seed));
                 assert!(failures[0].error.contains("stalled"), "{}", failures[0].error);
             }
@@ -541,8 +639,53 @@ mod tests {
         assert_eq!(failures.len(), 2);
         assert_eq!(failures[0].seed, 50);
         assert_eq!(failures[1].seed, 51);
-        assert!(failures.iter().all(|f| !f.retried && !f.invalid));
+        assert!(failures.iter().all(|f| !f.retried() && !f.invalid()));
+        assert!(failures.iter().all(|f| f.class == ErrorClass::WorkerDeath));
         assert!(failures[0].error.contains("worker died"), "{}", failures[0].error);
+    }
+
+    #[test]
+    fn invalid_scenario_never_retries() {
+        // A deterministic config rejection must burn exactly one
+        // attempt per repetition — the identical rerun the old harness
+        // paid for is gone. Verified through the run ledger (filtered
+        // by label: the ledger is process-global and tests run in
+        // parallel).
+        let mut sc = scenario();
+        sc.label = "invalid_never_retries".into();
+        sc.opts.parallel = 0;
+        let err = TestHarness::new(2).run(&sc).unwrap_err();
+        assert!(matches!(err, ScenarioError::Invalid { .. }), "{err}");
+        let records = RunLedger::global().snapshot();
+        let rec = records
+            .iter()
+            .rev()
+            .find(|r| r.label == "invalid_never_retries")
+            .expect("scenario recorded in ledger");
+        assert_eq!((rec.expected, rec.completed), (2, 0));
+        assert_eq!(rec.failed.len(), 2);
+        assert!(rec
+            .failed
+            .iter()
+            .all(|f| f.attempts == 1 && f.class == ErrorClass::InvalidConfig));
+    }
+
+    #[test]
+    fn failed_rep_json_round_trips() {
+        let f = FailedRep {
+            seed: u64::MAX,
+            error: "weird \"msg\"\nwith\\slashes\tand tabs".into(),
+            class: ErrorClass::StateCorruption,
+            attempts: 3,
+        };
+        assert_eq!(FailedRep::from_json(&f.to_json()), Some(f));
+        assert_eq!(FailedRep::from_json("{\"seed\":1}"), None);
+        assert_eq!(
+            FailedRep::from_json(
+                "{\"seed\":1,\"class\":\"no-such\",\"attempts\":1,\"error\":\"x\"}"
+            ),
+            None
+        );
     }
 
     #[test]

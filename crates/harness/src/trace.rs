@@ -15,8 +15,34 @@
 
 use iperf3sim::Iperf3Report;
 use simcore::SimTime;
-use std::io::Write;
 use std::path::{Path, PathBuf};
+
+/// The filesystem surface trace/profile writing goes through.
+///
+/// Production uses [`RealIo`]; chaos mode substitutes
+/// [`crate::chaos::ChaosIo`] to inject write failures, proving the
+/// harness degrades a lost trace to a warning instead of losing the
+/// repetition that produced it.
+pub trait TraceIo: Send + Sync {
+    /// `std::fs::create_dir_all`.
+    fn create_dir_all(&self, dir: &Path) -> std::io::Result<()>;
+    /// Write `data` to `path`, whole-file.
+    fn write(&self, path: &Path, data: &[u8]) -> std::io::Result<()>;
+}
+
+/// The real filesystem.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealIo;
+
+impl TraceIo for RealIo {
+    fn create_dir_all(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> std::io::Result<()> {
+        std::fs::write(path, data)
+    }
+}
 
 /// File-name-safe form of a scenario label (lowercase; anything
 /// outside `[a-z0-9_-]` collapses to `_`).
@@ -129,13 +155,25 @@ pub fn write_rep_trace(
     seed: u64,
     report: &Iperf3Report,
 ) -> std::io::Result<Option<PathBuf>> {
+    write_rep_trace_with(&RealIo, dir, label, rep, seed, report)
+}
+
+/// [`write_rep_trace`] through an explicit [`TraceIo`] (chaos shim or
+/// the real filesystem).
+pub fn write_rep_trace_with(
+    io: &dyn TraceIo,
+    dir: &Path,
+    label: &str,
+    rep: usize,
+    seed: u64,
+    report: &Iperf3Report,
+) -> std::io::Result<Option<PathBuf>> {
     let Some(body) = render_jsonl(label, rep, seed, report) else {
         return Ok(None);
     };
-    std::fs::create_dir_all(dir)?;
+    io.create_dir_all(dir)?;
     let path = dir.join(format!("{}_rep{rep}.jsonl", sanitize_label(label)));
-    let mut file = std::fs::File::create(&path)?;
-    file.write_all(body.as_bytes())?;
+    io.write(&path, body.as_bytes())?;
     Ok(Some(path))
 }
 
@@ -149,17 +187,28 @@ pub fn write_rep_profiles(
     rep: usize,
     report: &Iperf3Report,
 ) -> std::io::Result<Option<(PathBuf, PathBuf)>> {
+    write_rep_profiles_with(&RealIo, dir, label, rep, report)
+}
+
+/// [`write_rep_profiles`] through an explicit [`TraceIo`].
+pub fn write_rep_profiles_with(
+    io: &dyn TraceIo,
+    dir: &Path,
+    label: &str,
+    rep: usize,
+    report: &Iperf3Report,
+) -> std::io::Result<Option<(PathBuf, PathBuf)>> {
     let (Some(folded), Some(table)) =
         (crate::profile::folded_stacks(report), crate::profile::perf_report(report))
     else {
         return Ok(None);
     };
-    std::fs::create_dir_all(dir)?;
+    io.create_dir_all(dir)?;
     let stem = sanitize_label(label);
     let folded_path = dir.join(format!("{stem}_rep{rep}.folded"));
-    std::fs::write(&folded_path, folded)?;
+    io.write(&folded_path, folded.as_bytes())?;
     let perf_path = dir.join(format!("{stem}_rep{rep}.perf.txt"));
-    std::fs::write(&perf_path, table)?;
+    io.write(&perf_path, table.as_bytes())?;
     Ok(Some((folded_path, perf_path)))
 }
 

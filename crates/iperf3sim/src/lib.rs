@@ -30,5 +30,5 @@ pub mod version;
 pub use neper::{run_tcp_stream, NeperOpts, NeperReport};
 pub use opts::Iperf3Opts;
 pub use report::{Iperf3Report, StreamReport};
-pub use runner::{run, run_with_faults, RunError};
+pub use runner::{run, run_with_faults, start_session, RunError, SessionCheckpoint, SimSession};
 pub use version::Iperf3Version;

@@ -4,7 +4,7 @@ use crate::opts::Iperf3Opts;
 use crate::report::Iperf3Report;
 use linuxhost::HostConfig;
 use nethw::PathSpec;
-use netsim::{FaultPlan, SimConfig, SimError, Simulation, WorkloadSpec};
+use netsim::{FaultPlan, RunningSim, SimConfig, SimError, Simulation, WorkloadSpec};
 use simcore::SimDuration;
 use std::fmt;
 
@@ -80,6 +80,25 @@ pub fn run_with_faults(
     faults: &FaultPlan,
     event_budget: Option<u64>,
 ) -> Result<Iperf3Report, RunError> {
+    // One code path: the straight-through run is a session driven to
+    // completion without intermediate steps or checkpoints, which the
+    // checkpoint/resume suite verifies is bit-identical.
+    start_session(client, server, path, opts, faults, event_budget)?.finish()
+}
+
+/// Validate flags and configuration, then start (but do not run) the
+/// simulated test, returning a [`SimSession`] the caller can drive in
+/// bounded steps, checkpoint, and resume. Used by the harness
+/// supervisor for crash isolation and chaos testing;
+/// [`run_with_faults`] is this plus an immediate [`SimSession::finish`].
+pub fn start_session(
+    client: &HostConfig,
+    server: &HostConfig,
+    path: &PathSpec,
+    opts: &Iperf3Opts,
+    faults: &FaultPlan,
+    event_budget: Option<u64>,
+) -> Result<SimSession, RunError> {
     let mut errors = opts.validate();
 
     // Pre-3.16 builds run all streams on one thread: emulate by pinning
@@ -107,9 +126,10 @@ pub fn run_with_faults(
         telemetry: opts.telemetry,
         attribution: opts.attribution,
     };
+    let command = opts.command_line(&server.name);
     let cfg = SimConfig {
         sender: client,
-        receiver: server.clone(),
+        receiver: server,
         path: path.clone(),
         workload,
     };
@@ -117,14 +137,69 @@ pub fn run_with_faults(
     if !errors.is_empty() {
         return Err(RunError::Invalid(errors));
     }
-    let result = Simulation::new(cfg)?.run()?;
-    // Run-level warnings (e.g. past-scheduled events clamped by the
-    // release-mode queue) don't fail the run, but must not vanish: the
-    // report is suspect and the reader should know.
-    for warning in result.warnings() {
-        eprintln!("warning: {warning}");
+    Ok(SimSession { sim: Simulation::new(cfg)?.start(), command })
+}
+
+/// A started iperf3 test over the simulator, driven incrementally.
+///
+/// Stepping in chunks (instead of one blocking run) is what lets the
+/// harness supervisor snapshot state between events, enforce wall-clock
+/// deadlines, and — under `REPRO_CHAOS` — kill and resume workers while
+/// still producing bit-identical reports.
+pub struct SimSession {
+    sim: RunningSim,
+    command: String,
+}
+
+/// A deep snapshot of a [`SimSession`], resumable with
+/// [`SimSession::resume`].
+#[derive(Clone)]
+pub struct SessionCheckpoint {
+    sim: netsim::SimCheckpoint,
+    command: String,
+}
+
+impl SessionCheckpoint {
+    /// Dispatched-event count at the moment of the snapshot.
+    pub fn events_done(&self) -> u64 {
+        self.sim.events_done()
     }
-    Ok(Iperf3Report::from_run(opts.command_line(&server.name), &result))
+}
+
+impl SimSession {
+    /// Total simulation events dispatched so far.
+    pub fn events_done(&self) -> u64 {
+        self.sim.events_done()
+    }
+
+    /// Dispatch up to `max` further events; `Ok(true)` once the run is
+    /// ready for [`SimSession::finish`].
+    pub fn step_events(&mut self, max: u64) -> Result<bool, RunError> {
+        Ok(self.sim.step_events(max)?)
+    }
+
+    /// Snapshot the full session state between events.
+    pub fn checkpoint(&self) -> SessionCheckpoint {
+        SessionCheckpoint { sim: self.sim.checkpoint(), command: self.command.clone() }
+    }
+
+    /// Rebuild a session from a snapshot; it replays exactly the events
+    /// the original would have dispatched.
+    pub fn resume(ck: SessionCheckpoint) -> SimSession {
+        SimSession { sim: RunningSim::resume(ck.sim), command: ck.command }
+    }
+
+    /// Drain remaining events and render the report.
+    pub fn finish(self) -> Result<Iperf3Report, RunError> {
+        let result = self.sim.finish()?;
+        // Run-level warnings (e.g. past-scheduled events clamped by the
+        // release-mode queue) don't fail the run, but must not vanish:
+        // the report is suspect and the reader should know.
+        for warning in result.warnings() {
+            eprintln!("warning: {warning}");
+        }
+        Ok(Iperf3Report::from_run(self.command, &result))
+    }
 }
 
 #[cfg(test)]

@@ -25,6 +25,10 @@ struct FlowPlacement {
 }
 
 /// One simulated host (used as sender or receiver).
+///
+/// `Clone` deep-copies every server, ledger, and placement so a
+/// checkpointed simulation resumes with bit-identical host state.
+#[derive(Clone)]
 pub struct SimHost {
     /// The host's cost model.
     pub cost: CostModel,

@@ -45,5 +45,5 @@ pub use config::{SimConfig, WorkloadSpec};
 pub use error::SimError;
 pub use faults::{Fault, FaultEvent, FaultPlan};
 pub use result::{FlowResult, RunResult};
-pub use sim::Simulation;
+pub use sim::{RunningSim, SimCheckpoint, Simulation};
 pub use telemetry::{CaState, FlowTrace, HostSample, HostTrace, TcpInfoSample, Telemetry};

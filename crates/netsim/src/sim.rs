@@ -40,7 +40,7 @@ const EDGE_DELAY: SimDuration = SimDuration::from_micros(5);
 /// honest).
 const TSQ_HORIZON: SimDuration = SimDuration::from_millis(2);
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Ev {
     AppWrite(usize),
     AppWriteDone(usize, TxMode),
@@ -67,6 +67,7 @@ enum Ev {
     GeToggle(usize),
 }
 
+#[derive(Clone)]
 struct FlowState {
     sender: TcpSender,
     receiver: TcpReceiver,
@@ -98,7 +99,7 @@ struct FlowState {
 }
 
 /// Gilbert–Elliott bursty-loss state while an episode is active.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct GeState {
     /// Index of the driving fault in the plan.
     episode: usize,
@@ -118,6 +119,7 @@ struct GeState {
 /// Strictly bookkeeping — classification reads flow/host state but
 /// never mutates it, so attribution keeps the same observer-neutrality
 /// guarantee as telemetry.
+#[derive(Clone)]
 struct AttribState {
     /// Sender ledger per-core busy totals at the previous tick.
     snd_mark: Vec<SimDuration>,
@@ -194,8 +196,84 @@ impl Simulation {
     pub fn run(self) -> Result<RunResult, SimError> {
         Runner::new(self.cfg, self.burst).run()
     }
+
+    /// Start the simulation without running it: schedules the initial
+    /// events and hands back a [`RunningSim`] that can be stepped,
+    /// checkpointed, and resumed. `start().finish()` is bit-identical
+    /// to [`Simulation::run`] — both drive the same loop.
+    pub fn start(self) -> RunningSim {
+        let mut runner = Runner::new(self.cfg, self.burst);
+        runner.start();
+        RunningSim { runner }
+    }
 }
 
+/// A started simulation that is driven incrementally.
+///
+/// The supervised execution path steps in bounded chunks so it can take
+/// [`SimCheckpoint`] snapshots between events and impose wall-clock
+/// deadlines; `step → checkpoint → resume → step` pops the identical
+/// (time, seq) event order as a straight-through [`Simulation::run`],
+/// so the final [`RunResult`] is bit-identical either way.
+pub struct RunningSim {
+    runner: Runner,
+}
+
+/// An opaque, barrier-safe snapshot of a [`RunningSim`].
+///
+/// Taken between events (never mid-dispatch), so resuming replays the
+/// exact remaining event sequence: queue keys and payload slab, RNG,
+/// watchdog, and all flow/host/switch state are deep-copied.
+#[derive(Clone)]
+pub struct SimCheckpoint(Box<Runner>);
+
+impl SimCheckpoint {
+    /// Dispatched-event count at the moment of the snapshot.
+    pub fn events_done(&self) -> u64 {
+        self.0.q.total_popped()
+    }
+}
+
+impl RunningSim {
+    /// Total events dispatched so far (monotone; drives checkpoint
+    /// cadence and chaos-injection points).
+    pub fn events_done(&self) -> u64 {
+        self.runner.q.total_popped()
+    }
+
+    /// Dispatch up to `max` further events. Returns `true` once the
+    /// run has no more in-range events (call [`RunningSim::finish`]),
+    /// `false` if more stepping is needed.
+    pub fn step_events(&mut self, max: u64) -> Result<bool, SimError> {
+        for _ in 0..max {
+            if !self.runner.step_one()? {
+                return Ok(true);
+            }
+        }
+        Ok(!self.runner.has_pending())
+    }
+
+    /// Snapshot the complete simulation state between events.
+    pub fn checkpoint(&self) -> SimCheckpoint {
+        SimCheckpoint(Box::new(self.runner.clone()))
+    }
+
+    /// Rebuild a running simulation from a snapshot; stepping it replays
+    /// exactly the event sequence the original would have dispatched.
+    pub fn resume(ck: SimCheckpoint) -> RunningSim {
+        RunningSim { runner: *ck.0 }
+    }
+
+    /// Drain any remaining events and produce the final report
+    /// (conservation check, attribution, telemetry flush — identical to
+    /// the tail of [`Simulation::run`]).
+    pub fn finish(mut self) -> Result<RunResult, SimError> {
+        while self.runner.step_one()? {}
+        self.runner.finish()
+    }
+}
+
+#[derive(Clone)]
 struct Runner {
     cfg: SimConfig,
     burst: Bytes,
@@ -380,7 +458,9 @@ impl Runner {
         }
     }
 
-    fn run(mut self) -> Result<RunResult, SimError> {
+    /// Schedule the initial events. Split from [`Runner::run`] so the
+    /// supervised path can start once, then step/checkpoint/resume.
+    fn start(&mut self) {
         // Kick off: one write chain per flow, staggered within 1 ms the
         // way parallel iperf3 threads start.
         for f in 0..self.flows.len() {
@@ -402,25 +482,40 @@ impl Runner {
             self.q.push(SimTime::ZERO + fe.at, Ev::FaultBegin(i));
             self.q.push(SimTime::ZERO + fe.ends_at(), Ev::FaultEnd(i));
         }
+    }
 
-        while let Some(next) = self.q.peek_time() {
-            if next > self.end_time {
-                break;
-            }
-            // A successful peek guarantees a pop; if the queue disagrees
-            // its heap is corrupt — fail the rep instead of killing the
-            // worker thread with a panic.
-            let Some((now, ev)) = self.q.pop() else {
-                return Err(SimError::StateCorruption {
-                    at: self.q.now(),
-                    what: "peeked event vanished before pop".into(),
-                });
-            };
-            if let Err(trip) = self.watchdog.observe(now) {
-                return Err(SimError::Stalled { at: now, trip });
-            }
-            self.dispatch(now, ev)?;
+    /// Whether an in-range event is still pending.
+    fn has_pending(&self) -> bool {
+        self.q.peek_time().is_some_and(|next| next <= self.end_time)
+    }
+
+    /// Pop and dispatch exactly one event. `Ok(false)` means the loop
+    /// is done (queue empty or next event past `end_time`); the caller
+    /// then hands off to [`Runner::finish`].
+    fn step_one(&mut self) -> Result<bool, SimError> {
+        let Some(next) = self.q.peek_time() else { return Ok(false) };
+        if next > self.end_time {
+            return Ok(false);
         }
+        // A successful peek guarantees a pop; if the queue disagrees
+        // its heap is corrupt — fail the rep instead of killing the
+        // worker thread with a panic.
+        let Some((now, ev)) = self.q.pop() else {
+            return Err(SimError::StateCorruption {
+                at: self.q.now(),
+                what: "peeked event vanished before pop".into(),
+            });
+        };
+        if let Err(trip) = self.watchdog.observe(now) {
+            return Err(SimError::Stalled { at: now, trip });
+        }
+        self.dispatch(now, ev)?;
+        Ok(true)
+    }
+
+    fn run(mut self) -> Result<RunResult, SimError> {
+        self.start();
+        while self.step_one()? {}
         self.finish()
     }
 

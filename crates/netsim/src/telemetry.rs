@@ -152,7 +152,7 @@ pub(crate) struct CounterSnapshot {
 ///
 /// Holds the accumulated traces plus the "previous tick" marks that
 /// turn cumulative simulator counters into `ethtool`-style deltas.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct TelemetrySampler {
     tick: SimDuration,
     flows: Vec<FlowTrace>,

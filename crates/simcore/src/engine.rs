@@ -92,6 +92,29 @@ pub struct EventQueue<E> {
     past_clamps: u64,
 }
 
+impl<E: Clone> Clone for EventQueue<E> {
+    /// Deep copy: keys, payload slab, free list, counters, and the
+    /// adaptive near/far split all carry over verbatim, so a cloned
+    /// queue pops the identical (time, seq) sequence as the original.
+    /// This is the engine half of the checkpoint/resume contract.
+    fn clone(&self) -> Self {
+        EventQueue {
+            near: self.near.clone(),
+            far: self.far.clone(),
+            far_min: self.far_min,
+            horizon: self.horizon,
+            window: self.window,
+            slab: self.slab.clone(),
+            free: self.free.clone(),
+            seq: self.seq,
+            now: self.now,
+            pushed: self.pushed,
+            popped: self.popped,
+            past_clamps: self.past_clamps,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Key {
     time: SimTime,

@@ -21,6 +21,9 @@
 //!   a livelocked or runaway simulation into a structured error.
 //! * [`ledger`] — a per-core, per-stage busy-time matrix
 //!   ([`CycleLedger`]) backing the bottleneck-attribution profiles.
+//! * [`checkpoint`] — snapshot cadence policy ([`CheckpointPolicy`],
+//!   [`Checkpointer`]) for the barrier-safe checkpoint/resume contract
+//!   the domain layers implement on top of `Clone`-able engine state.
 //! * [`canon`] — canonical configuration serialization and stable
 //!   FNV-1a fingerprints ([`Canon`], [`Canonicalize`]), from which the
 //!   harness derives position-free per-repetition seeds and
@@ -35,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod canon;
+pub mod checkpoint;
 pub mod engine;
 pub mod ledger;
 pub mod rng;
@@ -45,6 +49,7 @@ pub mod units;
 pub mod watchdog;
 
 pub use canon::{derive_seed, fnv1a_64, Canon, Canonicalize};
+pub use checkpoint::{CheckpointPolicy, Checkpointer};
 pub use engine::EventQueue;
 pub use ledger::CycleLedger;
 pub use rng::SimRng;

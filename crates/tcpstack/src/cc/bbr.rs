@@ -47,7 +47,7 @@ pub enum BbrVersion {
 }
 
 /// BBR state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Bbr {
     version: BbrVersion,
     mss: Bytes,
@@ -274,6 +274,10 @@ impl CongestionControl for Bbr {
             BbrVersion::V1 => "bbr",
             BbrVersion::V3 => "bbr3",
         }
+    }
+
+    fn clone_box(&self) -> Box<dyn CongestionControl> {
+        Box::new(self.clone())
     }
 }
 

@@ -34,7 +34,7 @@ pub const HYSTART_MIN_RTT_THRESH: SimDuration = SimDuration::from_millis(4);
 pub const HYSTART_MAX_RTT_THRESH: SimDuration = SimDuration::from_millis(16);
 
 /// CUBIC state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Cubic {
     mss: Bytes,
     min_cwnd: Bytes,
@@ -237,6 +237,10 @@ impl CongestionControl for Cubic {
 
     fn name(&self) -> &'static str {
         "cubic"
+    }
+
+    fn clone_box(&self) -> Box<dyn CongestionControl> {
+        Box::new(self.clone())
     }
 }
 

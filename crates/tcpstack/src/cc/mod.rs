@@ -88,6 +88,17 @@ pub trait CongestionControl: std::fmt::Debug + Send {
 
     /// Algorithm name.
     fn name(&self) -> &'static str;
+
+    /// Deep-copy the algorithm state behind the trait object, so the
+    /// whole sender (and therefore a running simulation) can be
+    /// snapshotted for checkpoint/resume.
+    fn clone_box(&self) -> Box<dyn CongestionControl>;
+}
+
+impl Clone for Box<dyn CongestionControl> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// Shared helper: rate = window / srtt × ratio.

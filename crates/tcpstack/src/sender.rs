@@ -57,6 +57,7 @@ struct Outstanding {
 }
 
 /// Sender state for one flow.
+#[derive(Clone)]
 pub struct TcpSender {
     cc: Box<dyn CongestionControl>,
     /// RTT estimator (public: the simulator reads srtt/rto from it).

@@ -1,0 +1,175 @@
+//! Checkpoint/resume bit-identity.
+//!
+//! The recovery contract (DESIGN.md §6f): a run that is stepped,
+//! snapshotted, dropped, and resumed from the snapshot must produce a
+//! report **bit-identical** to the same configuration run straight
+//! through — same `(time, seq)` event order, same float bits, same
+//! rendered bytes. This is what makes supervisor resume and chaos
+//! recovery sound: a resumed worker is indistinguishable from one that
+//! never died.
+//!
+//! Bit identity is asserted on both the `Debug` rendering (Rust's f64
+//! formatting is shortest-round-trip exact, so equal strings ⇔ equal
+//! bits) and the iperf3-style JSON dump.
+
+use dtnperf::prelude::*;
+use harness::supervise::Supervisor;
+use iperf3sim::{Iperf3Opts, SimSession};
+
+/// The golden-shape trio: clean LAN, long-RTT WAN with zerocopy, and a
+/// parallel-stream run — the same path/host shapes `golden_shapes.rs`
+/// locks down.
+fn golden_opts() -> Vec<(&'static str, HostConfig, PathSpec, Iperf3Opts)> {
+    let host = Testbeds::esnet_host(KernelVersion::L6_8);
+    vec![
+        (
+            "lan",
+            host.clone(),
+            Testbeds::esnet_path(EsnetPath::Lan),
+            Iperf3Opts::new(2).omit(0).seed(11),
+        ),
+        (
+            "wan_zc",
+            host.clone(),
+            Testbeds::esnet_path(EsnetPath::Wan),
+            Iperf3Opts::new(3).omit(1).zerocopy().seed(12),
+        ),
+        (
+            "multi",
+            host,
+            Testbeds::esnet_path(EsnetPath::Lan),
+            Iperf3Opts::new(2).omit(0).parallel(4).seed(13),
+        ),
+    ]
+}
+
+fn straight_through(
+    host: &HostConfig,
+    path: &PathSpec,
+    opts: &Iperf3Opts,
+) -> Iperf3Report {
+    iperf3sim::run(host, host, path, opts).expect("straight-through run")
+}
+
+fn start(
+    host: &HostConfig,
+    path: &PathSpec,
+    opts: &Iperf3Opts,
+) -> SimSession {
+    iperf3sim::start_session(host, host, path, opts, &FaultPlan::none(), None)
+        .expect("session starts")
+}
+
+fn assert_bit_identical(label: &str, a: &Iperf3Report, b: &Iperf3Report) {
+    assert_eq!(format!("{a:?}"), format!("{b:?}"), "'{label}': Debug bits differ");
+    assert_eq!(a.to_json(), b.to_json(), "'{label}': JSON bytes differ");
+}
+
+#[test]
+fn stepped_run_matches_straight_through() {
+    for (label, host, path, opts) in golden_opts() {
+        let reference = straight_through(&host, &path, &opts);
+        let mut session = start(&host, &path, &opts);
+        // Deliberately awkward chunk size: progress never lines up with
+        // any internal boundary.
+        while !session.step_events(777).expect("step") {}
+        let stepped = session.finish().expect("finish");
+        assert_bit_identical(label, &reference, &stepped);
+    }
+}
+
+#[test]
+fn resume_from_checkpoint_matches_straight_through() {
+    for (label, host, path, opts) in golden_opts() {
+        let reference = straight_through(&host, &path, &opts);
+        // Step a third of the way (by the reference event count), then
+        // snapshot, drop the live session, and finish from the clone.
+        let mut probe = start(&host, &path, &opts);
+        while !probe.step_events(4096).expect("probe") {}
+        let total_events = probe.events_done();
+        drop(probe);
+
+        let mut session = start(&host, &path, &opts);
+        let stop_at = total_events / 3;
+        while session.events_done() < stop_at {
+            assert!(
+                !session.step_events(1024).expect("step"),
+                "'{label}': run ended before the checkpoint target"
+            );
+        }
+        let checkpoint = session.checkpoint();
+        assert_eq!(checkpoint.events_done(), session.events_done());
+        drop(session); // the original worker "dies" here
+
+        let mut resumed = SimSession::resume(checkpoint);
+        assert_eq!(resumed.events_done(), stop_at.max(resumed.events_done()));
+        while !resumed.step_events(4096).expect("resumed step") {}
+        let report = resumed.finish().expect("resumed finish");
+        assert_bit_identical(label, &reference, &report);
+    }
+}
+
+#[test]
+fn checkpoint_is_a_value_resume_twice() {
+    // One snapshot, two resumes: both replicas must replay the exact
+    // same future. (This is what lets the supervisor keep the snapshot
+    // around across multiple worker deaths.)
+    let (label, host, path, opts) = golden_opts().remove(0);
+    let mut session = start(&host, &path, &opts);
+    for _ in 0..8 {
+        assert!(!session.step_events(2048).expect("step"), "run too short for test");
+    }
+    let checkpoint = session.checkpoint();
+    drop(session);
+
+    let mut runs = Vec::new();
+    for _ in 0..2 {
+        let mut replica = SimSession::resume(checkpoint.clone());
+        while !replica.step_events(3000).expect("step") {}
+        runs.push(replica.finish().expect("finish"));
+    }
+    assert_bit_identical(label, &runs[0], &runs[1]);
+}
+
+#[test]
+fn chained_checkpoints_match_straight_through() {
+    // Checkpoint → resume → checkpoint again → resume again: recovery
+    // must compose (the supervisor may lose a worker more than once).
+    let (label, host, path, opts) = golden_opts().remove(1);
+    let reference = straight_through(&host, &path, &opts);
+
+    let mut session = start(&host, &path, &opts);
+    for _ in 0..4 {
+        assert!(!session.step_events(2048).expect("step"), "run too short");
+    }
+    let first = session.checkpoint();
+    drop(session);
+
+    let mut session = SimSession::resume(first);
+    for _ in 0..4 {
+        assert!(!session.step_events(2048).expect("step"), "run too short");
+    }
+    let second = session.checkpoint();
+    drop(session);
+
+    let mut session = SimSession::resume(second);
+    while !session.step_events(4096).expect("step") {}
+    let report = session.finish().expect("finish");
+    assert_bit_identical(label, &reference, &report);
+}
+
+#[test]
+fn supervised_drive_is_bit_identical_to_plain_run() {
+    // The supervisor's step/checkpoint loop itself must not perturb
+    // results, chaos or no chaos.
+    for (label, host, path, opts) in golden_opts() {
+        let reference = straight_through(&host, &path, &opts);
+        let supervisor = Supervisor::default().with_checkpoint_every(10_000);
+        let report = supervisor
+            .drive(opts.seed, || {
+                iperf3sim::start_session(&host, &host, &path, &opts, &FaultPlan::none(), None)
+            })
+            .expect("supervised run");
+        assert_bit_identical(label, &reference, &report);
+    }
+}

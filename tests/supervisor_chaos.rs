@@ -1,0 +1,379 @@
+//! Chaos soak and supervision-contract tests.
+//!
+//! The recovery contract under attack: a seeded chaos schedule
+//! (`REPRO_CHAOS`) kills workers mid-run, poisons freshly stored cache
+//! entries, and fails trace writes — and the harness must lose no
+//! repetition, duplicate no result, self-heal the cache, and leave
+//! every report bit-identical to a chaos-free run. Alongside the soak,
+//! this suite pins the typed failure taxonomy: watchdog trips carry
+//! the class the retry policy keys on at every effort level, a dry
+//! error budget blocks retries without losing the failure record, and
+//! [`FailedRep`] round-trips through the degraded-run manifest JSON.
+
+use dtnperf::prelude::*;
+use dtnperf::simcore::{derive_seed, SimRng, WatchdogTrip};
+use harness::supervise::{ErrorBudget, ErrorClass, RetryPolicy, Supervisor};
+use harness::{ChaosPlan, FailedRep, RunLedger, ScenarioError, TestSummary};
+use iperf3sim::RunError;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SOAK_REPS: usize = 8;
+const SOAK_BASE_SEED: u64 = 77;
+const SOAK_CHAOS_SEED: u64 = 4242;
+
+fn esnet_host() -> HostConfig {
+    Testbeds::esnet_host(KernelVersion::L6_8)
+}
+
+fn lan_scenario(label: &str) -> Scenario {
+    Scenario::symmetric(
+        label,
+        esnet_host(),
+        Testbeds::esnet_path(EsnetPath::Lan),
+        Iperf3Opts::new(2).omit(0),
+    )
+}
+
+fn soak_scenarios() -> Vec<Scenario> {
+    vec![
+        lan_scenario("soak_lan"),
+        Scenario::symmetric(
+            "soak_wan_zc",
+            esnet_host(),
+            Testbeds::esnet_path(EsnetPath::Wan),
+            Iperf3Opts::new(3).omit(1).zerocopy(),
+        ),
+    ]
+}
+
+/// Bit-exact rendering of a summary's reports: Rust's f64 `Debug`
+/// formatting is shortest-round-trip exact, so equal strings ⇔ equal
+/// bits, and `to_json` covers the rendered artefact bytes.
+fn report_bytes(s: &TestSummary) -> String {
+    s.reports
+        .iter()
+        .map(|r| format!("{r:?}\n{}", r.to_json()))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// A fixed-name scratch directory (fixed so the chaos trace-failure
+/// schedule, which hashes paths, is the same on every run), cleared of
+/// leftovers from a previous run.
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn chaos_soak_loses_nothing_and_matches_clean_runs() {
+    let scenarios = soak_scenarios();
+    let clean: Vec<TestSummary> = TestHarness::new(SOAK_REPS)
+        .with_base_seed(SOAK_BASE_SEED)
+        .run_batch(&scenarios)
+        .into_iter()
+        .map(|r| r.expect("clean run"))
+        .collect();
+
+    let chaos = Arc::new(ChaosPlan::new(SOAK_CHAOS_SEED));
+    let supervisor = Supervisor::default().with_chaos(chaos.clone());
+
+    // Harness 1: content-addressed cache under attack — every fresh
+    // store is a poisoning candidate — plus scheduled worker kills.
+    let cache_dir = scratch_dir("repro_chaos_soak_cache");
+    let cache = Arc::new(RunCache::new(&cache_dir));
+    let mut cached_h = TestHarness::new(SOAK_REPS)
+        .with_base_seed(SOAK_BASE_SEED)
+        .with_supervisor(supervisor.clone());
+    cached_h.cache = Some(cache.clone());
+    let cached: Vec<TestSummary> = cached_h
+        .run_batch(&scenarios)
+        .into_iter()
+        .map(|r| r.expect("chaos cached run"))
+        .collect();
+
+    // Harness 2: trace writes under attack. Traced runs carry
+    // observers (telemetry + attribution), so their bit-identity
+    // reference is a chaos-free *traced* run, not the plain one.
+    let clean_trace_dir = scratch_dir("repro_chaos_soak_traces_clean");
+    let clean_traced: Vec<TestSummary> = TestHarness::new(SOAK_REPS)
+        .with_base_seed(SOAK_BASE_SEED)
+        .with_trace_dir(&clean_trace_dir)
+        .run_batch(&scenarios)
+        .into_iter()
+        .map(|r| r.expect("clean traced run"))
+        .collect();
+    let trace_dir = scratch_dir("repro_chaos_soak_traces");
+    let traced: Vec<TestSummary> = TestHarness::new(SOAK_REPS)
+        .with_base_seed(SOAK_BASE_SEED)
+        .with_supervisor(supervisor)
+        .with_trace_dir(&trace_dir)
+        .run_batch(&scenarios)
+        .into_iter()
+        .map(|r| r.expect("chaos traced run"))
+        .collect();
+
+    // Zero lost, zero duplicated: every repetition reported exactly
+    // once, no failure records left behind.
+    for s in cached.iter().chain(&traced) {
+        assert_eq!(s.reports.len(), SOAK_REPS, "'{}' lost repetitions", s.label);
+        assert!(
+            s.failed_reps.is_empty(),
+            "'{}' recorded failures under chaos: {:?}",
+            s.label,
+            s.failed_reps
+        );
+    }
+    // ...and the run ledger accounts for all four harness passes.
+    let records = RunLedger::global().snapshot();
+    for sc in &scenarios {
+        let ours: Vec<_> = records.iter().filter(|r| r.label == sc.label).collect();
+        assert_eq!(ours.len(), 4, "'{}' ledger records", sc.label);
+        assert!(
+            ours.iter().all(|r| r.complete() && r.expected == SOAK_REPS),
+            "'{}' ledger shows lost repetitions: {ours:?}",
+            sc.label
+        );
+    }
+
+    // Recovery leaves no fingerprint in the results.
+    for (a, b) in clean.iter().zip(&cached) {
+        assert_eq!(report_bytes(a), report_bytes(b), "'{}': cached chaos run diverged", a.label);
+    }
+    for (a, b) in clean_traced.iter().zip(&traced) {
+        assert_eq!(report_bytes(a), report_bytes(b), "'{}': traced chaos run diverged", a.label);
+    }
+
+    // Acceptance floor: ≥20 injected faults, all three classes
+    // represented, every kill resumed from a checkpoint (the default
+    // cadence is finer than the supervisor's step chunk, so a snapshot
+    // always exists by the first possible kill point).
+    let stats = &chaos.stats;
+    eprintln!("{}", stats.summary());
+    assert!(stats.kills() >= 3, "{}", stats.summary());
+    assert_eq!(stats.resumes(), stats.kills(), "{}", stats.summary());
+    assert!(stats.cache_corruptions() >= 3, "{}", stats.summary());
+    assert!(stats.trace_failures() >= 3, "{}", stats.summary());
+    assert!(stats.total() >= 20, "acceptance floor: {}", stats.summary());
+
+    std::fs::remove_dir_all(&cache_dir).ok();
+    std::fs::remove_dir_all(&trace_dir).ok();
+    std::fs::remove_dir_all(&clean_trace_dir).ok();
+}
+
+#[test]
+fn cache_self_heals_under_chaos() {
+    const REPS: usize = 4;
+    let sc = lan_scenario("heal");
+    let base_seed = 505;
+    let seeds: Vec<u64> =
+        (0..REPS).map(|i| derive_seed(sc.fingerprint(), base_seed, i as u64)).collect();
+    // Pick (deterministically) a chaos seed that poisons a strict
+    // subset of this scenario's stores: some entries must heal, some
+    // must hit clean, so both paths are exercised.
+    let chaos_seed = (0..500u64)
+        .find(|cs| {
+            let p = ChaosPlan::new(*cs);
+            let poisoned = seeds.iter().filter(|s| p.cache_damage(**s).is_some()).count();
+            (1..REPS).contains(&poisoned)
+        })
+        .expect("a 50% poison rate hits a strict subset for some seed");
+    let poisoned =
+        seeds.iter().filter(|s| ChaosPlan::new(chaos_seed).cache_damage(**s).is_some()).count();
+
+    let dir = scratch_dir("repro_chaos_heal_cache");
+    let pass = |cache: Arc<RunCache>| {
+        let chaos = Arc::new(ChaosPlan::new(chaos_seed));
+        let mut h = TestHarness::new(REPS)
+            .with_base_seed(base_seed)
+            .with_supervisor(Supervisor::default().with_chaos(chaos.clone()));
+        h.cache = Some(cache);
+        let summary = h.run(&sc).expect("heal pass");
+        (summary, chaos)
+    };
+
+    // Pass 1: all misses; some freshly stored entries get poisoned.
+    let c1 = Arc::new(RunCache::new(&dir));
+    let (s1, chaos1) = pass(c1.clone());
+    assert_eq!(
+        (c1.stats.hits(), c1.stats.misses() as usize, c1.stats.stores() as usize),
+        (0, REPS, REPS)
+    );
+    assert_eq!(chaos1.stats.cache_corruptions() as usize, poisoned);
+    assert_eq!(c1.stats.recoveries(), 0);
+
+    // Pass 2: the poisoned entries surface as counted faults, are
+    // recomputed, and are re-stored clean — heal stores are exempt
+    // from further poisoning, so the cache converges.
+    let c2 = Arc::new(RunCache::new(&dir));
+    let (s2, chaos2) = pass(c2.clone());
+    assert_eq!(c2.stats.hits() as usize, REPS - poisoned);
+    assert_eq!(c2.stats.misses() as usize, poisoned);
+    assert_eq!(c2.stats.recoveries() as usize, poisoned, "every fault counted");
+    assert_eq!(c2.stats.stale_recoveries(), 0, "damage reads as corrupt/truncated, not stale");
+    assert_eq!(c2.stats.stores() as usize, poisoned);
+    assert_eq!(chaos2.stats.cache_corruptions(), 0, "heal stores must not be re-poisoned");
+
+    // Pass 3: converged — all hits, nothing recomputed or recovered.
+    let c3 = Arc::new(RunCache::new(&dir));
+    let (s3, _chaos3) = pass(c3.clone());
+    assert_eq!(
+        (c3.stats.hits() as usize, c3.stats.misses(), c3.stats.stores(), c3.stats.recoveries()),
+        (REPS, 0, 0, 0)
+    );
+
+    // The healed cache serves bit-identical reports throughout.
+    assert_eq!(report_bytes(&s1), report_bytes(&s2));
+    assert_eq!(report_bytes(&s2), report_bytes(&s3));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn watchdog_budget_trips_are_classed_and_retried_per_effort() {
+    // A 10-event budget trips the watchdog on every seed and every
+    // retry: the supervisor must classify it, burn exactly the
+    // effort's attempt allowance, and record the failure typed.
+    for effort in [Effort::Smoke, Effort::Standard, Effort::Full] {
+        let sc = lan_scenario(&format!("watchdog_{effort:?}")).with_event_budget(10);
+        let h = TestHarness::new(1).with_supervisor(Supervisor::for_effort(effort));
+        let err = h.run(&sc).unwrap_err();
+        match err {
+            ScenarioError::AllRepetitionsFailed { failures, .. } => {
+                assert_eq!(failures.len(), 1, "{effort:?}");
+                let f = &failures[0];
+                assert_eq!(f.class, ErrorClass::WatchdogBudget, "{effort:?}");
+                assert_eq!(f.attempts, effort.retry_attempts(), "{effort:?}: allowance burned");
+                assert!(f.error.contains("stalled"), "{effort:?}: {}", f.error);
+            }
+            other => panic!("{effort:?}: expected AllRepetitionsFailed, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn livelock_trips_are_classed_and_retryable_at_every_effort() {
+    let livelock = RunError::Sim(SimError::Stalled {
+        at: SimTime::from_nanos(1),
+        trip: WatchdogTrip::Livelock { at: SimTime::from_nanos(1), events: 99 },
+    });
+    assert_eq!(ErrorClass::classify(&livelock), ErrorClass::WatchdogLivelock);
+    let budget_trip = RunError::Sim(SimError::Stalled {
+        at: SimTime::from_nanos(1),
+        trip: WatchdogTrip::BudgetExhausted { events: 10, budget: 9 },
+    });
+    assert_eq!(ErrorClass::classify(&budget_trip), ErrorClass::WatchdogBudget);
+    for effort in [Effort::Smoke, Effort::Standard, Effort::Full] {
+        let sup = Supervisor::for_effort(effort);
+        for class in [ErrorClass::WatchdogBudget, ErrorClass::WatchdogLivelock] {
+            assert!(sup.may_retry(class, 1), "{effort:?}/{class:?} must earn a retry");
+            assert!(
+                !sup.may_retry(class, effort.retry_attempts()),
+                "{effort:?}/{class:?} must stop at the attempt cap"
+            );
+        }
+        // A deterministic config rejection never retries, at any effort.
+        assert!(!sup.may_retry(ErrorClass::InvalidConfig, 1), "{effort:?}");
+    }
+}
+
+#[test]
+fn dry_budget_records_failures_without_retry() {
+    let sc = lan_scenario("dry_budget").with_event_budget(10);
+    let sup = Supervisor::default().with_budget(Arc::new(ErrorBudget::new(0)));
+    let err = TestHarness::new(2).with_supervisor(sup).run(&sc).unwrap_err();
+    match err {
+        ScenarioError::AllRepetitionsFailed { failures, .. } => {
+            assert_eq!(failures.len(), 2);
+            assert!(
+                failures.iter().all(|f| f.attempts == 1 && f.class == ErrorClass::WatchdogBudget),
+                "a dry budget must record the typed failure after one attempt: {failures:?}"
+            );
+        }
+        other => panic!("expected AllRepetitionsFailed, got {other}"),
+    }
+}
+
+#[test]
+fn overrunning_repetition_is_classed_deadline_exceeded() {
+    let host = esnet_host();
+    let path = Testbeds::esnet_path(EsnetPath::Lan);
+    let opts = Iperf3Opts::new(2).omit(0).seed(31);
+    // An already-expired deadline: the first step chunk completes (the
+    // run is much longer than one chunk), then the leash snaps.
+    let sup = Supervisor::new(RetryPolicy {
+        max_attempts: 1,
+        base_backoff: Duration::from_millis(1),
+        deadline: Duration::ZERO,
+    });
+    let err = sup
+        .drive(31, || {
+            iperf3sim::start_session(&host, &host, &path, &opts, &FaultPlan::none(), None)
+        })
+        .unwrap_err();
+    assert_eq!(err.class, ErrorClass::DeadlineExceeded);
+    assert!(err.error.contains("deadline"), "{}", err.error);
+    // A hang can be load-dependent, so the class is worth a retry.
+    assert!(ErrorClass::DeadlineExceeded.retryable());
+}
+
+#[test]
+fn killed_worker_resumes_bit_identical_from_checkpoint() {
+    let host = esnet_host();
+    let path = Testbeds::esnet_path(EsnetPath::Lan);
+    let chaos = Arc::new(ChaosPlan::new(7));
+    // Pick a run seed the schedule marks for death (≈40% of them).
+    let run_seed = (1..1000u64)
+        .find(|s| chaos.kill_after(*s, 0).is_some())
+        .expect("a 40% kill rate marks some seed in 1..1000");
+    let opts = Iperf3Opts::new(2).omit(0).seed(run_seed);
+    let clean = iperf3sim::run(&host, &host, &path, &opts).expect("clean run");
+    let sup = Supervisor::default().with_chaos(chaos.clone());
+    let report = sup
+        .drive(run_seed, || {
+            iperf3sim::start_session(&host, &host, &path, &opts, &FaultPlan::none(), None)
+        })
+        .expect("supervised run survives its own murder");
+    assert!(chaos.stats.kills() >= 1, "{}", chaos.stats.summary());
+    assert_eq!(
+        chaos.stats.resumes(),
+        chaos.stats.kills(),
+        "every kill had a checkpoint to resume from: {}",
+        chaos.stats.summary()
+    );
+    assert_eq!(format!("{clean:?}"), format!("{report:?}"));
+    assert_eq!(clean.to_json(), report.to_json());
+}
+
+#[test]
+fn failed_rep_taxonomy_round_trips_through_json() {
+    // Property-style sweep: every error class, adversarial message
+    // strings (quotes, backslashes, control chars, multi-byte), random
+    // seeds and attempt counts — all must survive the manifest JSON.
+    let mut rng = SimRng::seed_from_u64(0x5eed_f00d);
+    const POOL: &[char] = &[
+        'a', 'Z', '0', ' ', '"', '\\', '\n', '\t', '\r', '\u{1}', '\u{1f}', 'é', '→', '日', '{',
+        '}', ':', ',', '[', ']', '/',
+    ];
+    for i in 0..200usize {
+        let class = ErrorClass::ALL[i % ErrorClass::ALL.len()];
+        let len = (rng.next_u64() % 48) as usize;
+        let error: String =
+            (0..len).map(|_| POOL[(rng.next_u64() as usize) % POOL.len()]).collect();
+        let rep = FailedRep {
+            seed: rng.next_u64(),
+            error,
+            class,
+            attempts: (rng.next_u64() % 9 + 1) as u32,
+        };
+        let json = rep.to_json();
+        assert_eq!(FailedRep::from_json(&json).as_ref(), Some(&rep), "case {i}: {json}");
+    }
+    // Wire names are the contract: an unknown class must not parse.
+    assert!(FailedRep::from_json(
+        "{\"seed\":1,\"class\":\"cosmic-ray\",\"attempts\":1,\"error\":\"\"}"
+    )
+    .is_none());
+}
