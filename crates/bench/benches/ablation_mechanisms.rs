@@ -21,29 +21,29 @@ fn main() {
     let mut group = BenchGroup::new("mechanisms", 1, 3);
 
     let copy = base();
-    group.bench("copy_send_path", || copy.run());
+    group.bench("copy_send_path", || copy.run_or_exit());
 
     let mut zc = base();
     zc.opts = zc.opts.zerocopy();
-    group.bench("zerocopy_send_path", || zc.run());
+    group.bench("zerocopy_send_path", || zc.run_or_exit());
 
     let mut paced = base();
     paced.opts = paced.opts.fq_rate(BitRate::gbps(30.0));
-    group.bench("fq_pacing", || paced.run());
+    group.bench("fq_pacing", || paced.run_or_exit());
 
     let mut trunc = base();
     trunc.opts = trunc.opts.skip_rx_copy();
-    group.bench("skip_rx_copy", || trunc.run());
+    group.bench("skip_rx_copy", || trunc.run_or_exit());
 
     let mut bbr = base();
     bbr.opts = bbr.opts.congestion(CcAlgorithm::BbrV1);
-    group.bench("bbr_congestion_control", || bbr.run());
+    group.bench("bbr_congestion_control", || bbr.run_or_exit());
 
     // Loss recovery: a path with random loss exercises SACK/fast
     // retransmit/TLP continuously.
     let mut lossy = base();
     lossy.path = lossy.path.with_random_loss(1e-4);
-    group.bench("loss_recovery", || lossy.run());
+    group.bench("loss_recovery", || lossy.run_or_exit());
 
     // Fault injection: a mid-run link flap exercises the fault
     // machinery plus RTO-driven recovery.
@@ -52,5 +52,5 @@ fn main() {
         SimDuration::from_millis(800),
         SimDuration::from_millis(100),
     );
-    group.bench("fault_link_flap", || flapped.run());
+    group.bench("fault_link_flap", || flapped.run_or_exit());
 }

@@ -17,7 +17,7 @@ fn main() {
     let mut group = BenchGroup::new("experiments", 1, 3);
     for scenario in paper_scenarios() {
         group.bench(scenario.name, || {
-            let gbps = scenario.run();
+            let gbps = scenario.run_or_exit();
             assert!(gbps > 0.1, "{} produced {gbps:.2} Gbps", scenario.name);
             gbps
         });

@@ -41,7 +41,7 @@ fn main() {
     let mut group = BenchGroup::new("simulator", 1, 5);
     for scenario in [scenario_lan_single(), scenario_wan_paced(), scenario_multiflow()] {
         group.bench(scenario.name, || {
-            let gbps = scenario.run();
+            let gbps = scenario.run_or_exit();
             assert!(gbps > 0.5, "{}: {gbps}", scenario.name);
             gbps
         });

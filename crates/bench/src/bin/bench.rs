@@ -1,20 +1,34 @@
-//! `bench` — the perf-trajectory binary.
+//! `bench` — the perf-trajectory binary and regression gate.
 //!
 //! Runs the canonical scenarios (fig05 single-stream, table3
 //! multi-stream, and the 256-flow `ext_scale` fan-in) against the
-//! discrete-event engine and emits `BENCH_<date>.json` with events/sec,
-//! ns/event and wall-clock per scenario. Each committed file is one
-//! point on the perf trajectory; CI uploads the JSON as an artifact.
+//! discrete-event engine, emits `BENCH_<date>.json` with events/sec,
+//! ns/event, past-clamp counts and wall-clock per scenario, and appends
+//! one line per scenario to the committed `BENCH_LEDGER.jsonl` — the
+//! always-on perf trajectory (see DESIGN.md §6g).
 //!
 //! ```text
 //! cargo run --release -p bench               # full effort, BENCH_<date>.json in .
-//! BENCH_EFFORT=smoke cargo run --release -p bench   # CI smoke (short runs)
-//! BENCH_OUT_DIR=target cargo run --release -p bench # choose the output dir
-//! BENCH_ONLY=fanin cargo run --release -p bench     # substring-filter the cases
+//! cargo run --release -p bench -- --check BENCH_BASELINE.json   # regression gate
+//! BENCH_EFFORT=smoke cargo run --release -p bench    # CI smoke (short runs)
+//! BENCH_OUT_DIR=target cargo run --release -p bench  # choose the output dir
+//! BENCH_ONLY=fanin cargo run --release -p bench      # substring-filter the cases
+//! BENCH_LEDGER=path.jsonl … # ledger file (default <out_dir>/BENCH_LEDGER.jsonl)
+//! BENCH_CHECK_THRESHOLD=0.25 … --check …  # loosen/tighten the gate
+//! BENCH_HANDICAP=1.2 …      # test hook: inflate measured wall time 1.2×
 //! ```
+//!
+//! `--check <baseline.json>` compares the run against a committed
+//! snapshot and exits 1 on a >threshold ns/event regression, any
+//! non-zero past-clamp count, or a scenario-shape mismatch (see
+//! `bench::ledger`). `BENCH_HANDICAP` exists so the gate's failure path
+//! can be exercised deliberately (CI never sets it).
 
+use bench::ledger::{self, LedgerRecord, ScenarioPoint, Verdict};
+use dtnperf::iperf3::RunError;
 use dtnperf::prelude::*;
 use std::fmt::Write as _;
+use std::process::ExitCode;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// One benchmarked scenario: a full `SimConfig` plus its display name.
@@ -29,11 +43,24 @@ struct Measurement {
     flows: usize,
     sim_secs: f64,
     events: u64,
+    past_clamps: u64,
     goodput_gbps: f64,
     wall_secs_min: f64,
     wall_secs_mean: f64,
     events_per_sec: f64,
     ns_per_event: f64,
+}
+
+impl Measurement {
+    fn point(&self) -> ScenarioPoint {
+        ScenarioPoint {
+            scenario: self.name.to_string(),
+            events: self.events,
+            ns_per_event: self.ns_per_event,
+            events_per_sec: self.events_per_sec,
+            past_clamps: self.past_clamps,
+        }
+    }
 }
 
 fn cases(smoke: bool) -> Vec<Case> {
@@ -82,40 +109,38 @@ fn cases(smoke: bool) -> Vec<Case> {
     ]
 }
 
-fn run_once(cfg: &SimConfig) -> RunResult {
-    Simulation::new(cfg.clone())
-        .expect("bench scenario must validate")
-        .run()
-        .expect("bench scenario must complete")
+fn run_once(cfg: &SimConfig) -> Result<RunResult, RunError> {
+    Ok(Simulation::new(cfg.clone())?.run()?)
 }
 
-fn measure(case: &Case, warmup: usize, iters: usize) -> Measurement {
+fn measure(case: &Case, warmup: usize, iters: usize, handicap: f64) -> Result<Measurement, RunError> {
     for _ in 0..warmup {
-        let _ = run_once(&case.cfg);
+        let _ = run_once(&case.cfg)?;
     }
     let mut walls = Vec::with_capacity(iters);
     let mut result = None;
     for _ in 0..iters {
         let start = Instant::now();
-        let r = run_once(&case.cfg);
-        walls.push(start.elapsed().as_secs_f64());
+        let r = run_once(&case.cfg)?;
+        walls.push(start.elapsed().as_secs_f64() * handicap);
         result = Some(r);
     }
     let result = result.expect("at least one iteration");
     let wall_min = walls.iter().cloned().fold(f64::INFINITY, f64::min);
     let wall_mean = walls.iter().sum::<f64>() / walls.len() as f64;
     let events = result.events;
-    Measurement {
+    Ok(Measurement {
         name: case.name,
         flows: case.cfg.workload.num_flows,
         sim_secs: case.cfg.workload.duration.as_secs_f64(),
         events,
+        past_clamps: result.past_clamps,
         goodput_gbps: result.total_goodput().as_gbps(),
         wall_secs_min: wall_min,
         wall_secs_mean: wall_mean,
         events_per_sec: events as f64 / wall_min,
         ns_per_event: wall_min * 1e9 / events as f64,
-    }
+    })
 }
 
 /// Civil date (UTC) from the system clock, without a date library:
@@ -139,6 +164,28 @@ fn today_utc() -> String {
     format!("{y:04}-{m:02}-{d:02}")
 }
 
+/// Short commit hash of the working tree, for ledger provenance, with
+/// a `+dirty` suffix when uncommitted changes are present (a dirty-tree
+/// point measures code that HEAD does not contain). `unknown` outside a
+/// git checkout (e.g. a source tarball).
+fn current_commit() -> String {
+    let git = |args: &[&str]| {
+        std::process::Command::new("git")
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+    };
+    let Some(hash) = git(&["rev-parse", "--short", "HEAD"]).filter(|s| !s.is_empty()) else {
+        return "unknown".into();
+    };
+    match git(&["status", "--porcelain"]) {
+        Some(s) if s.is_empty() => hash,
+        _ => format!("{hash}+dirty"),
+    }
+}
+
 fn render_json(date: &str, effort: &str, rows: &[Measurement]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -152,6 +199,7 @@ fn render_json(date: &str, effort: &str, rows: &[Measurement]) -> String {
         let _ = writeln!(out, "      \"flows\": {},", m.flows);
         let _ = writeln!(out, "      \"sim_secs\": {:.1},", m.sim_secs);
         let _ = writeln!(out, "      \"events\": {},", m.events);
+        let _ = writeln!(out, "      \"past_clamps\": {},", m.past_clamps);
         let _ = writeln!(out, "      \"goodput_gbps\": {:.3},", m.goodput_gbps);
         let _ = writeln!(out, "      \"wall_secs_min\": {:.6},", m.wall_secs_min);
         let _ = writeln!(out, "      \"wall_secs_mean\": {:.6},", m.wall_secs_mean);
@@ -163,20 +211,132 @@ fn render_json(date: &str, effort: &str, rows: &[Measurement]) -> String {
     out
 }
 
-fn main() {
+/// Append one ledger line per measurement (creates the file if absent).
+fn append_ledger(path: &str, date: &str, commit: &str, effort: &str, rows: &[Measurement]) {
+    use std::io::Write as _;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .unwrap_or_else(|e| panic!("open ledger {path}: {e}"));
+    for m in rows {
+        let rec = LedgerRecord {
+            date: date.to_string(),
+            commit: commit.to_string(),
+            effort: effort.to_string(),
+            point: m.point(),
+        };
+        writeln!(file, "{}", rec.to_jsonl()).expect("append ledger line");
+    }
+}
+
+/// Run the regression gate; returns the process exit code.
+fn run_check(baseline_path: &str, effort: &str, rows: &[Measurement]) -> ExitCode {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench --check: cannot read baseline {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match ledger::parse_snapshot(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench --check: malformed baseline {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let threshold = std::env::var("BENCH_CHECK_THRESHOLD")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(ledger::DEFAULT_THRESHOLD);
+    let points: Vec<ScenarioPoint> = rows.iter().map(Measurement::point).collect();
+    let verdicts = ledger::check(&baseline, effort, &points, threshold);
+    let mut failed = false;
+    for (name, verdict) in &verdicts {
+        match verdict {
+            Verdict::Pass(delta) => {
+                eprintln!("bench --check: {name:<22} OK ({:+.1}% vs baseline)", delta * 100.0);
+            }
+            Verdict::Regressed { baseline, current, delta } => {
+                failed = true;
+                eprintln!(
+                    "bench --check: {name:<22} REGRESSED {baseline:.1} -> {current:.1} ns/event \
+                     ({:+.1}%, threshold {:+.1}%)",
+                    delta * 100.0,
+                    threshold * 100.0
+                );
+            }
+            Verdict::PastClamps(n) => {
+                failed = true;
+                eprintln!("bench --check: {name:<22} FAILED: {n} past-clamped events (must be 0)");
+            }
+            Verdict::ShapeChanged { baseline, current } => {
+                failed = true;
+                eprintln!(
+                    "bench --check: {name:<22} SHAPE CHANGED: {baseline} -> {current} events \
+                     (or effort mismatch) — re-bless the baseline (DESIGN.md §6g)"
+                );
+            }
+            Verdict::NotInBaseline => {
+                failed = true;
+                eprintln!(
+                    "bench --check: {name:<22} not in baseline — re-bless it (DESIGN.md §6g)"
+                );
+            }
+        }
+    }
+    if failed {
+        eprintln!("bench --check: FAIL (baseline {baseline_path})");
+        ExitCode::FAILURE
+    } else {
+        eprintln!("bench --check: all scenarios within {:.0}% of baseline", threshold * 100.0);
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
     let effort = std::env::var("BENCH_EFFORT").unwrap_or_else(|_| "full".into());
     let smoke = effort == "smoke";
     let (warmup, iters) = if smoke { (0, 1) } else { (1, 3) };
     let out_dir = std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| ".".into());
     let date = today_utc();
 
+    // `--check <baseline.json>`: gate mode (still writes the snapshot
+    // and ledger, so a gated CI run leaves the same artifacts).
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let baseline_path = match argv.as_slice() {
+        [] => None,
+        [flag, path] if flag == "--check" => Some(path.clone()),
+        other => {
+            eprintln!("bench: unknown arguments {other:?} (usage: bench [--check <baseline.json>])");
+            return ExitCode::from(2);
+        }
+    };
+
     // Substring filter for profiling sessions targeting one scenario.
     let only = std::env::var("BENCH_ONLY").unwrap_or_default();
+    // Test hook for exercising the gate's failure path: inflates the
+    // measured wall time by a factor (ns/event scales with it).
+    let handicap = std::env::var("BENCH_HANDICAP")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0);
 
     let mut rows = Vec::new();
     for case in cases(smoke).into_iter().filter(|c| c.name.contains(&only)) {
         eprintln!("bench: running {} ({} warmup + {} iters)...", case.name, warmup, iters);
-        let m = measure(&case, warmup, iters);
+        let m = match measure(&case, warmup, iters, handicap) {
+            Ok(m) => m,
+            Err(err) => {
+                let class = match &err {
+                    RunError::Invalid(_) => "invalid configuration",
+                    RunError::Sim(_) => "simulation error",
+                };
+                eprintln!("bench: scenario {} failed ({class}): {err}", case.name);
+                return ExitCode::from(2);
+            }
+        };
         eprintln!(
             "bench: {:<22} {:>12} events  {:>12.0} events/s  {:>7.1} ns/event  {:>8.3} s wall  {:>7.2} Gbps",
             m.name, m.events, m.events_per_sec, m.ns_per_event, m.wall_secs_min, m.goodput_gbps
@@ -188,5 +348,13 @@ fn main() {
     std::fs::create_dir_all(&out_dir).expect("create bench output dir");
     let path = format!("{out_dir}/BENCH_{date}.json");
     std::fs::write(&path, &json).expect("write bench report");
+    let ledger_path = std::env::var("BENCH_LEDGER")
+        .unwrap_or_else(|_| format!("{out_dir}/BENCH_LEDGER.jsonl"));
+    append_ledger(&ledger_path, &date, &current_commit(), &effort, &rows);
     println!("{path}");
+
+    match baseline_path {
+        Some(p) => run_check(&p, &effort, &rows),
+        None => ExitCode::SUCCESS,
+    }
 }

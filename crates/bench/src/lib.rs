@@ -18,8 +18,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use dtnperf::iperf3::RunError;
 use dtnperf::prelude::*;
 
+pub mod ledger;
 pub mod timing;
 
 /// A named, ready-to-run single scenario for benches.
@@ -38,19 +40,39 @@ pub struct BenchScenario {
 
 impl BenchScenario {
     /// Execute once, returning total goodput in Gbps (so the timing
-    /// loop can assert the run really happened).
-    pub fn run(&self) -> f64 {
-        dtnperf::iperf3::run_with_faults(
+    /// loop can assert the run really happened). A broken scenario
+    /// surfaces as the runner's classed [`RunError`] — flag validation
+    /// vs simulation failure — instead of a panic, so bench targets can
+    /// say *which* scenario failed and why.
+    pub fn run(&self) -> Result<f64, RunError> {
+        Ok(dtnperf::iperf3::run_with_faults(
             &self.host,
             &self.host,
             &self.path,
             &self.opts,
             &self.faults,
             None,
-        )
-        .expect("bench scenario must be valid")
+        )?
         .sum_bitrate()
-        .as_gbps()
+        .as_gbps())
+    }
+
+    /// [`BenchScenario::run`] for `main()`-style bench targets: on
+    /// failure, print a classed one-liner naming the scenario and exit
+    /// non-zero (2 = invalid configuration, 3 = simulation error)
+    /// rather than unwinding through the timing loop with a backtrace.
+    pub fn run_or_exit(&self) -> f64 {
+        match self.run() {
+            Ok(gbps) => gbps,
+            Err(err) => {
+                let (class, code) = match &err {
+                    RunError::Invalid(_) => ("invalid configuration", 2),
+                    RunError::Sim(_) => ("simulation error", 3),
+                };
+                eprintln!("bench: scenario {} failed ({class}): {err}", self.name);
+                std::process::exit(code);
+            }
+        }
     }
 }
 
@@ -220,7 +242,19 @@ mod tests {
         // Spot-check a cheap one end to end.
         let scenarios = paper_scenarios();
         let fig12 = scenarios.iter().find(|s| s.name.starts_with("fig12")).unwrap();
-        let gbps = fig12.run();
+        let gbps = fig12.run().expect("fig12 bench scenario is valid");
         assert!(gbps > 10.0, "fig12 bench scenario produced {gbps:.1} Gbps");
+    }
+
+    #[test]
+    fn broken_scenario_reports_classed_error() {
+        let mut bad = paper_scenarios().remove(0);
+        bad.opts = Iperf3Opts::new(2).parallel(0); // -P 0 fails flag validation
+        match bad.run() {
+            Err(RunError::Invalid(msgs)) => {
+                assert!(msgs.iter().any(|m| m.contains("-P")), "unexpected messages: {msgs:?}")
+            }
+            other => panic!("expected classed Invalid error, got {other:?}"),
+        }
     }
 }

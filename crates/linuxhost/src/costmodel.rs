@@ -15,6 +15,7 @@
 use crate::calib::{self, ArchCosts};
 use crate::hostcfg::HostConfig;
 use crate::virt::VirtMode;
+use simcore::time::round_f64_u64;
 use simcore::{Bytes, SimDuration, SimRng};
 
 /// One stage of the host pipeline, for per-stage cycle attribution.
@@ -157,7 +158,7 @@ impl CostModel {
 
     #[inline]
     fn cycles_to_time(&self, cycles: f64) -> SimDuration {
-        SimDuration::from_nanos((cycles / self.clock_hz * 1e9).round() as u64)
+        SimDuration::from_nanos(round_f64_u64(cycles / self.clock_hz * 1e9))
     }
 
     #[inline]
@@ -306,7 +307,7 @@ impl CostModel {
         if !self.iommu_pt {
             effective /= calib::IOMMU_NO_PT_FABRIC_DIVISOR;
         }
-        SimDuration::from_nanos((burst.bits() as f64 / effective).round() as u64)
+        SimDuration::from_nanos(round_f64_u64(burst.bits() as f64 / effective))
     }
 
     fn iommu_pkt_extra(&self) -> f64 {

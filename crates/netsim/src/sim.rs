@@ -83,19 +83,38 @@ struct FlowState {
     burst_modes: VecDeque<TxMode>,
     /// Burst index of `burst_modes[0]`.
     modes_base: u64,
-    app_waiting: bool,
-    rx_app_busy: bool,
-    rto_scheduled: bool,
-    pacer_resume_pending: bool,
-    /// Bytes handed to the driver (TxDequeue → wire) — the TSQ ledger.
-    driver_bytes: Bytes,
-    /// Waiting for the driver queue to drain before sending more.
-    tx_gated: bool,
-    delivered_bursts: u64,
-    delivered_at_omit: u64,
-    interval_mark: u64,
     intervals: Vec<BitRate>,
     rng: SimRng,
+}
+
+/// Per-flow scalars the dispatch inner loop reads and writes on almost
+/// every event, packed structure-of-arrays style into `Runner::hot`
+/// (parallel to `Runner::flows`). A [`FlowState`] spans several cache
+/// lines of mostly-cold protocol and config state; splitting the
+/// per-event flags and counters into this 40-byte record keeps the
+/// whole fleet's hot state resident (256 flows ≈ 10 KiB) instead of
+/// striding across the big structs. `hot[f]` always pairs with
+/// `flows[f]`; both clone together for checkpoints.
+#[derive(Debug, Clone, Copy, Default)]
+struct FlowHot {
+    /// Sender app blocked on a full socket buffer (woken by an ACK).
+    app_waiting: bool,
+    /// Receiver app is mid read stint.
+    rx_app_busy: bool,
+    /// An `RtoCheck` event is already in flight for this flow.
+    rto_scheduled: bool,
+    /// A `PacerResume` event is already in flight (TSQ backlog gate).
+    pacer_resume_pending: bool,
+    /// Waiting for the driver queue to drain before sending more.
+    tx_gated: bool,
+    /// Bytes handed to the driver (TxDequeue → wire) — the TSQ ledger.
+    driver_bytes: Bytes,
+    /// Bursts fully read by the receiver application.
+    delivered_bursts: u64,
+    /// `delivered_bursts` at the omit boundary.
+    delivered_at_omit: u64,
+    /// `delivered_bursts` at the last interval tick.
+    interval_mark: u64,
 }
 
 /// Gilbert–Elliott bursty-loss state while an episode is active.
@@ -279,6 +298,8 @@ struct Runner {
     burst: Bytes,
     q: EventQueue<Ev>,
     flows: Vec<FlowState>,
+    /// Hot per-flow scalars, parallel to `flows` (see [`FlowHot`]).
+    hot: Vec<FlowHot>,
     snd_host: SimHost,
     rcv_host: SimHost,
     switch: SharedBufferSwitch,
@@ -380,15 +401,6 @@ impl Runner {
                 pending_modes: VecDeque::with_capacity(64),
                 burst_modes: VecDeque::with_capacity(64),
                 modes_base: 0,
-                app_waiting: false,
-                rx_app_busy: false,
-                rto_scheduled: false,
-                pacer_resume_pending: false,
-                driver_bytes: Bytes::ZERO,
-                tx_gated: false,
-                delivered_bursts: 0,
-                delivered_at_omit: 0,
-                interval_mark: 0,
                 intervals: Vec::with_capacity(interval_cap),
                 rng: flow_rng,
             });
@@ -425,6 +437,7 @@ impl Runner {
             burst,
             q: EventQueue::with_capacity((n * 64).max(1024)),
             flows,
+            hot: vec![FlowHot::default(); n],
             snd_host,
             rcv_host,
             switch,
@@ -515,6 +528,15 @@ impl Runner {
 
     fn run(mut self) -> Result<RunResult, SimError> {
         self.start();
+        // Drain whole same-timestamp runs in one grab so the queue
+        // bookkeeping (peek + bounds check) is paid once per instant
+        // instead of once per event — fan-in scenarios fire many flows
+        // on the same completion tick. Handlers only ever schedule at
+        // or after `now`, so anything they push at the current instant
+        // sorts *behind* this batch in FIFO (time, seq) order and is
+        // picked up by the next grab: the dispatch order stays
+        // byte-identical to the one-at-a-time supervised path
+        // ([`Runner::step_one`]), which checkpoint/resume still uses.
         while self.step_one()? {}
         self.finish()
     }
@@ -548,7 +570,7 @@ impl Runner {
     fn on_app_write(&mut self, now: SimTime, f: usize) {
         let flow = &mut self.flows[f];
         if !flow.sender.app_can_write() {
-            flow.app_waiting = true;
+            self.hot[f].app_waiting = true;
             return;
         }
         let mode = match &mut flow.zc {
@@ -606,8 +628,8 @@ impl Runner {
             // backlog never gates another.
             let pacer_backlog = flow.pacer.backlog(now);
             if pacer_backlog >= TSQ_HORIZON {
-                if !flow.pacer_resume_pending {
-                    flow.pacer_resume_pending = true;
+                if !self.hot[f].pacer_resume_pending {
+                    self.hot[f].pacer_resume_pending = true;
                     let resume = now + pacer_backlog.saturating_sub(TSQ_HORIZON / 2);
                     self.q.push(resume, Ev::PacerResume(f));
                 }
@@ -619,8 +641,8 @@ impl Runner {
             let driver_limit = rate
                 .bytes_in(SimDuration::from_millis(2))
                 .max(self.burst * 2);
-            if flow.driver_bytes >= driver_limit {
-                flow.tx_gated = true; // resumed when the driver drains
+            if self.hot[f].driver_bytes >= driver_limit {
+                self.hot[f].tx_gated = true; // resumed when the driver drains
                 break;
             }
             let auto_rate = flow.sender.tcp_pacing_rate();
@@ -663,7 +685,7 @@ impl Runner {
         // The burst leaves the qdisc now: restart its RTT/RTO clock so
         // pacer residence time doesn't masquerade as network delay.
         self.flows[f].sender.mark_transmitted(idx, now);
-        self.flows[f].driver_bytes += self.burst;
+        self.hot[f].driver_bytes += self.burst;
         self.wire_sent += 1;
         let mode = {
             let flow = &self.flows[f];
@@ -692,10 +714,10 @@ impl Runner {
         // The burst left the sender's driver/NIC: credit the TSQ ledger
         // and resume a gated flow.
         {
-            let flow = &mut self.flows[f];
-            flow.driver_bytes = flow.driver_bytes.saturating_sub(self.burst);
-            if flow.tx_gated {
-                flow.tx_gated = false;
+            let hot = &mut self.hot[f];
+            hot.driver_bytes = hot.driver_bytes.saturating_sub(self.burst);
+            if hot.tx_gated {
+                hot.tx_gated = false;
                 self.try_transmit(now, f)?;
             }
         }
@@ -801,10 +823,10 @@ impl Runner {
             return;
         }
         let flow = &mut self.flows[f];
-        if flow.rx_app_busy || flow.receiver.readable_bursts() == 0 {
+        if self.hot[f].rx_app_busy || flow.receiver.readable_bursts() == 0 {
             return;
         }
-        flow.rx_app_busy = true;
+        self.hot[f].rx_app_busy = true;
         let svc = self.rcv_host.cost.rx_app_service(
             self.burst,
             self.cfg.workload.skip_rx_copy,
@@ -825,8 +847,8 @@ impl Runner {
         let was_zero_window = flow.receiver.rwnd() < self.burst;
         let read = flow.receiver.app_read();
         debug_assert!(read, "read completion without readable data");
-        flow.delivered_bursts += 1;
-        flow.rx_app_busy = false;
+        self.hot[f].delivered_bursts += 1;
+        self.hot[f].rx_app_busy = false;
         // Zero-window recovery: the read that reopens the window sends
         // a window-update ACK (otherwise a sender idled by rwnd=0 after
         // a receiver stall would never learn the window reopened).
@@ -878,9 +900,9 @@ impl Runner {
                 }
             }
         }
-        let wake_app = flow.app_waiting && flow.sender.app_can_write();
+        let wake_app = self.hot[f].app_waiting && flow.sender.app_can_write();
         if wake_app {
-            flow.app_waiting = false;
+            self.hot[f].app_waiting = false;
         }
         self.try_transmit(now, f)?;
         if wake_app {
@@ -890,23 +912,22 @@ impl Runner {
     }
 
     fn ensure_rto(&mut self, now: SimTime, f: usize) {
-        let flow = &mut self.flows[f];
-        if flow.rto_scheduled {
+        if self.hot[f].rto_scheduled {
             return;
         }
-        if let Some((deadline, _)) = flow.sender.timer_deadline() {
-            flow.rto_scheduled = true;
+        if let Some((deadline, _)) = self.flows[f].sender.timer_deadline() {
+            self.hot[f].rto_scheduled = true;
             self.q.push(deadline.max(now), Ev::RtoCheck(f));
         }
     }
 
     fn on_pacer_resume(&mut self, now: SimTime, f: usize) -> Result<(), SimError> {
-        self.flows[f].pacer_resume_pending = false;
+        self.hot[f].pacer_resume_pending = false;
         self.try_transmit(now, f)
     }
 
     fn on_rto_check(&mut self, now: SimTime, f: usize) -> Result<(), SimError> {
-        self.flows[f].rto_scheduled = false;
+        self.hot[f].rto_scheduled = false;
         match self.flows[f].sender.timer_deadline() {
             None => {}
             Some((d, kind)) if d <= now => {
@@ -917,7 +938,7 @@ impl Runner {
                 self.try_transmit(now, f)?;
             }
             Some((d, _)) => {
-                self.flows[f].rto_scheduled = true;
+                self.hot[f].rto_scheduled = true;
                 self.q.push(d, Ev::RtoCheck(f));
             }
         }
@@ -1070,9 +1091,9 @@ impl Runner {
         self.rcv_busy_mark = self.rcv_host.busy_snapshot();
         self.last_tick = now;
         self.classify_interval(now)?;
-        for flow in &mut self.flows {
-            let delta = flow.delivered_bursts - flow.interval_mark;
-            flow.interval_mark = flow.delivered_bursts;
+        for (flow, hot) in self.flows.iter_mut().zip(self.hot.iter_mut()) {
+            let delta = hot.delivered_bursts - hot.interval_mark;
+            hot.interval_mark = hot.delivered_bursts;
             flow.intervals.push(BitRate::average(
                 Bytes::new(delta * self.burst.as_u64()),
                 SimDuration::from_secs(1),
@@ -1148,7 +1169,7 @@ impl Runner {
         let acks: u64 = self.flows.iter().map(|fl| fl.sender.acks_processed()).sum();
         let cwnd_limited: u64 =
             self.flows.iter().map(|fl| fl.sender.cwnd_limited_acks()).sum();
-        let delivered: u64 = self.flows.iter().map(|fl| fl.delivered_bursts).sum();
+        let delivered: u64 = self.hot.iter().map(|h| h.delivered_bursts).sum();
         let delivered_bits = (delivered - at.delivered_mark) as f64 * self.burst.bits() as f64;
         Ok(IntervalObs {
             switch_drops: counters.switch_drops - at.counter_mark.switch_drops,
@@ -1188,7 +1209,7 @@ impl Runner {
         at.acks_mark = self.flows.iter().map(|fl| fl.sender.acks_processed()).sum();
         at.cwnd_limited_mark =
             self.flows.iter().map(|fl| fl.sender.cwnd_limited_acks()).sum();
-        at.delivered_mark = self.flows.iter().map(|fl| fl.delivered_bursts).sum();
+        at.delivered_mark = self.hot.iter().map(|h| h.delivered_bursts).sum();
         at.last_t = now;
     }
 
@@ -1247,7 +1268,7 @@ impl Runner {
                 // cadence sees each interval's fresh verdict.
                 limiting: self.attrib.as_ref().and_then(|a| a.last_verdict()),
             };
-            sampler.sample_flow(now, f, self.burst, flow.delivered_bursts, info);
+            sampler.sample_flow(now, f, self.burst, self.hot[f].delivered_bursts, info);
         }
         let counters = self.counters();
         let since = sampler.last_sample();
@@ -1273,9 +1294,9 @@ impl Runner {
     }
 
     fn on_omit(&mut self, now: SimTime) {
-        for flow in &mut self.flows {
-            flow.delivered_at_omit = flow.delivered_bursts;
-            flow.interval_mark = flow.delivered_bursts;
+        for hot in &mut self.hot {
+            hot.delivered_at_omit = hot.delivered_bursts;
+            hot.interval_mark = hot.delivered_bursts;
         }
         self.snd_cpu_at_omit = self.snd_host.busy_snapshot();
         self.rcv_cpu_at_omit = self.rcv_host.busy_snapshot();
@@ -1337,7 +1358,7 @@ impl Runner {
         // duration that is not a tick multiple) must land somewhere.
         let telemetry = self.sampler.take().map(|mut sampler| {
             let delivered: Vec<u64> =
-                self.flows.iter().map(|fl| fl.delivered_bursts).collect();
+                self.hot.iter().map(|h| h.delivered_bursts).collect();
             if sampler.last_sample() < self.end_time || sampler.pending_delivery(&delivered) {
                 self.telemetry_sample(self.end_time, &mut sampler);
             }
@@ -1364,7 +1385,7 @@ impl Runner {
                     flow.sender.cc().in_slow_start(),
                     flow.sender.rtt.srtt(),
                     flow.sender.app_buffered(),
-                    flow.app_waiting,
+                    self.hot[i].app_waiting,
                     flow.sender.retr_packets(),
                     flow.sender.tlp_events(),
                     flow.sender.rto_events(),
@@ -1379,7 +1400,8 @@ impl Runner {
             .iter()
             .enumerate()
             .map(|(id, flow)| {
-                let bursts = flow.delivered_bursts - flow.delivered_at_omit;
+                let hot = &self.hot[id];
+                let bursts = hot.delivered_bursts - hot.delivered_at_omit;
                 let bytes = Bytes::new(bursts * self.burst.as_u64());
                 FlowResult {
                     id,

@@ -9,125 +9,220 @@
 //!
 //! # Engine internals
 //!
-//! The queue is a Vec-backed **4-ary min-heap** ordered on the key
-//! `(time, seq)`, where `seq` is a monotonically increasing insertion
-//! counter. Because every key is unique, the heap's pop order is the
-//! *total* order over `(time, seq)` — same-time FIFO falls out of the
-//! key itself, not out of any property of the heap shape. Any correct
-//! heap implementation therefore pops the exact same sequence, which is
-//! what lets the engine be swapped without disturbing bit-for-bit
-//! determinism (see `tests/engine_differential.rs` for the differential
-//! proof against a reference `BinaryHeap`).
+//! Entries are ordered on `(time, seq)`, where `seq` is a monotonically
+//! increasing insertion counter. Because every key is unique, the pop
+//! order is the *total* order over `(time, seq)` — same-time FIFO falls
+//! out of the key itself, not out of any property of the container
+//! shape. Any correct priority structure therefore pops the exact same
+//! sequence, which is what lets the engine be swapped without
+//! disturbing bit-for-bit determinism (see
+//! `tests/engine_differential.rs` and
+//! `tests/timer_wheel_differential.rs` for the differential proofs
+//! against a reference `BinaryHeap`).
 //!
-//! A 4-ary layout halves the tree depth of a binary heap, trading a
-//! wider (but contiguous, cache-resident) child scan per level for
-//! fewer levels — the classic d-ary trade.
+//! Payloads of plain [`EventQueue::push`] events ride *inline* in the
+//! rung nodes: the node a pop returns was just touched by the sift, so
+//! the common case costs zero extra memory traffic. Only cancelable
+//! timers ([`EventQueue::schedule_timer`]) indirect through a
+//! free-listed slab, which is what makes their cancellation O(1) — the
+//! slot is tombstoned and the floating node is filtered out when its
+//! bucket eventually drains.
 //!
-//! Payloads are **not** stored in the heap. The heap holds only
-//! 24-byte [`Key`]s (time, seq, slab slot); the events themselves sit
-//! in a free-listed slab and never move until popped. Sifting
-//! therefore shuffles small `Copy` keys with single-copy "hole" moves
-//! instead of swapping full `(key, event)` entries — at 256-flow scale
-//! the event enum dominates the entry size, and keeping it out of the
-//! sift path is worth ~2× on `pop`.
+//! The queue is a three-rung **hierarchical timer wheel**, finest rung
+//! first:
 //!
-//! On top of that, the queue is **two-banded** (a two-rung ladder
-//! queue). A network simulation at fan-in scale keeps thousands of
-//! events pending — propagation arrivals and RTO timers a full RTT
-//! out — but only ever pops from the leading edge. Keys within
-//! `window` of the current epoch live in the sifted *near* heap; keys
-//! beyond it are appended to an unsorted *far* buffer in O(1) and are
-//! only heapified (band by band, when the near heap drains) once the
-//! clock approaches them. The near heap stays small enough for its
-//! key array to sit in L1, so sift traffic no longer scales with how
-//! far ahead the simulation has scheduled. `window` self-tunes toward
-//! a migration batch in `[MIN_BATCH, MAX_BATCH]`.
+//! 1. **Near heap** — a Vec-backed 4-ary min-heap holding every entry
+//!    with `time <= horizon`. This is the only sifted structure; pops
+//!    come exclusively from its root. A 4-ary layout halves the tree
+//!    depth of a binary heap, trading a wider (but contiguous,
+//!    cache-resident) child scan per level for fewer levels.
+//! 2. **Wheel ring** — `SLOTS` (64) buckets of `2^width_shift`
+//!    nanoseconds each, covering `(horizon, ring_end]`. A push lands in
+//!    its bucket with one shift and one append — O(1), no comparisons
+//!    against other pending entries. An occupancy bitmap finds the
+//!    next non-empty bucket.
+//! 3. **Overflow** — an unsorted spill list for entries beyond
+//!    `ring_end`, with its exact minimum key maintained on push. When
+//!    both finer rungs drain, the wheel *rebases* at the overflow
+//!    minimum and re-files the spill list (each entry is re-filed at
+//!    most once per full ring span consumed, so the amortized cost per
+//!    entry is O(1)).
 //!
-//! The split is invisible in the pop order: every key still compares
-//! by the same total `(time, seq)` order, the far band only ever holds
-//! keys *later* than everything in the near band, and migration is
-//! driven purely by key values — never by wall clock — so runs remain
-//! bit-for-bit deterministic.
+//! When the near heap drains, `migrate` drains the next occupied bucket
+//! — whole slots at a time — into the near heap and Floyd-heapifies the
+//! batch. The slot width self-tunes toward drain batches in
+//! `[MIN_BATCH, MAX_BATCH]`, but only at rebase points (when the ring
+//! is empty), so an entry's bucket index never changes underneath it.
+//!
+//! The rungs are invisible in the pop order: every entry still compares
+//! by the same total `(time, seq)` order, each coarser rung only ever
+//! holds entries *later* than everything in the finer rungs, and
+//! migration/rebasing are driven purely by key values — never by wall
+//! clock — so runs remain bit-for-bit deterministic.
+//!
+//! # Cancelable timers
+//!
+//! [`EventQueue::schedule_timer`] is `push` plus a [`TimerId`] receipt;
+//! [`EventQueue::cancel_timer`] revokes a pending timer. Cancellation
+//! is O(1) for wheel- and overflow-resident timers (the payload slot is
+//! tombstoned and the floating node is filtered out when its bucket
+//! drains); only the rare cancellations of a timer that is already in
+//! the near heap, or that is the exact minimum of its rung, pay a
+//! bounded scan to keep `peek_time` exact. Cancelled timers count as
+//! neither popped nor pending: `total_pushed - total_cancelled -
+//! total_popped == len` at all times.
 
-use crate::time::{SimDuration, SimTime};
+use crate::time::SimTime;
 
-/// Arity of the heap: each node has up to four children.
+/// Arity of the near heap: each node has up to four children.
 const D: usize = 4;
 
-/// Migration batches below this grow `window` (too many migrations,
-/// each paying a far-buffer scan).
+/// Number of buckets in the wheel ring (must be a multiple of 64 for
+/// the occupancy bitmap). Kept small so the bucket headers and their
+/// tail lines stay cache-resident under a scattered push pattern.
+const SLOTS: usize = 64;
+
+/// Words in the occupancy bitmap.
+const OCC_WORDS: usize = SLOTS / 64;
+
+/// Bucket drains below this (mean, per rebase period) widen the slots
+/// (too many migrations, each paying a bitmap scan + heapify).
 const MIN_BATCH: usize = 64;
 
-/// Migration batches above this shrink `window` (near heap getting too
+/// Bucket drains above this shrink the slots (near heap getting too
 /// deep to stay cache-resident).
 const MAX_BATCH: usize = 512;
 
-/// Bounds for the adaptive near-band window.
-const MIN_WINDOW: SimDuration = SimDuration::from_nanos(1);
-const MAX_WINDOW: SimDuration = SimDuration::from_secs(3600);
+/// Bounds for the adaptive slot width, as powers of two of nanoseconds:
+/// 64 ns up to ~2.2 s per slot.
+const MIN_WIDTH_SHIFT: u32 = 6;
+const MAX_WIDTH_SHIFT: u32 = 31;
+
+/// Initial slot width: 2^18 ns ≈ 262 µs, a compromise between LAN RTTs
+/// and WAN timer spacings; the width self-tunes from there.
+const INIT_WIDTH_SHIFT: u32 = 18;
+
+/// Where a node's payload lives.
+#[derive(Debug, Clone)]
+enum Payload<E> {
+    /// A plain event: the payload rides in the node itself, so popping
+    /// it touches no memory beyond the heap the sift just walked.
+    Event(E),
+    /// A cancelable timer: the payload lives in the slab at this slot
+    /// (the indirection is what buys O(1) cancellation).
+    Timer(usize),
+}
+
+/// One pending entry: the `(time, seq)` ordering key plus its payload.
+#[derive(Debug, Clone)]
+struct Node<E> {
+    time: SimTime,
+    seq: u64,
+    payload: Payload<E>,
+}
+
+impl<E> Node<E> {
+    /// The total-order key: earliest time first, then insertion order.
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
+    }
+}
 
 /// An event queue over an arbitrary event payload type `E`.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    /// Min-heap of keys with `time <= horizon` — small, `Copy`,
-    /// cache-dense.
-    near: Vec<Key>,
-    /// Unsorted keys with `time > horizon`, appended in O(1).
-    far: Vec<Key>,
-    /// The minimum key in `far` (by total order), if any.
-    far_min: Option<Key>,
+    /// Min-heap of nodes with `time <= horizon`. Never contains
+    /// cancelled timers.
+    near: Vec<Node<E>>,
     /// Times at or below this belong to the near heap.
     horizon: SimTime,
-    /// Current near-band width (adaptive).
-    window: SimDuration,
-    /// Payload storage addressed by `Key::slot`; `None` marks a free
-    /// slot awaiting reuse via `free`.
+    /// Wheel buckets: unsorted nodes with
+    /// `horizon < time < ring_end()`, indexed by
+    /// `(time - ring_base) >> width_shift`.
+    buckets: Vec<Vec<Node<E>>>,
+    /// One bit per bucket: does it hold any node (possibly stale)?
+    occ: [u64; OCC_WORDS],
+    /// Wheel origin (ns). Bucket `i` covers
+    /// `[ring_base + (i << width_shift), ring_base + ((i+1) << width_shift))`.
+    ring_base: u64,
+    /// log2 of the bucket width in nanoseconds (adaptive, but only at
+    /// rebase points so existing indices never move).
+    width_shift: u32,
+    /// Live (non-cancelled) nodes across all buckets.
+    ring_len: usize,
+    /// Unsorted spill list for nodes at or beyond `ring_end()`.
+    overflow: Vec<Node<E>>,
+    /// Exact minimum live `(time, seq)` key in `overflow`, if any.
+    overflow_min: Option<(SimTime, u64)>,
+    /// Live nodes in `overflow` (the Vec may also hold tombstones).
+    overflow_live: usize,
+    /// Cancelled timers still floating in a bucket or the overflow list
+    /// (their payload slots are already recycled). While this is zero —
+    /// the common case, since the simulator's event chains never cancel
+    /// — drains skip the per-node liveness filter entirely.
+    stale: usize,
+    /// Timer payload storage addressed by `Payload::Timer` slots;
+    /// `None` marks a free or tombstoned slot.
     slab: Vec<Option<E>>,
+    /// Sequence number of the timer currently owning each slab slot;
+    /// lets drains tell a live timer from a stale one after slot reuse.
+    slot_seq: Vec<u64>,
     /// Slots of `slab` ready for reuse.
     free: Vec<usize>,
+    /// Live nodes drained / drain batches since the last width
+    /// adaptation (rebase-time feedback for `width_shift`).
+    drained_keys: u64,
+    drained_batches: u64,
     seq: u64,
     now: SimTime,
     pushed: u64,
     popped: u64,
+    cancelled: u64,
     past_clamps: u64,
 }
 
 impl<E: Clone> Clone for EventQueue<E> {
-    /// Deep copy: keys, payload slab, free list, counters, and the
-    /// adaptive near/far split all carry over verbatim, so a cloned
-    /// queue pops the identical (time, seq) sequence as the original.
-    /// This is the engine half of the checkpoint/resume contract.
+    /// Deep copy: nodes, timer slab, free list, counters, and the
+    /// whole wheel geometry carry over verbatim, so a cloned queue pops
+    /// the identical (time, seq) sequence as the original. This is the
+    /// engine half of the checkpoint/resume contract.
     fn clone(&self) -> Self {
         EventQueue {
             near: self.near.clone(),
-            far: self.far.clone(),
-            far_min: self.far_min,
             horizon: self.horizon,
-            window: self.window,
+            buckets: self.buckets.clone(),
+            occ: self.occ,
+            ring_base: self.ring_base,
+            width_shift: self.width_shift,
+            ring_len: self.ring_len,
+            overflow: self.overflow.clone(),
+            overflow_min: self.overflow_min,
+            overflow_live: self.overflow_live,
+            stale: self.stale,
             slab: self.slab.clone(),
+            slot_seq: self.slot_seq.clone(),
             free: self.free.clone(),
+            drained_keys: self.drained_keys,
+            drained_batches: self.drained_batches,
             seq: self.seq,
             now: self.now,
             pushed: self.pushed,
             popped: self.popped,
+            cancelled: self.cancelled,
             past_clamps: self.past_clamps,
         }
     }
 }
 
+/// Receipt for a pending timer scheduled with
+/// [`EventQueue::schedule_timer`]; redeem it (at most once) with
+/// [`EventQueue::cancel_timer`].
 #[derive(Debug, Clone, Copy)]
-struct Key {
+pub struct TimerId {
     time: SimTime,
     seq: u64,
     slot: usize,
-}
-
-impl Key {
-    /// The total-order key: earliest time first, then insertion order.
-    #[inline]
-    fn key(self) -> (SimTime, u64) {
-        (self.time, self.seq)
-    }
 }
 
 impl<E> EventQueue<E> {
@@ -142,16 +237,26 @@ impl<E> EventQueue<E> {
     pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
             near: Vec::with_capacity(cap.min(2 * MAX_BATCH)),
-            far: Vec::with_capacity(cap),
-            far_min: None,
             horizon: SimTime::ZERO,
-            window: SimDuration::from_micros(100),
-            slab: Vec::with_capacity(cap),
+            buckets: std::iter::repeat_with(Vec::new).take(SLOTS).collect(),
+            occ: [0; OCC_WORDS],
+            ring_base: 0,
+            width_shift: INIT_WIDTH_SHIFT,
+            ring_len: 0,
+            overflow: Vec::new(),
+            overflow_min: None,
+            overflow_live: 0,
+            stale: 0,
+            slab: Vec::new(),
+            slot_seq: Vec::new(),
             free: Vec::new(),
+            drained_keys: 0,
+            drained_batches: 0,
             seq: 0,
             now: SimTime::ZERO,
             pushed: 0,
             popped: 0,
+            cancelled: 0,
             past_clamps: 0,
         }
     }
@@ -163,6 +268,30 @@ impl<E> EventQueue<E> {
         self.now
     }
 
+    /// First nanosecond beyond the wheel ring's coverage.
+    #[inline]
+    fn ring_end(&self) -> u64 {
+        self.ring_base.saturating_add((SLOTS as u64) << self.width_shift)
+    }
+
+    /// Clamp-and-count for pushes dated in the past (a caller causality
+    /// bug that debug builds catch with a panic; see
+    /// [`EventQueue::past_clamps`]).
+    #[inline]
+    fn admit(&mut self, at: SimTime) -> (SimTime, u64) {
+        debug_assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+        let at = if at < self.now {
+            self.past_clamps += 1;
+            self.now
+        } else {
+            at
+        };
+        let seq = self.seq;
+        self.seq += 1;
+        self.pushed += 1;
+        (at, seq)
+    }
+
     /// Schedule `event` to fire at absolute time `at`.
     ///
     /// Scheduling in the past is a logic error in the caller and panics
@@ -171,34 +300,153 @@ impl<E> EventQueue<E> {
     /// [`EventQueue::past_clamps`]) so watchdogs can surface the masked
     /// causality bug instead of letting it pass silently.
     pub fn push(&mut self, at: SimTime, event: E) {
-        debug_assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
-        let at = if at < self.now {
-            self.past_clamps += 1;
-            self.now
-        } else {
-            at
-        };
+        let (time, seq) = self.admit(at);
+        self.insert_node(Node { time, seq, payload: Payload::Event(event) });
+    }
+
+    /// Schedule a cancelable timer to fire `event` at absolute time
+    /// `at`. Identical to [`EventQueue::push`] except it returns a
+    /// [`TimerId`] receipt for [`EventQueue::cancel_timer`]. Scheduling
+    /// is O(1) (amortized) regardless of how far out `at` is.
+    pub fn schedule_timer(&mut self, at: SimTime, event: E) -> TimerId {
+        let (time, seq) = self.admit(at);
         let slot = match self.free.pop() {
             Some(slot) => {
                 self.slab[slot] = Some(event);
+                self.slot_seq[slot] = seq;
                 slot
             }
             None => {
                 self.slab.push(Some(event));
+                self.slot_seq.push(seq);
                 self.slab.len() - 1
             }
         };
-        let key = Key { time: at, seq: self.seq, slot };
-        self.seq += 1;
-        self.pushed += 1;
+        self.insert_node(Node { time, seq, payload: Payload::Timer(slot) });
+        TimerId { time, seq, slot }
+    }
+
+    /// Route a node to its rung. Shared by pushes and rebase re-filing.
+    #[inline]
+    fn insert_node(&mut self, node: Node<E>) {
+        let at = node.time;
         if at <= self.horizon {
-            self.near.push(key);
+            self.near.push(node);
             self.sift_up(self.near.len() - 1);
+            return;
+        }
+        let at_ns = at.as_nanos();
+        if at_ns < self.ring_end() {
+            let idx = ((at_ns - self.ring_base) >> self.width_shift) as usize;
+            self.occ[idx / 64] |= 1 << (idx % 64);
+            self.buckets[idx].push(node);
+            self.ring_len += 1;
         } else {
-            if self.far_min.is_none_or(|m| key.key() < m.key()) {
-                self.far_min = Some(key);
+            if self.overflow_min.is_none_or(|m| node.key() < m) {
+                self.overflow_min = Some(node.key());
             }
-            self.far.push(key);
+            self.overflow.push(node);
+            self.overflow_live += 1;
+        }
+    }
+
+    /// Is this floating timer node still live (not cancelled, slot not
+    /// reused)?
+    #[inline]
+    fn node_live(slot_seq: &[u64], slab: &[Option<E>], node: &Node<E>) -> bool {
+        match node.payload {
+            Payload::Event(_) => true,
+            Payload::Timer(slot) => slot_seq[slot] == node.seq && slab[slot].is_some(),
+        }
+    }
+
+    /// Cancel a pending timer. Returns `true` if the timer was still
+    /// pending (it will now never fire), `false` if it already fired or
+    /// was already cancelled.
+    ///
+    /// Wheel- and overflow-resident timers cancel in O(1): the payload
+    /// slot is tombstoned immediately and the floating node is filtered
+    /// out when its bucket eventually drains. Only a timer that is the
+    /// exact minimum of its rung (a bounded bucket/spill rescan keeps
+    /// `peek_time` exact) or that already migrated into the near heap
+    /// (an eager heap removal) pays more.
+    pub fn cancel_timer(&mut self, id: TimerId) -> bool {
+        if id.slot >= self.slab.len()
+            || self.slot_seq[id.slot] != id.seq
+            || self.slab[id.slot].is_none()
+        {
+            return false;
+        }
+        // Drop the payload and recycle the slot immediately; the
+        // floating node is detected as stale wherever it surfaces (seq
+        // mismatch once the slot is reused, empty slab entry until
+        // then).
+        self.slab[id.slot] = None;
+        self.free.push(id.slot);
+        self.cancelled += 1;
+        let at_ns = id.time.as_nanos();
+        if id.time <= self.horizon {
+            // Near-resident: remove eagerly so the heap root (and thus
+            // `peek_time`/`pop`) never sees a tombstone.
+            let i = self
+                .near
+                .iter()
+                .position(|n| n.seq == id.seq)
+                .expect("live near timer must be in the near heap");
+            self.heap_remove_at(i);
+        } else if at_ns < self.ring_end() {
+            self.ring_len -= 1;
+            self.stale += 1;
+        } else {
+            self.overflow_live -= 1;
+            self.stale += 1;
+            if self.overflow_min.is_some_and(|(_, mseq)| mseq == id.seq) {
+                self.rescan_overflow_min();
+            }
+        }
+        true
+    }
+
+    /// Recompute the overflow's exact live minimum (dropping tombstoned
+    /// nodes while at it).
+    fn rescan_overflow_min(&mut self) {
+        let mut min: Option<(SimTime, u64)> = None;
+        let mut i = 0;
+        while i < self.overflow.len() {
+            if Self::node_live(&self.slot_seq, &self.slab, &self.overflow[i]) {
+                let k = self.overflow[i].key();
+                if min.is_none_or(|m| k < m) {
+                    min = Some(k);
+                }
+                i += 1;
+            } else {
+                self.overflow.swap_remove(i);
+                self.stale -= 1;
+            }
+        }
+        self.overflow_min = min;
+    }
+
+    /// Remove `near[i]`, restoring the heap property.
+    fn heap_remove_at(&mut self, i: usize) {
+        let _removed = self.near.swap_remove(i);
+        if i < self.near.len() {
+            // The replacement may violate either direction.
+            self.sift_down(i);
+            self.sift_up(i);
+        }
+    }
+
+    /// Take the payload out of a popped node.
+    #[inline]
+    fn claim(&mut self, node: Node<E>) -> E {
+        match node.payload {
+            Payload::Event(e) => e,
+            Payload::Timer(slot) => {
+                let e = self.slab[slot].take().expect("popped timer slot holds an event");
+                self.free.push(slot);
+                e
+            }
         }
     }
 
@@ -207,91 +455,254 @@ impl<E> EventQueue<E> {
         if self.near.is_empty() {
             self.migrate()?;
         }
-        let root = self.near[0];
-        let last = self.near.pop().expect("near heap is non-empty");
-        if !self.near.is_empty() {
-            self.near[0] = last;
+        let node = if self.near.len() > 1 {
+            let node = self.near.swap_remove(0);
             self.sift_down(0);
-        }
-        let event = self.slab[root.slot].take().expect("popped slot holds an event");
-        self.free.push(root.slot);
-        debug_assert!(root.time >= self.now, "event queue time went backwards");
-        self.now = root.time;
+            node
+        } else {
+            self.near.pop().expect("near heap is non-empty")
+        };
+        debug_assert!(node.time >= self.now, "event queue time went backwards");
+        self.now = node.time;
         self.popped += 1;
-        Some((root.time, event))
+        let time = node.time;
+        Some((time, self.claim(node)))
     }
 
-    /// Refill the (empty) near heap from the far buffer: advance the
-    /// horizon one window past the far minimum, move every key at or
-    /// below it, and Floyd-heapify the batch. Returns `None` when the
-    /// far buffer is empty too (the queue is exhausted).
+    /// Pop every pending event sharing the earliest firing time into
+    /// `out`, in seq (FIFO) order, provided that time is at most
+    /// `limit`. Returns the shared firing time, or `None` when the
+    /// queue is exhausted or the next event is beyond `limit`. The
+    /// clock advances exactly as if each event were popped
+    /// individually, which is what makes the batch invisible to
+    /// determinism: callers dispatch the batch in order and any events
+    /// they push land at or after the batch time, i.e. after the batch
+    /// in `(time, seq)` order.
     ///
-    /// Every ingredient — far minimum, window, horizon — is a pure
-    /// function of the keys pushed so far, so the band split can never
-    /// perturb determinism; and since all far keys are strictly beyond
-    /// the *old* horizon while near keys never were, the near heap's
-    /// minimum is always the global minimum.
+    /// `out` is cleared first; reuse one buffer across calls to keep
+    /// the drain allocation-free.
+    pub fn pop_same_time(&mut self, limit: SimTime, out: &mut Vec<E>) -> Option<SimTime> {
+        out.clear();
+        let t = self.peek_time()?;
+        if t > limit {
+            return None;
+        }
+        let (_, first) = self.pop().expect("peeked event must pop");
+        out.push(first);
+        // Subsequent same-time entries are all near-resident (migration
+        // drains whole buckets, and a bucket covers its full window),
+        // so a root time check is exact.
+        while self.near.first().is_some_and(|n| n.time == t) {
+            let (_, ev) = self.pop().expect("root checked non-empty");
+            out.push(ev);
+        }
+        Some(t)
+    }
+
+    /// Refill the (empty) near heap from the coarser rungs: drain the
+    /// next occupied wheel bucket (whole slots at a time), advance the
+    /// horizon to that bucket's end, and Floyd-heapify the batch. When
+    /// the ring is empty too, rebase it at the overflow minimum and
+    /// re-file the spill list. Returns `None` when every rung is empty.
+    ///
+    /// Every ingredient — bucket geometry, occupancy, overflow minimum
+    /// — is a pure function of the entries pushed so far, so the rung
+    /// split can never perturb determinism; and since each coarser rung
+    /// only holds entries strictly beyond the finer rungs' coverage,
+    /// the near heap's minimum is always the global minimum.
     fn migrate(&mut self) -> Option<()> {
         debug_assert!(self.near.is_empty());
-        let base = self.far_min?;
-        let horizon = base.time + self.window;
-        let mut far_min: Option<Key> = None;
-        let mut i = 0;
-        while i < self.far.len() {
-            let key = self.far[i];
-            if key.time <= horizon {
-                self.far.swap_remove(i);
-                self.near.push(key);
-            } else {
-                if far_min.is_none_or(|m| key.key() < m.key()) {
-                    far_min = Some(key);
+        loop {
+            if self.ring_len > 0 {
+                let idx = self.first_occupied_bucket().expect("ring_len > 0 implies occupancy");
+                let mut bucket = std::mem::take(&mut self.buckets[idx]);
+                self.occ[idx / 64] &= !(1 << (idx % 64));
+                let live;
+                if self.stale == 0 {
+                    // No cancelled timer floats anywhere: the whole
+                    // bucket is live, so skip the per-node slab probe
+                    // (the timer slab is cache-cold here).
+                    live = bucket.len();
+                    self.near.append(&mut bucket);
+                } else {
+                    let mut kept = 0usize;
+                    for node in bucket.drain(..) {
+                        if Self::node_live(&self.slot_seq, &self.slab, &node) {
+                            self.near.push(node);
+                            kept += 1;
+                        } else {
+                            // Stale nodes are dropped here; their slots
+                            // were already recycled at cancel time.
+                            self.stale -= 1;
+                        }
+                    }
+                    live = kept;
                 }
-                i += 1;
+                self.buckets[idx] = bucket; // keep the allocation warm
+                self.ring_len -= live;
+                // The drained bucket covers [start, end); entries
+                // exactly at `end` sit in the *next* bucket, so the
+                // horizon (inclusive) stops one nanosecond short of it.
+                self.horizon = SimTime::from_nanos(
+                    self.ring_base
+                        .saturating_add((idx as u64 + 1) << self.width_shift)
+                        .saturating_sub(1),
+                );
+                self.drained_keys += live as u64;
+                self.drained_batches += 1;
+                // Floyd heapify: sift down every internal node,
+                // deepest first.
+                if self.near.len() > 1 {
+                    for n in (0..=(self.near.len() - 2) / D).rev() {
+                        self.sift_down(n);
+                    }
+                }
+                if !self.near.is_empty() {
+                    return Some(());
+                }
+                // All-tombstone bucket: keep draining.
+            } else if self.overflow_live > 0 {
+                self.rebase();
+                // The overflow minimum's time equals the new horizon,
+                // so re-filing always lands at least one node in near.
+                if !self.near.is_empty() {
+                    return Some(());
+                }
+            } else {
+                return None;
             }
         }
-        // Floyd heapify: sift down every internal node, deepest first.
-        if self.near.len() > 1 {
-            for n in (0..=(self.near.len() - 2) / D).rev() {
-                self.sift_down(n);
+    }
+
+    /// Index of the first bucket with its occupancy bit set.
+    #[inline]
+    fn first_occupied_bucket(&self) -> Option<usize> {
+        for (w, &bits) in self.occ.iter().enumerate() {
+            if bits != 0 {
+                return Some(w * 64 + bits.trailing_zeros() as usize);
             }
         }
-        self.horizon = horizon;
-        self.far_min = far_min;
-        // Steer the next batch into [MIN_BATCH, MAX_BATCH]: scanning
-        // the far buffer costs a pass per migration (wants wide bands),
-        // while sift depth grows with the near heap (wants narrow).
-        if self.near.len() > MAX_BATCH {
-            self.window = SimDuration::from_nanos(self.window.as_nanos() / 2).max(MIN_WINDOW);
-        } else if self.near.len() < MIN_BATCH {
-            self.window = SimDuration::from_nanos(self.window.as_nanos().saturating_mul(2))
-                .min(MAX_WINDOW);
+        None
+    }
+
+    /// Move the (empty) ring so it starts at the overflow minimum,
+    /// adapt the slot width from the drain batches observed since the
+    /// last rebase, and re-file the spill list into the new geometry.
+    /// The overflow minimum itself lands in the near heap (its time
+    /// equals the new horizon), so a rebase always makes progress.
+    fn rebase(&mut self) {
+        debug_assert!(self.near.is_empty() && self.ring_len == 0);
+        // With zero live ring nodes, anything left in a bucket is a
+        // cancelled timer's floating tombstone. Sweep them out before
+        // the geometry changes underneath their (stale) indices.
+        if self.stale > 0 {
+            for w in 0..OCC_WORDS {
+                let mut bits = self.occ[w];
+                while bits != 0 {
+                    let idx = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    self.stale -= self.buckets[idx].len();
+                    self.buckets[idx].clear();
+                }
+            }
         }
-        Some(())
+        self.occ = [0; OCC_WORDS];
+        let (min_time, _) = self.overflow_min.expect("rebase requires a live overflow node");
+        self.adapt_width();
+        self.horizon = min_time;
+        self.ring_base = min_time.as_nanos();
+        let spill = std::mem::take(&mut self.overflow);
+        self.overflow_min = None;
+        self.overflow_live = 0;
+        if self.stale == 0 {
+            for node in spill {
+                self.insert_node(node);
+            }
+        } else {
+            for node in spill {
+                if Self::node_live(&self.slot_seq, &self.slab, &node) {
+                    self.insert_node(node);
+                } else {
+                    self.stale -= 1;
+                }
+            }
+        }
+    }
+
+    /// Steer drain batches into `[MIN_BATCH, MAX_BATCH]`: bitmap scans
+    /// and heapify setup cost a pass per drain (wants wide slots),
+    /// while sift depth grows with the near heap (wants narrow). Only
+    /// called while the ring is empty, so existing bucket indices never
+    /// move.
+    fn adapt_width(&mut self) {
+        if self.drained_batches == 0 {
+            return;
+        }
+        let mean = self.drained_keys / self.drained_batches;
+        if mean < MIN_BATCH as u64 && self.width_shift < MAX_WIDTH_SHIFT {
+            self.width_shift += 1;
+        } else if mean > MAX_BATCH as u64 && self.width_shift > MIN_WIDTH_SHIFT {
+            self.width_shift -= 1;
+        }
+        self.drained_keys = 0;
+        self.drained_batches = 0;
     }
 
     /// Firing time of the next event without popping it.
     ///
-    /// When the near heap is drained this is the far minimum — exact,
-    /// because the far minimum is maintained on every far push.
-    #[inline]
+    /// Exact at every rung: the near root when the heap is non-empty,
+    /// else the minimum of the first occupied wheel bucket holding a
+    /// live node, else the maintained overflow minimum. The bucket scan
+    /// is not maintained per push — it only runs in the brief window
+    /// where the near heap is drained, i.e. at most once per migration
+    /// cycle, so its amortized cost matches the drain it precedes.
     pub fn peek_time(&self) -> Option<SimTime> {
-        match self.near.first() {
-            Some(key) => Some(key.time),
-            None => self.far_min.map(|key| key.time),
+        if let Some(node) = self.near.first() {
+            return Some(node.time);
         }
+        if self.ring_len > 0 {
+            for (w, &bits) in self.occ.iter().enumerate() {
+                let mut bits = bits;
+                while bits != 0 {
+                    let idx = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let mut min = u64::MAX;
+                    if self.stale == 0 {
+                        // Every node is live; an occupied bit implies a
+                        // non-empty bucket.
+                        for n in &self.buckets[idx] {
+                            min = min.min(n.time.as_nanos());
+                        }
+                        return Some(SimTime::from_nanos(min));
+                    }
+                    for n in &self.buckets[idx] {
+                        if Self::node_live(&self.slot_seq, &self.slab, n) {
+                            min = min.min(n.time.as_nanos());
+                        }
+                    }
+                    if min != u64::MAX {
+                        return Some(SimTime::from_nanos(min));
+                    }
+                    // All-stale bucket: keep scanning.
+                }
+            }
+            unreachable!("ring_len > 0 implies a live bucket node");
+        }
+        self.overflow_min.map(|(time, _)| time)
     }
 
-    /// Number of pending events.
+    /// Number of pending (live, uncancelled) events.
     pub fn len(&self) -> usize {
-        self.near.len() + self.far.len()
+        self.near.len() + self.ring_len + self.overflow_live
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.near.is_empty() && self.far.is_empty()
+        self.len() == 0
     }
 
-    /// Total events pushed over the queue's lifetime (diagnostics).
+    /// Total events pushed over the queue's lifetime, timers included
+    /// (diagnostics).
     pub fn total_pushed(&self) -> u64 {
         self.pushed
     }
@@ -299,6 +710,12 @@ impl<E> EventQueue<E> {
     /// Total events popped over the queue's lifetime (diagnostics).
     pub fn total_popped(&self) -> u64 {
         self.popped
+    }
+
+    /// Total timers cancelled before firing. At any instant
+    /// `total_pushed - total_cancelled - total_popped == len`.
+    pub fn total_cancelled(&self) -> u64 {
+        self.cancelled
     }
 
     /// How many release-mode pushes were silently clamped from the past
@@ -310,35 +727,39 @@ impl<E> EventQueue<E> {
 
     /// Iterate over the pending events in arbitrary order (used for
     /// end-of-run accounting, e.g. counting in-flight payloads).
+    /// Cancelled timers' floating nodes are skipped.
     pub fn iter(&self) -> impl Iterator<Item = &E> {
-        self.slab.iter().filter_map(|slot| slot.as_ref())
+        self.near
+            .iter()
+            .chain(self.buckets.iter().flatten())
+            .chain(self.overflow.iter())
+            .filter_map(move |n| match &n.payload {
+                Payload::Event(e) => Some(e),
+                Payload::Timer(slot) => {
+                    if self.slot_seq[*slot] == n.seq {
+                        self.slab[*slot].as_ref()
+                    } else {
+                        None
+                    }
+                }
+            })
     }
 
     /// Move `near[i]` toward the root until its parent is no larger.
-    ///
-    /// Hole technique: the moving key is held in a register and written
-    /// exactly once at its final slot — one copy per level instead of a
-    /// three-move swap.
     fn sift_up(&mut self, mut i: usize) {
-        let moving = self.near[i];
-        let key = moving.key();
         while i > 0 {
             let parent = (i - 1) / D;
-            if self.near[parent].key() <= key {
+            if self.near[parent].key() <= self.near[i].key() {
                 break;
             }
-            self.near[i] = self.near[parent];
+            self.near.swap(i, parent);
             i = parent;
         }
-        self.near[i] = moving;
     }
 
-    /// Move `near[i]` toward the leaves until no child is smaller
-    /// (hole technique, as in [`EventQueue::sift_up`]).
+    /// Move `near[i]` toward the leaves until no child is smaller.
     fn sift_down(&mut self, mut i: usize) {
         let len = self.near.len();
-        let moving = self.near[i];
-        let key = moving.key();
         loop {
             let first_child = i * D + 1;
             if first_child >= len {
@@ -355,13 +776,12 @@ impl<E> EventQueue<E> {
                     min_key = ck;
                 }
             }
-            if key <= min_key {
+            if self.near[i].key() <= min_key {
                 break;
             }
-            self.near[i] = self.near[min_child];
+            self.near.swap(i, min_child);
             i = min_child;
         }
-        self.near[i] = moving;
     }
 }
 
@@ -470,14 +890,14 @@ mod tests {
         assert_eq!(q.now().as_nanos(), popped.last().unwrap().0);
     }
 
-    /// Events spread across several band widths: pops must still come
-    /// out in exact `(time, seq)` order while the far band migrates
-    /// batch by batch, and interleaved near-term pushes must not be
-    /// starved by already-migrated later events.
+    /// Events spread across several slot widths: pops must still come
+    /// out in exact `(time, seq)` order while the wheel drains bucket
+    /// by bucket, and interleaved near-term pushes must not be starved
+    /// by already-migrated later events.
     #[test]
     fn banded_schedule_pops_in_exact_order() {
         let mut q = EventQueue::new();
-        // Far-flung timers first (all beyond the initial window)...
+        // Far-flung timers first (all beyond the initial horizon)...
         for i in 0..500u64 {
             q.push(SimTime::from_nanos(1_000_000 + i * 7_919_773), i);
         }
@@ -515,6 +935,163 @@ mod tests {
         for _ in 0..50 {
             assert_eq!(a.pop().unwrap(), b.pop().unwrap());
         }
+    }
+
+    #[test]
+    fn timer_cancel_prevents_firing_and_reports_status() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(10), 1u32);
+        let id = q.schedule_timer(SimTime::from_nanos(20), 2);
+        q.push(SimTime::from_nanos(30), 3);
+        assert!(q.cancel_timer(id), "first cancel succeeds");
+        assert!(!q.cancel_timer(id), "double cancel reports false");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert!(q.pop().is_none());
+        assert_eq!(q.total_pushed(), 3);
+        assert_eq!(q.total_cancelled(), 1);
+        assert_eq!(q.total_popped(), 2);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_a_noop() {
+        let mut q = EventQueue::new();
+        let id = q.schedule_timer(SimTime::from_nanos(5), 1u32);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert!(!q.cancel_timer(id));
+        // Slot reuse must not let a stale id cancel the new tenant.
+        let _id2 = q.schedule_timer(SimTime::from_nanos(9), 2);
+        assert!(!q.cancel_timer(id));
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+
+    /// Cancelling the exact minimum of each rung must keep `peek_time`
+    /// exact (it drives the caller's end-of-run cutoff).
+    #[test]
+    fn cancel_of_rung_minimum_keeps_peek_exact() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_timer(SimTime::from_nanos(1_000), 1u32);
+        let b = q.schedule_timer(SimTime::from_nanos(2_000), 2);
+        // Same bucket (initial width 2^18 ns): b is bucket minimum
+        // after a is cancelled.
+        assert!(q.cancel_timer(a));
+        assert_eq!(q.peek_time().unwrap().as_nanos(), 2_000);
+        // Overflow minimum: far beyond the ring.
+        let c = q.schedule_timer(SimTime::from_nanos(7_200 * 1_000_000_000), 3);
+        let _d = q.schedule_timer(SimTime::from_nanos(7_300 * 1_000_000_000), 4);
+        assert!(q.cancel_timer(b));
+        assert_eq!(q.peek_time().unwrap().as_nanos(), 7_200 * 1_000_000_000);
+        assert!(q.cancel_timer(c));
+        assert_eq!(q.peek_time().unwrap().as_nanos(), 7_300 * 1_000_000_000);
+        assert_eq!(q.pop().unwrap().1, 4);
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    /// A timer that has already migrated into the near heap cancels
+    /// eagerly (the heap root must never be a tombstone).
+    #[test]
+    fn cancel_of_near_resident_timer() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(100), 0u32);
+        let id = q.schedule_timer(SimTime::from_nanos(150), 1);
+        q.push(SimTime::from_nanos(200), 2);
+        // Pop once: the whole first bucket (all three entries)
+        // migrates.
+        assert_eq!(q.pop().unwrap().1, 0);
+        assert!(q.cancel_timer(id));
+        assert_eq!(q.peek_time().unwrap().as_nanos(), 200);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert!(q.pop().is_none());
+    }
+
+    /// An all-cancelled bucket must be skipped by migration without
+    /// yielding phantom events.
+    #[test]
+    fn all_tombstone_bucket_is_skipped() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> =
+            (0..10).map(|i| q.schedule_timer(SimTime::from_nanos(1_000 + i), i)).collect();
+        q.push(SimTime::from_nanos(1_000_000_000), 99u64);
+        for id in ids {
+            assert!(q.cancel_timer(id));
+        }
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time().unwrap(), SimTime::from_nanos(1_000_000_000));
+        assert_eq!(q.pop().unwrap().1, 99);
+        assert!(q.pop().is_none());
+    }
+
+    /// Keys far beyond the ring span live in the overflow rung and
+    /// surface via rebase, in exact order, even across multiple
+    /// rebases.
+    #[test]
+    fn overflow_rebase_preserves_order() {
+        let mut q = EventQueue::new();
+        // Spread keys over ~100 s to force overflow and many rebases.
+        let mut times: Vec<u64> = (0..2_000u64)
+            .map(|i| (i.wrapping_mul(2_654_435_761) % 100_000) * 1_000_000)
+            .collect();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        times.sort_unstable();
+        for &expect in &times {
+            let (t, _) = q.pop().expect("2000 keys pending");
+            assert_eq!(t.as_nanos(), expect);
+        }
+        assert!(q.pop().is_none());
+        assert_eq!(q.total_pushed(), q.total_popped());
+    }
+
+    /// Mixed plain events and timers interleaved across rungs must pop
+    /// in exact `(time, seq)` order, with `iter` seeing exactly the
+    /// live payloads.
+    #[test]
+    fn mixed_events_and_timers_pop_in_order() {
+        let mut q = EventQueue::new();
+        let mut expect = Vec::new();
+        for i in 0..400u64 {
+            let t = (i.wrapping_mul(48_271) % 50_000) * 20_000;
+            if i % 3 == 0 {
+                let _ = q.schedule_timer(SimTime::from_nanos(t), i);
+            } else {
+                q.push(SimTime::from_nanos(t), i);
+            }
+            expect.push((t, i));
+        }
+        assert_eq!(q.iter().count(), 400);
+        expect.sort_unstable();
+        for &(t, v) in &expect {
+            let (pt, pv) = q.pop().expect("entry pending");
+            assert_eq!((pt.as_nanos(), pv), (t, v));
+        }
+        assert!(q.pop().is_none());
+    }
+
+    /// `pop_same_time` drains exactly the maximal same-time FIFO run at
+    /// or below the limit, and nothing else.
+    #[test]
+    fn pop_same_time_batches_exact_runs() {
+        let mut q = EventQueue::new();
+        for i in 0..5u32 {
+            q.push(SimTime::from_nanos(10), i);
+        }
+        q.push(SimTime::from_nanos(20), 100);
+        q.push(SimTime::from_nanos(30), 200);
+        let mut out = Vec::new();
+        let t = q.pop_same_time(SimTime::from_nanos(25), &mut out).unwrap();
+        assert_eq!(t.as_nanos(), 10);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        let t = q.pop_same_time(SimTime::from_nanos(25), &mut out).unwrap();
+        assert_eq!(t.as_nanos(), 20);
+        assert_eq!(out, vec![100]);
+        // Next event (t=30) is beyond the limit.
+        assert!(q.pop_same_time(SimTime::from_nanos(25), &mut out).is_none());
+        assert!(out.is_empty());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.now().as_nanos(), 20, "limit refusal must not advance the clock");
     }
 
     #[test]

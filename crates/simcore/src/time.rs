@@ -7,6 +7,27 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
+/// Round a non-negative `f64` to the nearest integer, halves away from
+/// zero — bit-identical to `x.round() as u64` over the whole `f64`
+/// domain (negatives, NaN and out-of-range values all saturate through
+/// the same `as` conversion), but inlines to a handful of SSE2
+/// instructions where `f64::round` is an out-of-line libm call on
+/// baseline x86-64. The simulator converts float-domain service times
+/// on every event, so this sits on the hot path.
+#[inline]
+pub fn round_f64_u64(x: f64) -> u64 {
+    // For x < 2^53 the truncation and the fractional part are both
+    // exact, so the comparison reproduces round()'s half-away-from-zero
+    // tie break; for x >= 2^53 there is no fractional part and the
+    // truncation is already the answer.
+    let t = x as u64;
+    if x - t as f64 >= 0.5 {
+        t.saturating_add(1)
+    } else {
+        t
+    }
+}
+
 /// An instant on the simulated clock (nanoseconds since run start).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
@@ -29,7 +50,7 @@ impl SimTime {
     #[inline]
     pub fn from_secs_f64(secs: f64) -> Self {
         debug_assert!(secs >= 0.0, "SimTime cannot be negative");
-        SimTime((secs * 1e9).round() as u64)
+        SimTime(round_f64_u64(secs * 1e9))
     }
 
     /// Raw nanosecond count.
@@ -95,7 +116,7 @@ impl SimDuration {
     #[inline]
     pub fn from_secs_f64(secs: f64) -> Self {
         debug_assert!(secs >= 0.0, "SimDuration cannot be negative");
-        SimDuration((secs * 1e9).round() as u64)
+        SimDuration(round_f64_u64(secs * 1e9))
     }
 
     /// Raw nanosecond count.
@@ -126,7 +147,7 @@ impl SimDuration {
     #[inline]
     pub fn mul_f64(self, factor: f64) -> SimDuration {
         debug_assert!(factor >= 0.0, "duration scale must be non-negative");
-        SimDuration((self.0 as f64 * factor).round() as u64)
+        SimDuration(round_f64_u64(self.0 as f64 * factor))
     }
 
     /// The larger of two durations.
@@ -255,6 +276,29 @@ mod tests {
     fn from_secs_f64_rounds() {
         assert_eq!(SimTime::from_secs_f64(1.5).as_nanos(), 1_500_000_000);
         assert_eq!(SimDuration::from_secs_f64(0.000_001).as_nanos(), 1_000);
+    }
+
+    #[test]
+    fn round_f64_u64_matches_libm_round() {
+        // Exhaustive over the interesting shapes: exact halves, just
+        // under/over halves, subnormal-ish smalls, big values past the
+        // 2^53 exactness cliff, and the saturating edges.
+        let cases = [
+            0.0, 0.25, 0.5, 0.75, 0.999_999_999, 1.0, 1.499_999_9, 1.5, 2.5, 1e9, 1.5e9 + 0.5,
+            4.503_599_627_370_495e15, 4.503_599_627_370_496e15, 9.3e18, 2e19, f64::MAX,
+            -0.2, -0.5, -3.7, f64::NAN, f64::INFINITY, f64::NEG_INFINITY,
+        ];
+        for &x in &cases {
+            assert_eq!(round_f64_u64(x), x.round() as u64, "mismatch at {x}");
+        }
+        // And a dense deterministic sweep around the ns magnitudes the
+        // cost model actually produces.
+        let mut v = 1.0_f64;
+        for i in 0..200_000u64 {
+            let x = v + (i as f64) * 0.137;
+            assert_eq!(round_f64_u64(x), x.round() as u64, "mismatch at {x}");
+            v += 17.31;
+        }
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Differential test: the timer-wheel scheduling path
+//! ([`EventQueue::schedule_timer`] / [`EventQueue::cancel_timer`])
+//! against a `BinaryHeap` reference, on randomized pacing/RTO-style
+//! workloads — the timer-wheel twin of `tests/engine_differential.rs`.
+//!
+//! The determinism contract (DESIGN.md §6e/§6g) extends to cancelable
+//! timers: a timer shares the queue's single `(time, seq)` key space
+//! with plain events, so the pop stream of the survivors must be
+//! *identical* to a heap that never had the cancelled keys — tombstones
+//! and lazily-filtered wheel buckets are invisible in the output. The
+//! reference mirrors that by assigning the same monotone sequence
+//! numbers and skipping cancelled ones at pop time.
+//!
+//! Randomness is a hand-rolled LCG from fixed seeds (same policy as
+//! `tests/properties.rs`): failures are reproducible by construction.
+
+use dtnperf::simcore::{EventQueue, SimDuration, SimTime, TimerId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Reference queue: a plain binary heap over `(time, seq, payload)`
+/// plus a cancelled-seq set consulted at pop time. Every insert —
+/// whether it models a plain push or a cancelable timer — consumes one
+/// sequence number, exactly like the engine's shared counter.
+struct ReferenceQueue {
+    heap: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+    cancelled: HashSet<u64>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl ReferenceQueue {
+    fn new() -> Self {
+        ReferenceQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Insert and return the assigned seq (the reference's "timer id").
+    fn push(&mut self, at: SimTime, payload: u64) -> u64 {
+        let at = at.max(self.now); // mirror the engine's past clamp
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((at, seq, payload)));
+        seq
+    }
+
+    /// Cancel by seq; true if it was still pending (like the engine).
+    fn cancel(&mut self, seq: u64) -> bool {
+        // The heap still physically holds the entry; pop() filters it.
+        // Inserting twice or cancelling a popped seq reads as false.
+        if self.heap.iter().any(|Reverse((_, s, _))| *s == seq) && self.cancelled.insert(seq) {
+            return true;
+        }
+        false
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        while let Some(Reverse((t, seq, payload))) = self.heap.pop() {
+            if self.cancelled.remove(&seq) {
+                continue;
+            }
+            self.now = t;
+            return Some((t, payload));
+        }
+        None
+    }
+}
+
+/// Minimal LCG (Numerical Recipes constants), good enough to scatter
+/// times and interleave operations.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+fn assert_drained_identically(engine: &mut EventQueue<u64>, reference: &mut ReferenceQueue) {
+    loop {
+        let a = engine.pop();
+        let b = reference.pop();
+        assert_eq!(a, b, "engine and reference diverged while draining");
+        if a.is_none() {
+            break;
+        }
+    }
+}
+
+/// The paper-simulation workload shape: per-burst pacing events nanos
+/// out, RTO/TLP timers milliseconds out that usually get cancelled
+/// (rescheduled) before firing, and steady pops advancing the clock.
+#[test]
+fn randomized_pacing_rto_workload_matches_reference() {
+    for seed in 0..24u64 {
+        let mut rng = Lcg(0xba5eba11 ^ (seed << 13));
+        let mut engine: EventQueue<u64> = EventQueue::new();
+        let mut reference = ReferenceQueue::new();
+        // Outstanding cancelable timers: (engine id, reference seq).
+        let mut timers: Vec<(TimerId, u64)> = Vec::new();
+        let mut payload = 0u64;
+        for _ in 0..5000 {
+            match rng.next() % 8 {
+                // Pacing-like near events (plain pushes, never cancelled).
+                0..=3 => {
+                    let t = engine.now() + SimDuration::from_nanos(rng.next() % 4096);
+                    engine.push(t, payload);
+                    reference.push(t, payload);
+                    payload += 1;
+                }
+                // RTO/TLP-like timers: 1–20 ms out, cancelable.
+                4 => {
+                    let t = engine.now()
+                        + SimDuration::from_nanos(1_000_000 + rng.next() % 19_000_000);
+                    let id = engine.schedule_timer(t, payload);
+                    let seq = reference.push(t, payload);
+                    timers.push((id, seq));
+                    payload += 1;
+                }
+                // Cancel a random outstanding timer (an ACK re-arming
+                // the RTO). Both sides must agree whether it was live.
+                5 => {
+                    if !timers.is_empty() {
+                        let i = (rng.next() as usize) % timers.len();
+                        let (id, seq) = timers.swap_remove(i);
+                        assert_eq!(
+                            engine.cancel_timer(id),
+                            reference.cancel(seq),
+                            "cancel liveness diverged (seed {seed})"
+                        );
+                    }
+                }
+                // Pops advance `now`, so later pushes land relative to
+                // a moving clock like a real run.
+                _ => {
+                    assert_eq!(engine.pop(), reference.pop(), "mid-run divergence (seed {seed})");
+                }
+            }
+        }
+        assert_drained_identically(&mut engine, &mut reference);
+        assert_eq!(
+            engine.total_pushed() - engine.total_cancelled() - engine.total_popped(),
+            0,
+            "conservation after drain (seed {seed})"
+        );
+    }
+}
+
+/// Heavy same-time collisions across both scheduling paths: plain
+/// events and timers landing on identical instants must interleave in
+/// exact FIFO (seq) order, including after some timers are cancelled.
+#[test]
+fn same_time_mixed_events_and_timers_keep_fifo_order() {
+    for seed in 0..8u64 {
+        let mut rng = Lcg(0x7ea7 ^ (seed << 29));
+        let mut engine: EventQueue<u64> = EventQueue::new();
+        let mut reference = ReferenceQueue::new();
+        let mut timers = Vec::new();
+        for payload in 0..3000u64 {
+            // Only 16 distinct instants: nearly everything collides.
+            let t = SimTime::ZERO + SimDuration::from_nanos(rng.next() % 16);
+            if rng.next().is_multiple_of(3) {
+                let id = engine.schedule_timer(t, payload);
+                let seq = reference.push(t, payload);
+                timers.push((id, seq));
+            } else {
+                engine.push(t, payload);
+                reference.push(t, payload);
+            }
+        }
+        // Cancel half of the timers, scattered.
+        for (i, (id, seq)) in timers.into_iter().enumerate() {
+            if i.is_multiple_of(2) {
+                assert_eq!(engine.cancel_timer(id), reference.cancel(seq));
+            }
+        }
+        assert_drained_identically(&mut engine, &mut reference);
+    }
+}
+
+/// Cancel storms around partial drains: cancelling timers that already
+/// fired must be a no-op on both sides, and timers cancelled while
+/// resident in far wheel buckets must never resurface.
+#[test]
+fn cancel_after_partial_drain_matches_reference() {
+    for seed in 0..8u64 {
+        let mut rng = Lcg(0xc0ffee ^ (seed << 7));
+        let mut engine: EventQueue<u64> = EventQueue::new();
+        let mut reference = ReferenceQueue::new();
+        let mut timers = Vec::new();
+        for payload in 0..2000u64 {
+            // Spread across the near band, the wheel ring, and the
+            // overflow horizon (three rungs of the scheduler).
+            let t = SimTime::ZERO + SimDuration::from_nanos(rng.next() % 3_000_000_000);
+            let id = engine.schedule_timer(t, payload);
+            let seq = reference.push(t, payload);
+            timers.push((id, seq));
+        }
+        // Drain a third, cancel a random half (some already fired —
+        // both sides must report them dead), then drain the rest.
+        for _ in 0..timers.len() / 3 {
+            assert_eq!(engine.pop(), reference.pop(), "pre-cancel divergence (seed {seed})");
+        }
+        for (i, (id, seq)) in timers.into_iter().enumerate() {
+            if rng.next().is_multiple_of(2) {
+                assert_eq!(
+                    engine.cancel_timer(id),
+                    reference.cancel(seq),
+                    "cancel #{i} liveness diverged (seed {seed})"
+                );
+            }
+        }
+        assert_drained_identically(&mut engine, &mut reference);
+    }
+}
+
+/// `pop_same_time` is pop() in bulk: against the reference, a
+/// same-time batch must equal exactly the reference pops that share
+/// the first pending instant, in the same order.
+#[test]
+fn pop_same_time_batches_match_reference_run_lengths() {
+    let mut rng = Lcg(99);
+    let mut engine: EventQueue<u64> = EventQueue::new();
+    let mut reference = ReferenceQueue::new();
+    for payload in 0..4000u64 {
+        let t = SimTime::ZERO + SimDuration::from_nanos(rng.next() % 512);
+        engine.push(t, payload);
+        reference.push(t, payload);
+    }
+    let end = SimTime::ZERO + SimDuration::from_secs(1);
+    let mut batch = Vec::new();
+    while let Some(t) = engine.pop_same_time(end, &mut batch) {
+        for &payload in &batch {
+            assert_eq!(reference.pop(), Some((t, payload)), "batch member mismatch");
+        }
+    }
+    assert_eq!(reference.pop(), None, "engine finished before the reference");
+}
