@@ -49,6 +49,11 @@ struct Measurement {
     wall_secs_mean: f64,
     events_per_sec: f64,
     ns_per_event: f64,
+    /// Per-iteration ns/event distribution (log-linear HDR buckets,
+    /// ≤1% relative error). Rendered on stderr only — the JSON
+    /// snapshot schema stays fixed so committed baselines keep
+    /// parsing.
+    ns_hist: obs::HdrHistogram,
 }
 
 impl Measurement {
@@ -129,6 +134,10 @@ fn measure(case: &Case, warmup: usize, iters: usize, handicap: f64) -> Result<Me
     let wall_min = walls.iter().cloned().fold(f64::INFINITY, f64::min);
     let wall_mean = walls.iter().sum::<f64>() / walls.len() as f64;
     let events = result.events;
+    let mut ns_hist = obs::HdrHistogram::new();
+    for wall in &walls {
+        ns_hist.record_f64(wall * 1e9 / events as f64);
+    }
     Ok(Measurement {
         name: case.name,
         flows: case.cfg.workload.num_flows,
@@ -140,6 +149,7 @@ fn measure(case: &Case, warmup: usize, iters: usize, handicap: f64) -> Result<Me
         wall_secs_mean: wall_mean,
         events_per_sec: events as f64 / wall_min,
         ns_per_event: wall_min * 1e9 / events as f64,
+        ns_hist,
     })
 }
 
@@ -341,6 +351,19 @@ fn main() -> ExitCode {
             "bench: {:<22} {:>12} events  {:>12.0} events/s  {:>7.1} ns/event  {:>8.3} s wall  {:>7.2} Gbps",
             m.name, m.events, m.events_per_sec, m.ns_per_event, m.wall_secs_min, m.goodput_gbps
         );
+        // Iteration-to-iteration spread (HDR-quantile, not re-sorted):
+        // a wide p50→max gap means a noisy machine, so treat a
+        // borderline --check verdict with suspicion.
+        if m.ns_hist.count() > 1 {
+            eprintln!(
+                "bench: {:<22} ns/event spread over {} iters: p50={} p90={} max={}",
+                m.name,
+                m.ns_hist.count(),
+                m.ns_hist.quantile(0.50).unwrap_or(0),
+                m.ns_hist.quantile(0.90).unwrap_or(0),
+                m.ns_hist.max().unwrap_or(0),
+            );
+        }
         rows.push(m);
     }
 

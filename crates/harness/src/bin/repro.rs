@@ -8,6 +8,7 @@
 //! repro all                  # everything (experiments run concurrently)
 //! repro ablations            # the design-choice ablations
 //! repro --trace out/ ext_telemetry  # + JSON-lines telemetry traces
+//! repro --metrics m/ fig05   # + OpenMetrics, interval series, heartbeat
 //! REPRO_EFFORT=smoke repro fig05    # quick CI-sized run
 //! REPRO_EFFORT=full  repro all      # paper-faithful 60 s × 10 reps
 //! REPRO_CACHE_DIR=~/.cache/repro repro fig05  # content-addressed cache
@@ -16,9 +17,13 @@
 //! ```
 //!
 //! The environment (`REPRO_EFFORT`, `REPRO_JOBS`, `REPRO_TRACE_DIR`,
-//! `REPRO_CACHE_DIR`, `REPRO_CHAOS`, `REPRO_CHECKPOINT_EVERY`) is
-//! resolved exactly once here, into a [`RunCtx`], and threaded
-//! explicitly through every experiment.
+//! `REPRO_CACHE_DIR`, `REPRO_CHAOS`, `REPRO_CHECKPOINT_EVERY`,
+//! `REPRO_METRICS`) is resolved exactly once here, into a [`RunCtx`],
+//! and threaded explicitly through every experiment.
+//!
+//! Besides the human-readable progress lines, every experiment emits
+//! one machine-parseable `repro-summary experiment=<name> key=value …`
+//! record on stderr; CI matches on those fields, never on the prose.
 //!
 //! Exit codes: `0` clean, `1` failed scenarios (reported as zeros),
 //! `2` usage error, `3` degraded — every artefact rendered, but some
@@ -44,6 +49,26 @@ fn main() {
         args.remove(pos);
         eprintln!("writing telemetry traces to {dir}/");
         ctx.trace_dir = Some(PathBuf::from(dir));
+    }
+    // `--metrics <dir>`: OpenMetrics exposition, interval series and
+    // phase spans, plus the live stderr heartbeat.
+    if let Some(pos) = args.iter().position(|a| a == "--metrics") {
+        if pos + 1 >= args.len() {
+            eprintln!("--metrics needs a directory argument");
+            std::process::exit(2);
+        }
+        let dir = args.remove(pos + 1);
+        args.remove(pos);
+        match harness::MetricsHub::new(PathBuf::from(&dir)) {
+            Ok(hub) => {
+                eprintln!("writing run metrics to {dir}/");
+                ctx.metrics = Some(Arc::new(hub));
+            }
+            Err(e) => {
+                eprintln!("--metrics '{dir}' is not a writable directory: {e}");
+                std::process::exit(2);
+            }
+        }
     }
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
         usage();
@@ -90,6 +115,20 @@ fn main() {
     }
     if let Some(chaos) = &ctx.chaos {
         eprintln!("{}", chaos.stats.summary());
+    }
+    if let Some(hub) = &ctx.metrics {
+        // Fold the end-of-run totals (ledger, chaos) into the registry
+        // and write the exposition + span files.
+        harness::metrics::fold_run_totals(
+            hub.recorder(),
+            RunLedger::global(),
+            ctx.chaos.as_ref().map(|c| &c.stats),
+        );
+        hub.final_heartbeat();
+        match hub.write_exposition() {
+            Ok(path) => eprintln!("metrics written to {}", path.display()),
+            Err(e) => eprintln!("cannot write metrics to {}: {e}", hub.dir().display()),
+        }
     }
     // Degraded-run accounting: the ledger has one record per scenario;
     // missing repetitions produce the manifest and exit code 3. A
@@ -183,23 +222,56 @@ fn run_one(id: ExperimentId, ctx: &RunCtx) -> String {
                 String::new()
             };
             eprintln!(
-                "({} done in {secs:.1}s; cache: {} hit(s), {} miss(es), {} store(s){recoveries}{retries})\n",
+                "({} done in {secs:.1}s; cache: {} hit(s), {} miss(es), {} store(s){recoveries}{retries})",
                 id.name(),
                 c.stats.hits(),
                 c.stats.misses(),
                 c.stats.stores(),
             );
         }
-        None => eprintln!("({} done in {secs:.1}s)\n", id.name()),
+        None => eprintln!("({} done in {secs:.1}s)", id.name()),
+    }
+    // The machine-parseable twin of the human line above: one
+    // `repro-summary` record per experiment with stable `key=value`
+    // fields (CI and scripts match on these, never on the prose).
+    let mut summary = format!(
+        "repro-summary experiment={} secs={secs:.1} effort={}",
+        id.name(),
+        format!("{:?}", ctx.effort).to_lowercase(),
+    );
+    if let Some(c) = &cache {
+        summary.push_str(&format!(
+            " cache_hits={} cache_misses={} cache_stores={} cache_recovered_corrupt={} cache_recovered_truncated={} cache_recovered_stale={}",
+            c.stats.hits(),
+            c.stats.misses(),
+            c.stats.stores(),
+            c.stats.corrupt_recoveries(),
+            c.stats.truncated_recoveries(),
+            c.stats.stale_recoveries(),
+        ));
+    }
+    summary.push_str(&format!(
+        " retries_spent={} retries_budget={}",
+        budget.spent(),
+        budget.initial()
+    ));
+    eprintln!("{summary}\n");
+    if let Some(hub) = &ctx.metrics {
+        if let Some(c) = &cache {
+            harness::metrics::fold_cache_stats(hub.recorder(), &c.stats);
+        }
+        harness::metrics::fold_budget(hub.recorder(), &budget);
     }
     rendered
 }
 
 fn usage() {
     eprintln!(
-        "usage: repro [--trace <dir>] [list | all | ablations | fig04..fig13 | table1..table3 | ext_hw_gro | ext_bigtcp_zc | ext_faults | ext_telemetry | ext_bottleneck | ext_scale]...\n\
+        "usage: repro [--trace <dir>] [--metrics <dir>] [list | all | ablations | fig04..fig13 | table1..table3 | ext_hw_gro | ext_bigtcp_zc | ext_faults | ext_telemetry | ext_bottleneck | ext_scale]...\n\
          flags:       --trace <dir> to write per-repetition JSON-lines telemetry traces\n\
                       (plus .folded/.perf.txt cycle profiles per repetition)\n\
+                      --metrics <dir> to write OpenMetrics exposition, per-repetition\n\
+                      interval series and phase spans (plus a live stderr heartbeat)\n\
          environment: REPRO_EFFORT=smoke|standard|full (default standard)\n\
                       REPRO_JOBS=<n> to cap concurrently simulating repetitions\n\
                       REPRO_CACHE_DIR=<dir> content-addressed report cache\n\
@@ -208,6 +280,7 @@ fn usage() {
                       REPRO_CHAOS=<seed> inject harness faults (kills, cache\n\
                       corruption, trace failures) and verify recovery\n\
                       REPRO_CHECKPOINT_EVERY=<events> checkpoint cadence\n\
+                      REPRO_METRICS=<dir> same as --metrics\n\
                       REPRO_MANIFEST=<file> write the degraded-run manifest here\n\
          exit codes:  0 clean, 1 failed scenario(s), 2 usage, 3 degraded (lost reps)"
     );

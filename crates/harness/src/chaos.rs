@@ -301,21 +301,23 @@ mod tests {
     #[test]
     fn chaos_io_fails_only_scheduled_paths() {
         let plan = Arc::new(ChaosPlan::new(11));
-        // Find one doomed and one safe path from the schedule itself.
+        let dir = std::env::temp_dir().join(format!("chaos_io_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Probe the exact paths the writes will use: the schedule
+        // hashes the full path, so a name that is safe under /tmp may
+        // be doomed under another directory (and this test's directory
+        // varies by process id).
         let doomed = (0..200)
-            .map(|i| PathBuf::from(format!("/tmp/chaos_probe_{i}.jsonl")))
+            .map(|i| dir.join(format!("chaos_probe_{i}.jsonl")))
             .find(|p| plan.trace_write_fails(p))
             .expect("some path fails at 30%");
         let safe = (0..200)
-            .map(|i| PathBuf::from(format!("/tmp/chaos_probe_{i}.jsonl")))
+            .map(|i| dir.join(format!("chaos_probe_{i}.jsonl")))
             .find(|p| !plan.trace_write_fails(p))
             .expect("some path survives at 30%");
         let io = ChaosIo::new(plan.clone());
-        let dir = std::env::temp_dir().join(format!("chaos_io_{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
         assert!(io.write(&doomed, b"x").is_err());
-        let safe_file = dir.join(safe.file_name().unwrap());
-        assert!(io.write(&safe_file, b"x").is_ok());
+        assert!(io.write(&safe, b"x").is_ok());
         assert_eq!(plan.stats.trace_failures(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -11,6 +11,7 @@
 use crate::cache::RunCache;
 use crate::chaos::ChaosPlan;
 use crate::effort::Effort;
+use crate::metrics::MetricsHub;
 use crate::runner::TestHarness;
 use crate::sched;
 use crate::supervise::{ErrorBudget, Supervisor};
@@ -37,6 +38,11 @@ pub struct RunCtx {
     /// Checkpoint cadence override (`REPRO_CHECKPOINT_EVERY`, events;
     /// 0 = unset, chaos picks its own default).
     pub checkpoint_every: u64,
+    /// Streaming metrics hub (`--metrics <dir>` / `REPRO_METRICS`):
+    /// HDR-histogram registry, OpenMetrics exposition, interval series,
+    /// phase spans, live heartbeat. Observer-neutral — attaching it
+    /// never changes simulation results or cache eligibility.
+    pub metrics: Option<Arc<MetricsHub>>,
 }
 
 impl RunCtx {
@@ -51,12 +57,13 @@ impl RunCtx {
             chaos: None,
             budget: None,
             checkpoint_every: 0,
+            metrics: None,
         }
     }
 
     /// Resolve the environment once: `REPRO_EFFORT`, `REPRO_JOBS`,
     /// `REPRO_TRACE_DIR`, `REPRO_CACHE_DIR`, `REPRO_CHAOS`,
-    /// `REPRO_CHECKPOINT_EVERY`.
+    /// `REPRO_CHECKPOINT_EVERY`, `REPRO_METRICS`.
     pub fn from_env() -> Self {
         let checkpoint_every = std::env::var("REPRO_CHECKPOINT_EVERY")
             .ok()
@@ -70,6 +77,18 @@ impl RunCtx {
                 }
             })
             .unwrap_or(0);
+        let metrics = std::env::var_os("REPRO_METRICS").and_then(|dir| {
+            match MetricsHub::new(PathBuf::from(&dir)) {
+                Ok(hub) => Some(Arc::new(hub)),
+                Err(e) => {
+                    eprintln!(
+                        "REPRO_METRICS='{}' is not a writable directory ({e}); ignoring",
+                        dir.to_string_lossy()
+                    );
+                    None
+                }
+            }
+        });
         RunCtx {
             effort: Effort::from_env(),
             jobs: sched::jobs_from_env(),
@@ -78,6 +97,7 @@ impl RunCtx {
             chaos: ChaosPlan::from_env().map(Arc::new),
             budget: None,
             checkpoint_every,
+            metrics,
         }
     }
 
@@ -105,6 +125,12 @@ impl RunCtx {
         self
     }
 
+    /// Builder: stream run metrics into `hub`.
+    pub fn with_metrics(mut self, hub: Arc<MetricsHub>) -> Self {
+        self.metrics = Some(hub);
+        self
+    }
+
     /// A harness with the context's effort-default repetition count.
     pub fn harness(&self) -> TestHarness {
         self.harness_with_reps(self.effort.repetitions())
@@ -124,6 +150,9 @@ impl RunCtx {
         }
         if let Some(chaos) = &self.chaos {
             supervisor = supervisor.with_chaos(chaos.clone());
+        }
+        if let Some(hub) = &self.metrics {
+            supervisor = supervisor.with_metrics(hub.clone());
         }
         let mut h = TestHarness::new(repetitions).with_supervisor(supervisor);
         h.trace_dir = self.trace_dir.clone();
@@ -164,6 +193,17 @@ mod tests {
         assert!(h.cache.is_none());
         assert!(h.supervisor.chaos().is_none());
         assert!(h.supervisor.budget().is_none());
+        assert!(h.supervisor.metrics().is_none());
+    }
+
+    #[test]
+    fn metrics_hub_reaches_the_supervisor() {
+        let dir = std::env::temp_dir().join(format!("ctx_metrics_{}", std::process::id()));
+        let hub = Arc::new(MetricsHub::new(&dir).expect("hub dir"));
+        let ctx = RunCtx::new(Effort::Smoke).with_metrics(hub.clone());
+        let h = ctx.harness();
+        assert!(Arc::ptr_eq(h.supervisor.metrics().expect("metrics wired"), &hub));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

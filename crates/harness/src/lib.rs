@@ -27,6 +27,10 @@
 //!   worker kills, cache corruption, trace-write failures.
 //! * [`ctx`] — [`ctx::RunCtx`]: effort, tracing, cache, chaos and
 //!   parallelism resolved once at entry and threaded explicitly.
+//! * [`metrics`] — the run-introspection hub (`--metrics <dir>` /
+//!   `REPRO_METRICS`): HDR-histogram registry, OpenMetrics exposition,
+//!   per-repetition interval series, phase spans, and the live
+//!   stderr heartbeat. Observer-neutral by construction (§6h).
 //! * [`render`] — ASCII tables and grouped bar charts for terminal
 //!   reports.
 //! * [`trace`] — JSON-lines telemetry traces (`--trace <dir>`), one
@@ -48,6 +52,7 @@ pub mod chaos;
 pub mod ctx;
 pub mod effort;
 pub mod experiments;
+pub mod metrics;
 pub mod profile;
 pub mod render;
 pub mod runner;
@@ -61,6 +66,7 @@ pub use cache::{CacheFault, RunCache};
 pub use chaos::{ChaosPlan, ChaosStats};
 pub use ctx::RunCtx;
 pub use effort::Effort;
+pub use metrics::MetricsHub;
 pub use render::{FigureData, Series, TableData};
 pub use runner::{FailedRep, ScenarioError, TestHarness, TestSummary};
 pub use scenario::Scenario;

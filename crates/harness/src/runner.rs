@@ -293,6 +293,9 @@ impl TestHarness {
         scenarios: &[Scenario],
     ) -> Vec<Result<TestSummary, ScenarioError>> {
         let reps = self.repetitions;
+        if let Some(hub) = self.supervisor.metrics() {
+            hub.expect_reps((scenarios.len() * reps) as u64);
+        }
         let fingerprints: Vec<u64> = scenarios.iter().map(Scenario::fingerprint).collect();
         let job = |j: usize| -> Slot {
             let (si, i) = (j / reps, j % reps);
@@ -318,6 +321,7 @@ impl TestHarness {
     /// keeps the *first* error — retries are rescue attempts, not
     /// evidence.
     fn run_one_rep(&self, scenario: &Scenario, seed: u64) -> Slot {
+        let wall_start = std::time::Instant::now();
         let mut first: Option<RepError> = None;
         let mut attempt_no: u32 = 1;
         loop {
@@ -327,7 +331,12 @@ impl TestHarness {
                 n => derive_seed(seed, RETRY_SEED_XOR, n as u64),
             };
             match self.attempt(scenario, attempt_seed) {
-                Ok(report) => return Ok((attempt_seed, report)),
+                Ok((report, cached)) => {
+                    if let Some(hub) = self.supervisor.metrics() {
+                        hub.rep_finished(cached, false, wall_start.elapsed());
+                    }
+                    return Ok((attempt_seed, report));
+                }
                 Err(e) => {
                     let class = e.class;
                     let first = first.get_or_insert(e);
@@ -335,6 +344,9 @@ impl TestHarness {
                         std::thread::sleep(self.supervisor.policy().backoff(attempt_no + 1));
                         attempt_no += 1;
                     } else {
+                        if let Some(hub) = self.supervisor.metrics() {
+                            hub.rep_finished(false, true, wall_start.elapsed());
+                        }
                         return Err(FailedRep {
                             seed,
                             error: first.error.clone(),
@@ -416,6 +428,28 @@ impl TestHarness {
                 }
             }
         }
+        if let Some(hub) = self.supervisor.metrics() {
+            // Per-survivor interval series (streamed through the HDR
+            // aggregator) plus the iperf3 phase structure as sim-time
+            // spans: omitted warmup first, measured steady interval
+            // after. These land in the metrics dir, not the trace dir —
+            // traces keep their exact per-rep file contract.
+            let omit = scenario.opts.omit_secs as f64;
+            let steady = scenario.opts.time_secs as f64;
+            for (i, _seed, report) in &reports {
+                let scope = format!("{}/rep{i}", scenario.label);
+                if omit > 0.0 {
+                    hub.span(scope.clone(), "warmup", "sim_s", 0.0, omit);
+                }
+                hub.span(scope, "steady", "sim_s", omit, steady);
+                if let Err(e) = hub.write_interval_series(&scenario.label, *i, report) {
+                    eprintln!(
+                        "warning: could not write interval series for '{}' rep {i}: {e}",
+                        scenario.label
+                    );
+                }
+            }
+        }
         let reports = reports.into_iter().map(|(_, _, r)| r).collect();
         Ok(Self::aggregate(&scenario.label, reports, failures))
     }
@@ -446,7 +480,10 @@ impl TestHarness {
         (reports, failures)
     }
 
-    fn attempt(&self, scenario: &Scenario, seed: u64) -> Result<Iperf3Report, RepError> {
+    /// One supervised simulation attempt. The boolean is `true` when
+    /// the report came straight from the cache (the heartbeat and the
+    /// structured summary distinguish cached from simulated reps).
+    fn attempt(&self, scenario: &Scenario, seed: u64) -> Result<(Iperf3Report, bool), RepError> {
         let mut opts = scenario.opts.clone().seed(seed);
         // Tracing needs samples: default to a 1 s tick unless the
         // scenario already chose one, and turn on attribution so the
@@ -480,8 +517,19 @@ impl TestHarness {
         if cacheable {
             if let Some(cache) = &self.cache {
                 let key = cache.key(scenario, seed);
-                let clean_miss = match cache.lookup_detail(&key) {
-                    Ok(Some(report)) => return Ok(report),
+                let lookup_start = self.supervisor.metrics().map(|hub| hub.wall_now());
+                let looked_up = cache.lookup_detail(&key);
+                if let (Some(hub), Some(start)) = (self.supervisor.metrics(), lookup_start) {
+                    hub.span(
+                        format!("{}/seed_{seed:016x}", scenario.label),
+                        "cache_lookup",
+                        "wall_s",
+                        start,
+                        hub.wall_now() - start,
+                    );
+                }
+                let clean_miss = match looked_up {
+                    Ok(Some(report)) => return Ok((report, true)),
                     Ok(None) => true,
                     // Corrupt/truncated/stale entry: already counted
                     // and logged by the cache — recompute and overwrite
@@ -501,10 +549,10 @@ impl TestHarness {
                         }
                     }
                 }
-                return Ok(report);
+                return Ok((report, false));
             }
         }
-        simulate()
+        simulate().map(|report| (report, false))
     }
 
     fn aggregate(

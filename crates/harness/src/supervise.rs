@@ -233,6 +233,7 @@ pub struct Supervisor {
     budget: Option<Arc<ErrorBudget>>,
     chaos: Option<Arc<ChaosPlan>>,
     checkpoint_every: u64,
+    metrics: Option<Arc<crate::metrics::MetricsHub>>,
 }
 
 impl Default for Supervisor {
@@ -245,7 +246,7 @@ impl Supervisor {
     /// A supervisor with the given retry policy, no budget, no chaos,
     /// and checkpointing off.
     pub fn new(policy: RetryPolicy) -> Self {
-        Supervisor { policy, budget: None, chaos: None, checkpoint_every: 0 }
+        Supervisor { policy, budget: None, chaos: None, checkpoint_every: 0, metrics: None }
     }
 
     /// Supervisor matched to the effort ladder.
@@ -275,6 +276,21 @@ impl Supervisor {
     pub fn with_checkpoint_every(mut self, n: u64) -> Self {
         self.checkpoint_every = n;
         self
+    }
+
+    /// Builder: report event throughput, engine queue health and
+    /// checkpoint spans to a metrics hub. Purely observational — the
+    /// hub is consulted only between stepping slices and at checkpoint
+    /// barriers, never inside the event loop, so supervised runs stay
+    /// bit-identical with or without it.
+    pub fn with_metrics(mut self, hub: Arc<crate::metrics::MetricsHub>) -> Self {
+        self.metrics = Some(hub);
+        self
+    }
+
+    /// The metrics hub, if one is attached.
+    pub fn metrics(&self) -> Option<&Arc<crate::metrics::MetricsHub>> {
+        self.metrics.as_ref()
     }
 
     /// The retry policy in force.
@@ -406,7 +422,28 @@ impl Supervisor {
                 });
             }
             if ckpt.due(session.events_done()) {
-                *slot.lock().expect("checkpoint slot") = Some(session.checkpoint());
+                if let Some(hub) = &self.metrics {
+                    // Checkpoint barriers are the engine-health sample
+                    // points: the queue is between events, so the
+                    // snapshot is consistent and free of races.
+                    hub.sample_queue_health(session.queue_health());
+                    hub.recorder().describe(
+                        "supervisor_checkpoints",
+                        "Session snapshots taken at cadence barriers",
+                    );
+                    hub.recorder().counter_add("supervisor_checkpoints", 1);
+                    let start = hub.wall_now();
+                    *slot.lock().expect("checkpoint slot") = Some(session.checkpoint());
+                    hub.span(
+                        format!("seed_{run_seed:016x}"),
+                        "checkpoint",
+                        "wall_s",
+                        start,
+                        hub.wall_now() - start,
+                    );
+                } else {
+                    *slot.lock().expect("checkpoint slot") = Some(session.checkpoint());
+                }
             }
             if let Some(kill_at) = kill_at {
                 if session.events_done() >= kill_at {
@@ -418,6 +455,18 @@ impl Supervisor {
                     std::panic::resume_unwind(Box::new("chaos: worker killed"));
                 }
             }
+        }
+        if let Some(hub) = &self.metrics {
+            // Credit this round's dispatched events (resumed rounds
+            // re-dispatch from their checkpoint; counting from `entry`
+            // keeps replayed events out of the throughput number) and
+            // take a final health sample so the gauges exist even when
+            // checkpointing is off.
+            hub.add_events(session.events_done().saturating_sub(entry));
+            hub.sample_queue_health(session.queue_health());
+            let mut shard = obs::HdrHistogram::new();
+            shard.record(session.events_done());
+            crate::metrics::fold_events_hist(hub.recorder(), &shard);
         }
         session.finish().map_err(|e| RepError::from_run(&e))
     }

@@ -178,6 +178,17 @@ impl SimSession {
         Ok(self.sim.step_events(max)?)
     }
 
+    /// Engine-health snapshot of the session's event queue, sampled by
+    /// the harness at checkpoint barriers.
+    pub fn queue_health(&self) -> simcore::QueueHealth {
+        self.sim.queue_health()
+    }
+
+    /// Simulated time reached so far, in seconds.
+    pub fn sim_now_secs(&self) -> f64 {
+        self.sim.sim_now_secs()
+    }
+
     /// Snapshot the full session state between events.
     pub fn checkpoint(&self) -> SessionCheckpoint {
         SessionCheckpoint { sim: self.sim.checkpoint(), command: self.command.clone() }

@@ -272,6 +272,17 @@ impl RunningSim {
         Ok(!self.runner.has_pending())
     }
 
+    /// Engine-health snapshot of the underlying event queue (rung
+    /// depths, tombstones, past-clamps) for observability gauges.
+    pub fn queue_health(&self) -> simcore::QueueHealth {
+        self.runner.q.health()
+    }
+
+    /// Simulated time reached so far, in seconds.
+    pub fn sim_now_secs(&self) -> f64 {
+        self.runner.q.now().as_secs_f64()
+    }
+
     /// Snapshot the complete simulation state between events.
     pub fn checkpoint(&self) -> SimCheckpoint {
         SimCheckpoint(Box::new(self.runner.clone()))

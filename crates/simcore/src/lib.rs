@@ -50,7 +50,7 @@ pub mod watchdog;
 
 pub use canon::{derive_seed, fnv1a_64, Canon, Canonicalize};
 pub use checkpoint::{CheckpointPolicy, Checkpointer};
-pub use engine::{EventQueue, TimerId};
+pub use engine::{EventQueue, QueueHealth, TimerId};
 pub use ledger::CycleLedger;
 pub use rng::SimRng;
 pub use series::TimeSeries;
