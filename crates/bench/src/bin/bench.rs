@@ -106,9 +106,24 @@ fn cases(smoke: bool) -> Vec<Case> {
             name: "scale_fanin_256",
             cfg: SimConfig {
                 sender: fanin.clone(),
-                receiver: fanin,
+                receiver: fanin.clone(),
                 path: Testbeds::fanin_path(false),
                 workload: WorkloadSpec::parallel(256, fanin_secs),
+            },
+        },
+        // Same 256-flow fan-in fabric, but with the flows split evenly
+        // across all four congestion controllers (64 × CUBIC/BBRv1/
+        // BBRv3/H-TCP, round-robin). Times the whole cc module on one
+        // workload, so a regression in any one controller's hot path
+        // moves this scenario's ns/event.
+        Case {
+            name: "cc_mix_256",
+            cfg: SimConfig {
+                sender: fanin.clone(),
+                receiver: fanin,
+                path: Testbeds::fanin_path(false),
+                workload: WorkloadSpec::parallel(256, fanin_secs)
+                    .with_cc_mix(CcAlgorithm::ALL.to_vec()),
             },
         },
     ]

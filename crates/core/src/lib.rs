@@ -29,7 +29,7 @@
 //! | [`simcore`] | event queue, time, units, RNG, statistics |
 //! | [`nethw`] | NICs, links, shared-buffer switch, pause frames, paths |
 //! | [`linuxhost`] | kernels, sysctls, offloads, zerocopy accounting, CPU cost model |
-//! | [`tcpstack`] | CUBIC / BBRv1 / BBRv3, sender/receiver state machines |
+//! | [`tcpstack`] | CUBIC / BBRv1 / BBRv3 / H-TCP, sender/receiver state machines |
 //! | [`netsim`] | the discrete-event simulation tying it together |
 //! | [`iperf3`] | the benchmark-tool model (flags, validation, reports) |
 //! | [`harness`] | testbeds, repetition runner, every figure/table of the paper |
@@ -89,10 +89,10 @@ mod tests {
 
     #[test]
     fn experiment_registry_is_complete() {
-        assert_eq!(ExperimentId::ALL.len(), 19);
+        assert_eq!(ExperimentId::ALL.len(), 20);
         let names: Vec<&str> = ExperimentId::ALL.iter().map(|e| e.name()).collect();
         for figure in
-            ["fig04", "fig05", "fig10", "table1", "table3", "ext_hw_gro", "ext_faults", "ext_telemetry", "ext_bottleneck", "ext_scale"]
+            ["fig04", "fig05", "fig10", "table1", "table3", "ext_hw_gro", "ext_faults", "ext_telemetry", "ext_bottleneck", "ext_scale", "ext_cc_matrix"]
         {
             assert!(names.contains(&figure), "{figure} missing from registry");
         }

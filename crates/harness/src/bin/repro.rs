@@ -180,6 +180,7 @@ fn run_one(id: ExperimentId, ctx: &RunCtx) -> String {
     let budget = Arc::new(ErrorBudget::new(ctx.effort.error_budget()));
     ctx.budget = Some(budget.clone());
     eprintln!("running {} at {:?} effort...", id.name(), ctx.effort);
+    let failed_before = harness::experiments::common::failed_scenario_count();
     let start = std::time::Instant::now();
     let artifact = id.run(&ctx);
     let rendered = artifact.render_ascii();
@@ -255,6 +256,15 @@ fn run_one(id: ExperimentId, ctx: &RunCtx) -> String {
         budget.spent(),
         budget.initial()
     ));
+    // Failed-scenario count as a delta of the process-global counter.
+    // Exact for single-experiment invocations (what CI greps); under a
+    // concurrent `all` run an overlapping experiment's failures can
+    // land in the delta, so it is an upper bound there — the process
+    // exit code remains the authoritative global verdict.
+    summary.push_str(&format!(
+        " failed={}",
+        harness::experiments::common::failed_scenario_count().saturating_sub(failed_before)
+    ));
     eprintln!("{summary}\n");
     if let Some(hub) = &ctx.metrics {
         if let Some(c) = &cache {
@@ -267,7 +277,7 @@ fn run_one(id: ExperimentId, ctx: &RunCtx) -> String {
 
 fn usage() {
     eprintln!(
-        "usage: repro [--trace <dir>] [--metrics <dir>] [list | all | ablations | fig04..fig13 | table1..table3 | ext_hw_gro | ext_bigtcp_zc | ext_faults | ext_telemetry | ext_bottleneck | ext_scale]...\n\
+        "usage: repro [--trace <dir>] [--metrics <dir>] [list | all | ablations | fig04..fig13 | table1..table3 | ext_hw_gro | ext_bigtcp_zc | ext_faults | ext_telemetry | ext_bottleneck | ext_scale | ext_cc_matrix]...\n\
          flags:       --trace <dir> to write per-repetition JSON-lines telemetry traces\n\
                       (plus .folded/.perf.txt cycle profiles per repetition)\n\
                       --metrics <dir> to write OpenMetrics exposition, per-repetition\n\

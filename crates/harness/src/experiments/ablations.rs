@@ -142,9 +142,10 @@ pub fn ring_size(ctx: &RunCtx) -> TableData {
     table
 }
 
-/// §IV-F — congestion control: CUBIC vs BBRv1 vs BBRv3 on the clean
+/// §IV-F — congestion control: every [`CcAlgorithm`] on the clean
 /// testbed WAN. Throughput is similar; BBR (v1 especially)
-/// retransmits more.
+/// retransmits more. (The lossy/high-BDP separation between the
+/// variants is the `ext_cc_matrix` experiment's job.)
 pub fn congestion_control(ctx: &RunCtx) -> TableData {
     let effort = ctx.effort;
     let host = Testbeds::esnet_host(KernelVersion::L6_8);
@@ -153,7 +154,7 @@ pub fn congestion_control(ctx: &RunCtx) -> TableData {
         "Ablation: congestion control (AMD, single stream, clean WAN)",
         vec!["Algorithm", "Ave Tput", "Retr", "stdev"],
     );
-    let scenarios: Vec<Scenario> = [CcAlgorithm::Cubic, CcAlgorithm::BbrV1, CcAlgorithm::BbrV3]
+    let scenarios: Vec<Scenario> = CcAlgorithm::ALL
         .iter()
         .map(|&cc| {
             Scenario::symmetric(

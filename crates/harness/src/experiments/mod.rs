@@ -26,9 +26,11 @@
 //! | [`telemetry::timeline`] | §III-G — ss/ethtool/mpstat timeline on the ESnet WAN |
 //! | [`bottleneck::diagnosis`] | diagnosis narratives vs the attribution engine |
 //! | [`ablations`] | design-choice ablations (affinity, IOMMU, ring, CC, MTU, sysctls) |
+//! | [`cc_matrix::matrix`] | CC variant × RTT × bursty loss × buffer-depth matrix with golden orderings |
 
 pub mod ablations;
 pub mod bottleneck;
+pub mod cc_matrix;
 pub mod common;
 pub mod extensions;
 pub mod figures;
@@ -119,11 +121,14 @@ pub enum ExperimentId {
     ExtBottleneck,
     /// Scale: many-flow fan-in through one shared switch.
     ExtScale,
+    /// Congestion-control matrix: variant × RTT × Gilbert–Elliott loss
+    /// × switch-buffer depth, with golden-ordering verdicts.
+    ExtCcMatrix,
 }
 
 impl ExperimentId {
     /// All paper artefacts in order of appearance.
-    pub const ALL: [ExperimentId; 19] = [
+    pub const ALL: [ExperimentId; 20] = [
         ExperimentId::Fig04,
         ExperimentId::Fig05,
         ExperimentId::Fig06,
@@ -143,6 +148,7 @@ impl ExperimentId {
         ExperimentId::ExtTelemetry,
         ExperimentId::ExtBottleneck,
         ExperimentId::ExtScale,
+        ExperimentId::ExtCcMatrix,
     ];
 
     /// Short name ("fig05", "table1", …).
@@ -167,6 +173,7 @@ impl ExperimentId {
             ExperimentId::ExtTelemetry => "ext_telemetry",
             ExperimentId::ExtBottleneck => "ext_bottleneck",
             ExperimentId::ExtScale => "ext_scale",
+            ExperimentId::ExtCcMatrix => "ext_cc_matrix",
         }
     }
 
@@ -192,6 +199,7 @@ impl ExperimentId {
             ExperimentId::ExtTelemetry => Artifact::Table(telemetry::timeline(ctx)),
             ExperimentId::ExtBottleneck => Artifact::Table(bottleneck::diagnosis(ctx)),
             ExperimentId::ExtScale => Artifact::Figures(extensions::scale_fanin(ctx)),
+            ExperimentId::ExtCcMatrix => Artifact::Table(cc_matrix::matrix(ctx)),
         }
     }
 

@@ -165,6 +165,7 @@ pub fn run_tcp_stream(
         user_checksum: false,
         fq_rate: None,
         cc: tcpstack::CcAlgorithm::Cubic,
+        cc_mix: Vec::new(),
         seed: opts.seed,
         faults: netsim::FaultPlan::none(),
         event_budget: None,

@@ -120,6 +120,9 @@ pub fn start_session(
         user_checksum: false,
         fq_rate: opts.fq_rate,
         cc: opts.congestion,
+        // iperf3 has no per-stream -C; a mixed fleet is a simulator-level
+        // workload (`WorkloadSpec::with_cc_mix`), not an iperf3 flag.
+        cc_mix: Vec::new(),
         seed: opts.seed,
         faults: faults.clone(),
         event_budget,

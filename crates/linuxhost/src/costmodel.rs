@@ -113,7 +113,7 @@ pub enum TxMode {
 /// bump it whenever a change to `calib.rs`/`costmodel.rs` (or anything
 /// else that alters simulated outcomes for an unchanged scenario) would
 /// make previously cached reports stale.
-pub const COST_MODEL_VERSION: u32 = 2;
+pub const COST_MODEL_VERSION: u32 = 3;
 
 /// Resolved per-host cost model.
 #[derive(Debug, Clone)]

@@ -29,6 +29,13 @@ pub struct WorkloadSpec {
     pub fq_rate: Option<BitRate>,
     /// Congestion control algorithm.
     pub cc: CcAlgorithm,
+    /// Per-flow congestion-control mix: flow `i` runs `cc_mix[i % len]`
+    /// (round-robin, so the variants stay evenly represented at any
+    /// flow count). Empty — the default — means every flow runs
+    /// [`WorkloadSpec::cc`]. Mixed-CC fleets are how shared DTN links
+    /// actually look, and the `cc_mix_256` bench scenario uses this to
+    /// time all four controllers in one run.
+    pub cc_mix: Vec<CcAlgorithm>,
     /// RNG seed; a (config, seed) pair reproduces a run bit-for-bit.
     pub seed: u64,
     /// Scheduled fault injections (empty = fault-free run).
@@ -60,6 +67,7 @@ impl WorkloadSpec {
             user_checksum: false,
             fq_rate: None,
             cc: CcAlgorithm::Cubic,
+            cc_mix: Vec::new(),
             seed: 1,
             faults: FaultPlan::none(),
             event_budget: None,
@@ -107,6 +115,23 @@ impl WorkloadSpec {
     pub fn with_cc(mut self, cc: CcAlgorithm) -> Self {
         self.cc = cc;
         self
+    }
+
+    /// Builder: run a round-robin mix of controllers across the flows
+    /// (flow `i` gets `mix[i % mix.len()]`).
+    pub fn with_cc_mix(mut self, mix: Vec<CcAlgorithm>) -> Self {
+        self.cc_mix = mix;
+        self
+    }
+
+    /// The controller flow `flow` runs: the round-robin mix entry when
+    /// a mix is set, otherwise the single configured algorithm.
+    pub fn flow_cc(&self, flow: usize) -> CcAlgorithm {
+        if self.cc_mix.is_empty() {
+            self.cc
+        } else {
+            self.cc_mix[flow % self.cc_mix.len()]
+        }
     }
 
     /// Builder: set the seed.
@@ -261,6 +286,21 @@ mod tests {
         assert!(w.attribution);
         assert_eq!(w.seed, 99);
         assert_eq!(w.measured_window(), SimDuration::from_secs(18));
+    }
+
+    #[test]
+    fn cc_mix_round_robins_and_defaults_to_single_cc() {
+        let plain = WorkloadSpec::parallel(4, 10).with_cc(CcAlgorithm::BbrV3);
+        for f in 0..8 {
+            assert_eq!(plain.flow_cc(f), CcAlgorithm::BbrV3);
+        }
+        let mixed = WorkloadSpec::parallel(256, 10).with_cc_mix(CcAlgorithm::ALL.to_vec());
+        let mut counts = [0usize; 4];
+        for f in 0..256 {
+            let alg = mixed.flow_cc(f);
+            counts[CcAlgorithm::ALL.iter().position(|a| *a == alg).unwrap()] += 1;
+        }
+        assert_eq!(counts, [64, 64, 64, 64], "mix is not even: {counts:?}");
     }
 
     #[test]

@@ -385,11 +385,11 @@ impl Runner {
         // path never grows a Vec mid-run.
         let interval_cap = cfg.workload.duration.as_secs_f64().ceil() as usize + 1;
         let mut flows = Vec::with_capacity(n);
-        for _ in 0..n {
+        for f in 0..n {
             let flow_rng = rng.fork();
             let cc = cfg
                 .workload
-                .cc
+                .flow_cc(f)
                 .build(cfg.sender.offload.mtu, Bytes::new(10 * cfg.sender.offload.mtu.as_u64()));
             let rcv_buf = cfg.receiver.sysctl.tcp_rmem.max;
             let receiver = TcpReceiver::new(burst, rcv_buf.max(burst));

@@ -10,9 +10,14 @@
 //!
 //! Simplifications (documented): ProbeRTT is approximated by
 //! periodically refreshing min-RTT rather than by draining to 4 MSS;
-//! v3 is modelled as v1 plus (a) a multiplicative back-off on loss
-//! episodes and (b) 15 % headroom while probing — the two changes that
-//! matter for the paper's observations.
+//! v3 is modelled as v1 plus the four changes that matter for the
+//! paper's observations: (a) a multiplicative back-off on loss
+//! episodes, (b) 15 % headroom while probing, (c) `inflight_hi` /
+//! `inflight_lo` bounds — loss pins an upper bound on the window that
+//! is only probed back up by loss-free ProbeBW cycles, and the
+//! post-loss window is a short-term floor so the model does not
+//! over-shrink mid-flight — and (d) a faster ProbeRTT cadence (5 s vs
+//! v1's 10 s min-RTT expiry).
 
 use super::{window_rate, CongestionControl};
 use simcore::{BitRate, Bytes, SimDuration, SimTime};
@@ -27,8 +32,21 @@ const PROBE_CYCLE: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
 const CWND_GAIN: f64 = 2.0;
 /// Bandwidth filter length (rounds).
 const BW_FILTER_LEN: usize = 10;
-/// Min-RTT filter expiry, as in Linux BBR's 10 s ProbeRTT cadence.
-const MIN_RTT_EXPIRY: SimDuration = SimDuration::from_secs(10);
+/// v1 min-RTT filter expiry, as in Linux BBR's 10 s ProbeRTT cadence.
+const MIN_RTT_EXPIRY_V1: SimDuration = SimDuration::from_secs(10);
+/// v3 halves the ProbeRTT cadence (BBRv3 probes the floor every 5 s),
+/// re-anchoring faster after path changes.
+const MIN_RTT_EXPIRY_V3: SimDuration = SimDuration::from_secs(5);
+/// v3 loss response: multiplicative cwnd back-off.
+const V3_BETA: f64 = 0.85;
+/// v3 loss response: bandwidth-model trim.
+const V3_BW_TRIM: f64 = 0.9;
+/// v3 headroom left free below `inflight_hi` (and while probing), so
+/// coexisting flows can take what the probe found.
+const V3_HEADROOM: f64 = 0.85;
+/// v3 probes `inflight_hi` back up by this factor per loss-free
+/// ProbeBW probe phase.
+const V3_PROBE_UP: f64 = 1.25;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mode {
@@ -68,6 +86,15 @@ pub struct Bbr {
     /// Delivery-rate round accumulator (bytes acked this round).
     round_delivered: f64,
     round_start: SimTime,
+    /// v3 upper bound on inflight, pinned by loss and probed back up
+    /// only by loss-free probe phases. `None` = unbounded (no loss
+    /// seen, or the bound was probed past the model target).
+    inflight_hi: Option<Bytes>,
+    /// v3 short-term floor (the post-loss window): target reductions
+    /// within the same ProbeBW cycle do not shrink below it.
+    inflight_lo: Option<Bytes>,
+    /// Loss seen in the current ProbeBW cycle phase (gates probe-up).
+    loss_in_cycle: bool,
 }
 
 impl Bbr {
@@ -89,14 +116,26 @@ impl Bbr {
             mode: Mode::Startup,
             bw_samples: Vec::with_capacity(BW_FILTER_LEN),
             min_rtt: None,
-            cwnd: init_cwnd.max(mss),
-            init_cwnd: init_cwnd.max(mss),
+            cwnd: init_cwnd.max(mss * super::MIN_CWND_SEGMENTS),
+            init_cwnd: init_cwnd.max(mss * super::MIN_CWND_SEGMENTS),
             cycle_index: 0,
             cycle_start: SimTime::ZERO,
             full_bw: 0.0,
             full_bw_rounds: 0,
             round_delivered: 0.0,
             round_start: SimTime::ZERO,
+            inflight_hi: None,
+            inflight_lo: None,
+            loss_in_cycle: false,
+        }
+    }
+
+    /// ProbeRTT cadence: how long a min-RTT estimate may go without
+    /// re-anchoring (v3 probes twice as often as v1).
+    fn min_rtt_expiry(&self) -> SimDuration {
+        match self.version {
+            BbrVersion::V1 => MIN_RTT_EXPIRY_V1,
+            BbrVersion::V3 => MIN_RTT_EXPIRY_V3,
         }
     }
 
@@ -142,6 +181,16 @@ impl Bbr {
     pub fn version(&self) -> BbrVersion {
         self.version
     }
+
+    /// v3 upper inflight bound (`None` when unbounded or on v1).
+    pub fn inflight_hi(&self) -> Option<Bytes> {
+        self.inflight_hi
+    }
+
+    /// v3 short-term inflight floor (`None` when unset or on v1).
+    pub fn inflight_lo(&self) -> Option<Bytes> {
+        self.inflight_lo
+    }
 }
 
 impl CongestionControl for Bbr {
@@ -159,10 +208,11 @@ impl CongestionControl for Bbr {
             // Keep the min, but re-anchor on any sample once the
             // estimate is older than the ProbeRTT cadence — the
             // documented stand-in for draining to probe the floor.
+            let expiry = self.min_rtt_expiry();
             self.min_rtt = Some(match self.min_rtt {
                 None => (r, now),
                 Some((m, _)) if r <= m => (r, now),
-                Some((_, since)) if now.saturating_since(since) > MIN_RTT_EXPIRY => (r, now),
+                Some((_, since)) if now.saturating_since(since) > expiry => (r, now),
                 Some(kept) => kept,
             });
         }
@@ -210,17 +260,50 @@ impl CongestionControl for Bbr {
                 // Advance the gain cycle once per min-RTT.
                 let phase = self.min_rtt_or(SimDuration::from_millis(10));
                 if now.saturating_since(self.cycle_start) >= phase {
+                    let leaving_probe = self.cycle_index == 0;
                     self.cycle_index = (self.cycle_index + 1) % PROBE_CYCLE.len();
                     self.cycle_start = now;
+                    if self.version == BbrVersion::V3 {
+                        // The short-term floor only spans one phase.
+                        self.inflight_lo = None;
+                        if leaving_probe && !self.loss_in_cycle {
+                            // A whole probe phase survived without
+                            // loss: raise the ceiling; drop it entirely
+                            // once it no longer binds below the model
+                            // target.
+                            if let Some(hi) = self.inflight_hi {
+                                let raised =
+                                    Bytes::new((hi.as_f64() * V3_PROBE_UP) as u64);
+                                let model =
+                                    Bytes::new((self.bdp().as_f64() * CWND_GAIN) as u64);
+                                self.inflight_hi = (raised < model).then_some(raised);
+                            }
+                        }
+                        self.loss_in_cycle = false;
+                    }
                 }
             }
         }
-        let target = Bytes::new((self.bdp().as_f64() * CWND_GAIN) as u64).max(self.init_cwnd);
+        let mut target =
+            Bytes::new((self.bdp().as_f64() * CWND_GAIN) as u64).max(self.init_cwnd);
+        if self.version == BbrVersion::V3 {
+            // Cap at the loss-derived ceiling, minus headroom left for
+            // coexisting flows; the short-term floor keeps one bad
+            // round from collapsing the window below the last cut.
+            if let Some(hi) = self.inflight_hi {
+                let cap = Bytes::new((hi.as_f64() * V3_HEADROOM) as u64)
+                    .max(self.mss * super::MIN_CWND_SEGMENTS);
+                target = target.min(cap);
+            }
+            if let Some(lo) = self.inflight_lo {
+                target = target.max(lo);
+            }
+        }
         // cwnd moves toward target without collapsing mid-flight.
         self.cwnd = if target > self.cwnd {
             (self.cwnd + acked).min(target)
         } else {
-            target.max(self.mss)
+            target.max(self.mss * super::MIN_CWND_SEGMENTS)
         };
     }
 
@@ -230,13 +313,23 @@ impl CongestionControl for Bbr {
                 // v1 is loss-blind: the model, not losses, rules.
             }
             BbrVersion::V3 => {
-                // Simplified v3 loss response: trim the bandwidth
-                // estimate and cwnd.
+                // v3 loss response: trim the bandwidth estimate, back
+                // the window off, and pin the inflight bounds — the
+                // pre-cut window becomes the ceiling (probed back up
+                // only by loss-free probe phases) and the post-cut
+                // window the short-term floor.
                 for s in &mut self.bw_samples {
-                    *s *= 0.9;
+                    *s *= V3_BW_TRIM;
                 }
-                self.cwnd =
-                    Bytes::new((self.cwnd.as_f64() * 0.85) as u64).max(self.mss);
+                let pre = self.cwnd;
+                self.cwnd = Bytes::new((self.cwnd.as_f64() * V3_BETA) as u64)
+                    .max(self.mss * super::MIN_CWND_SEGMENTS);
+                self.inflight_hi = Some(match self.inflight_hi {
+                    Some(hi) => hi.min(pre),
+                    None => pre,
+                });
+                self.inflight_lo = Some(self.cwnd);
+                self.loss_in_cycle = true;
             }
         }
     }
@@ -249,6 +342,9 @@ impl CongestionControl for Bbr {
         self.bw_samples.clear();
         self.round_delivered = 0.0;
         self.round_start = now;
+        self.inflight_hi = None;
+        self.inflight_lo = None;
+        self.loss_in_cycle = false;
     }
 
     fn cwnd(&self) -> Bytes {
@@ -371,6 +467,86 @@ mod tests {
             bbr.min_rtt_or(SimDuration::ZERO),
             SimDuration::from_millis(60),
             "stale propagation floor must expire"
+        );
+    }
+
+    #[test]
+    fn v3_loss_pins_inflight_bounds_then_probes_back_up() {
+        let mut v3 = Bbr::v3(Bytes::new(9000), Bytes::kib(128));
+        let end = drive_to_steady(&mut v3, 10.0, 20, 60);
+        assert_eq!(v3.inflight_hi(), None, "no loss yet: unbounded");
+        let pre = v3.cwnd();
+        v3.on_loss(end);
+        assert_eq!(v3.inflight_hi(), Some(pre), "pre-cut window becomes the ceiling");
+        assert_eq!(v3.inflight_lo(), Some(v3.cwnd()), "post-cut window becomes the floor");
+        // Loss-free probe phases raise the ceiling until it stops
+        // binding below the model target, then release it.
+        let rtt = SimDuration::from_millis(20);
+        let per_rtt = Bytes::new((10.0e9 / 8.0 * rtt.as_secs_f64()) as u64);
+        let mut now = end;
+        for _ in 0..2000 {
+            now += rtt;
+            v3.on_ack(per_rtt, Some(rtt), now, per_rtt, true);
+        }
+        assert_eq!(v3.inflight_hi(), None, "clean cycles must probe the ceiling away");
+        assert!(
+            v3.cwnd().as_f64() >= pre.as_f64() * 0.9,
+            "window recovers once the bound lifts: {} vs {}",
+            v3.cwnd(),
+            pre
+        );
+    }
+
+    #[test]
+    fn v3_inflight_stays_at_or_below_v1_under_identical_schedule() {
+        // The golden ordering "BBRv3 inflight ≤ BBRv1 at equal BDP":
+        // same ack/loss schedule, v3's bounds keep its window at or
+        // below loss-blind v1's at every step.
+        let mss = Bytes::new(9000);
+        let mut v1 = Bbr::v1(mss, Bytes::kib(128));
+        let mut v3 = Bbr::v3(mss, Bytes::kib(128));
+        let rtt = SimDuration::from_millis(20);
+        let per_rtt = Bytes::new((10.0e9 / 8.0 * rtt.as_secs_f64()) as u64);
+        let mut now = SimTime::ZERO;
+        for round in 0..300 {
+            now += rtt;
+            v1.on_ack(per_rtt, Some(rtt), now, per_rtt, true);
+            v3.on_ack(per_rtt, Some(rtt), now, per_rtt, true);
+            if round % 50 == 49 {
+                v1.on_loss(now);
+                v3.on_loss(now);
+            }
+            assert!(
+                v3.cwnd() <= v1.cwnd(),
+                "round {round}: v3 {} must not exceed v1 {}",
+                v3.cwnd(),
+                v1.cwnd()
+            );
+        }
+    }
+
+    #[test]
+    fn v3_probe_rtt_cadence_reanchors_faster_than_v1() {
+        let mss = Bytes::new(9000);
+        let mut v1 = Bbr::v1(mss, Bytes::kib(128));
+        let mut v3 = Bbr::v3(mss, Bytes::kib(128));
+        let end = drive_to_steady(&mut v1, 10.0, 20, 30);
+        assert_eq!(drive_to_steady(&mut v3, 10.0, 20, 30), end);
+        // Path moves to a 60 ms floor. 7 s of samples is past v3's 5 s
+        // ProbeRTT cadence but short of v1's 10 s.
+        let rtt = SimDuration::from_millis(60);
+        let per_rtt = Bytes::new((10.0e9 / 8.0 * rtt.as_secs_f64()) as u64);
+        let mut now = end;
+        for _ in 0..117 {
+            now += rtt;
+            v1.on_ack(per_rtt, Some(rtt), now, per_rtt, true);
+            v3.on_ack(per_rtt, Some(rtt), now, per_rtt, true);
+        }
+        assert_eq!(v3.min_rtt_or(SimDuration::ZERO), rtt, "v3 re-anchors within 5 s");
+        assert_eq!(
+            v1.min_rtt_or(SimDuration::ZERO),
+            SimDuration::from_millis(20),
+            "v1 still holds the old floor at 7 s"
         );
     }
 

@@ -58,10 +58,10 @@ impl Cubic {
     /// New CUBIC flow.
     pub fn new(mss: Bytes, init_cwnd: Bytes) -> Self {
         assert!(mss.as_u64() > 0, "MSS must be positive");
-        let init = init_cwnd.max(mss);
+        let init = init_cwnd.max(mss * super::MIN_CWND_SEGMENTS);
         Cubic {
             mss,
-            min_cwnd: mss,
+            min_cwnd: mss * super::MIN_CWND_SEGMENTS,
             cwnd: init,
             ssthresh: Bytes::new(u64::MAX),
             w_max: 0.0,

@@ -8,11 +8,20 @@
 
 pub mod bbr;
 pub mod cubic;
+pub mod htcp;
 
 use simcore::{BitRate, Bytes, SimDuration, SimTime};
 
 pub use bbr::Bbr;
 pub use cubic::Cubic;
+pub use htcp::Htcp;
+
+/// Hard congestion-window floor, in segments. No response — loss cut,
+/// RTO, or a BBRv3 inflight cap — may leave the window below two MSS
+/// (RFC 5681's loss-window minimum, which Linux also enforces for its
+/// loss-based controllers). `tests/cc_differential.rs` pins this as a
+/// shared invariant across every [`CcAlgorithm`].
+pub const MIN_CWND_SEGMENTS: u64 = 2;
 
 /// Selector for a congestion-control algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -22,11 +31,46 @@ pub enum CcAlgorithm {
     Cubic,
     /// BBR version 1.
     BbrV1,
-    /// BBR version 3 (simplified: adds loss response and headroom).
+    /// BBR version 3 (simplified: loss response, inflight bounds,
+    /// probe headroom, faster ProbeRTT cadence).
     BbrV3,
+    /// H-TCP (RTT-scaled additive increase, adaptive backoff).
+    Htcp,
 }
 
+/// A congestion-control name that matches no known algorithm.
+///
+/// Scenario loaders must surface this as a typed error — silently
+/// falling back to CUBIC would run (and cache) the wrong controller
+/// under the requested label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownCcError {
+    /// The name that failed to parse.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownCcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown congestion-control algorithm {:?} (expected one of: {})",
+            self.name,
+            CcAlgorithm::ALL
+                .iter()
+                .map(|a| a.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownCcError {}
+
 impl CcAlgorithm {
+    /// Every supported algorithm, in sweep order.
+    pub const ALL: [CcAlgorithm; 4] =
+        [CcAlgorithm::Cubic, CcAlgorithm::BbrV1, CcAlgorithm::BbrV3, CcAlgorithm::Htcp];
+
     /// Instantiate the algorithm. `mss` is the wire segment size,
     /// `init_cwnd` the initial window in bytes.
     pub fn build(self, mss: Bytes, init_cwnd: Bytes) -> Box<dyn CongestionControl> {
@@ -34,6 +78,7 @@ impl CcAlgorithm {
             CcAlgorithm::Cubic => Box::new(Cubic::new(mss, init_cwnd)),
             CcAlgorithm::BbrV1 => Box::new(Bbr::v1(mss, init_cwnd)),
             CcAlgorithm::BbrV3 => Box::new(Bbr::v3(mss, init_cwnd)),
+            CcAlgorithm::Htcp => Box::new(Htcp::new(mss, init_cwnd)),
         }
     }
 
@@ -43,7 +88,29 @@ impl CcAlgorithm {
             CcAlgorithm::Cubic => "cubic",
             CcAlgorithm::BbrV1 => "bbr",
             CcAlgorithm::BbrV3 => "bbr3",
+            CcAlgorithm::Htcp => "htcp",
         }
+    }
+}
+
+impl std::fmt::Display for CcAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for CcAlgorithm {
+    type Err = UnknownCcError;
+
+    /// Parse a sysctl-style name; the exact inverse of
+    /// [`CcAlgorithm::name`]. Unknown names are a typed error, never a
+    /// default.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        CcAlgorithm::ALL
+            .iter()
+            .copied()
+            .find(|a| a.name() == s)
+            .ok_or_else(|| UnknownCcError { name: s.to_string() })
     }
 }
 
@@ -121,12 +188,34 @@ mod tests {
             (CcAlgorithm::Cubic, "cubic"),
             (CcAlgorithm::BbrV1, "bbr"),
             (CcAlgorithm::BbrV3, "bbr3"),
+            (CcAlgorithm::Htcp, "htcp"),
         ] {
             let cc = alg.build(mss, iw);
             assert_eq!(cc.name(), name);
             assert_eq!(alg.name(), name);
             assert!(cc.cwnd() >= iw);
             assert!(cc.in_slow_start());
+        }
+    }
+
+    #[test]
+    fn name_parse_round_trips_every_algorithm() {
+        for alg in CcAlgorithm::ALL {
+            let rendered = alg.to_string();
+            assert_eq!(rendered, alg.name());
+            let parsed: CcAlgorithm = rendered.parse().expect("round-trip");
+            assert_eq!(parsed, alg);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_a_typed_error_not_a_fallback() {
+        for bad in ["reno", "CUBIC", "bbr2", ""] {
+            let err = bad.parse::<CcAlgorithm>().unwrap_err();
+            assert_eq!(err.name, bad);
+            let msg = err.to_string();
+            assert!(msg.contains("unknown congestion-control"), "message: {msg}");
+            assert!(msg.contains("htcp"), "message must list the options: {msg}");
         }
     }
 

@@ -1,0 +1,202 @@
+//! Golden congestion-control orderings: the published rankings the
+//! `ext_cc_matrix` experiment sweeps, pinned here as small end-to-end
+//! and controller-level tests so a CC regression fails in seconds, not
+//! after a full matrix run.
+//!
+//! The contract (arXiv:1610.03534 high-BDP variant study + the paper's
+//! §IV-F observations):
+//!
+//! * on a clean 1 ms deep-buffered LAN the algorithm must not matter;
+//! * H-TCP's RTT-scaled additive increase must match or beat CUBIC's
+//!   HyStart-clamped ramp at 200 ms RTT;
+//! * loss-based CUBIC caves to Gilbert–Elliott bursty loss while
+//!   model-based BBR holds rate (the crossover);
+//! * BBRv3's inflight bounds keep it at or below loss-blind BBRv1;
+//! * CUBIC's HyStart++ CSS entry lands inside the RFC 9406 [4, 16] ms
+//!   clamp, bit-identically across reruns at fixed seeds.
+
+use dtnperf::iperf3::run_with_faults;
+use dtnperf::prelude::*;
+use dtnperf::tcpstack::cc::{Bbr, CongestionControl, Cubic};
+use dtnperf::tcpstack::cc::cubic::{HYSTART_MAX_RTT_THRESH, HYSTART_MIN_RTT_THRESH};
+use dtnperf::simcore::SimRng;
+
+const MSS: u64 = 9000;
+
+fn host() -> HostConfig {
+    Testbeds::esnet_host(KernelVersion::L6_8)
+}
+
+fn path_10g(rtt_ms: u64) -> PathSpec {
+    PathSpec::wan(
+        format!("golden {rtt_ms}ms"),
+        BitRate::gbps(10.0),
+        SimDuration::from_millis(rtt_ms),
+    )
+    .with_switch_buffer(Bytes::mib(64))
+}
+
+fn run_cc(cc: CcAlgorithm, path: &PathSpec, opts: &Iperf3Opts) -> f64 {
+    let h = host();
+    iperf3_run(&h, &h, path, &opts.clone().congestion(cc))
+        .expect("valid golden scenario")
+        .sum_bitrate()
+        .as_gbps()
+}
+
+/// Clean 1 ms, deep buffer: no algorithm should matter when nothing is
+/// scarce — every variant within 25 % of the best.
+#[test]
+fn all_variants_converge_on_a_clean_1ms_lan() {
+    let path = path_10g(1);
+    let opts = Iperf3Opts::new(4).omit(0);
+    let rates: Vec<(CcAlgorithm, f64)> =
+        CcAlgorithm::ALL.iter().map(|&cc| (cc, run_cc(cc, &path, &opts))).collect();
+    let best = rates.iter().fold(0.0_f64, |a, (_, g)| a.max(*g));
+    let worst = rates.iter().fold(f64::INFINITY, |a, (_, g)| a.min(*g));
+    assert!(best > 9.0, "clean 1 ms 10 G must run near line rate: {rates:?}");
+    assert!(
+        worst >= best * 0.75,
+        "variants must converge on a clean LAN: {rates:?}"
+    );
+}
+
+/// H-TCP ≥ CUBIC ramp-up at 200 ms RTT: over a short window the mean
+/// goodput *is* the ramp speed, and H-TCP's quadratic RTT-scaled
+/// increase (no HyStart CSS brake) must not trail CUBIC.
+#[test]
+fn htcp_matches_or_beats_cubic_ramp_at_200ms() {
+    let path = path_10g(200);
+    let opts = Iperf3Opts::new(8).omit(0);
+    let htcp = run_cc(CcAlgorithm::Htcp, &path, &opts);
+    let cubic = run_cc(CcAlgorithm::Cubic, &path, &opts);
+    assert!(
+        htcp >= cubic * 0.95,
+        "H-TCP must ramp at least as fast as CUBIC at 200 ms: {htcp:.2} vs {cubic:.2} Gbps"
+    );
+    assert!(htcp > 0.0 && cubic > 0.0, "both must move data");
+}
+
+/// The BBR/CUBIC crossover: near-equal on the clean path (§IV-F's "no
+/// significant impact"), then under Gilbert–Elliott bursty loss CUBIC
+/// collapses while BBR's model ignores the non-congestive drops.
+#[test]
+fn bbr_crosses_cubic_under_bursty_loss() {
+    let h = host();
+    let path = path_10g(25);
+    let secs = 6;
+    let opts = |cc: CcAlgorithm| Iperf3Opts::new(secs).omit(1).congestion(cc);
+    let ge = FaultPlan::none().with_bursty_loss(
+        SimDuration::from_secs(1),
+        SimDuration::from_secs(secs - 1),
+        0.02,
+    );
+    let gbps = |cc: CcAlgorithm, faults: &FaultPlan| {
+        run_with_faults(&h, &h, &path, &opts(cc), faults, None)
+            .expect("valid golden scenario")
+            .sum_bitrate()
+            .as_gbps()
+    };
+    let clean_cubic = gbps(CcAlgorithm::Cubic, &FaultPlan::none());
+    let clean_bbr = gbps(CcAlgorithm::BbrV1, &FaultPlan::none());
+    let lossy_cubic = gbps(CcAlgorithm::Cubic, &ge);
+    let lossy_bbr = gbps(CcAlgorithm::BbrV1, &ge);
+    // Clean: no crossover yet — CUBIC is at least competitive.
+    assert!(
+        clean_cubic >= clean_bbr * 0.8,
+        "clean 25 ms path: cubic {clean_cubic:.2} vs bbr {clean_bbr:.2} Gbps"
+    );
+    // Lossy: the crossover — BBR must hold at least twice CUBIC's rate.
+    assert!(
+        lossy_bbr >= lossy_cubic * 2.0,
+        "bursty loss must invert the ranking: bbr {lossy_bbr:.2} vs cubic {lossy_cubic:.2} Gbps"
+    );
+    // And the loss must actually have hurt CUBIC.
+    assert!(
+        lossy_cubic < clean_cubic * 0.5,
+        "GE loss must cost CUBIC: {clean_cubic:.2} -> {lossy_cubic:.2} Gbps"
+    );
+}
+
+/// At equal BDP and under an identical ack/loss schedule, BBRv3's
+/// inflight bounds must keep its window at or below loss-blind BBRv1's,
+/// and a loss must pin `inflight_hi`.
+#[test]
+fn bbrv3_inflight_never_exceeds_bbrv1_at_equal_bdp() {
+    let mss = Bytes::new(MSS);
+    let init = Bytes::new(MSS * 10);
+    let mut v1 = Bbr::v1(mss, init);
+    let mut v3 = Bbr::v3(mss, init);
+    let rtt = SimDuration::from_millis(25);
+    // Bottleneck-limited schedule: 10 Gbps of delivery per round trip,
+    // so the shared BDP (not each controller's own window) is what
+    // feeds the bandwidth filters — "at equal BDP".
+    let per_rtt = Bytes::new((10.0e9 / 8.0 * rtt.as_secs_f64()) as u64);
+    let mut now = SimTime::ZERO;
+    let mut hi_seen = false;
+    for round in 0..400u32 {
+        now += rtt;
+        for b in [&mut v1, &mut v3] {
+            b.on_ack(per_rtt, Some(rtt), now, per_rtt, true);
+        }
+        if round % 50 == 49 {
+            v1.on_loss(now);
+            v3.on_loss(now);
+            assert!(v3.inflight_hi().is_some(), "loss must pin inflight_hi");
+            assert!(v3.inflight_lo().is_some(), "loss must pin inflight_lo");
+            hi_seen = true;
+        }
+        assert!(
+            v3.cwnd() <= v1.cwnd(),
+            "round {round}: v3 cwnd {} exceeds v1 {}",
+            v3.cwnd().as_u64(),
+            v1.cwnd().as_u64()
+        );
+    }
+    assert!(hi_seen);
+    // v1 never grows inflight bounds — they are a v3 mechanism.
+    assert_eq!(v1.inflight_hi(), None);
+    assert_eq!(v1.inflight_lo(), None);
+}
+
+/// Drive CUBIC through a seeded queue-buildup schedule and record the
+/// standing-queue depth at which HyStart++ first brakes (CSS entry =
+/// growth drops below full doubling). RFC 9406 clamps the RTT-rise
+/// threshold to [4, 16] ms — on a 100 ms floor the raw floor/8 rule
+/// gives 12.5 ms, so the observed entry must land inside the clamp.
+/// The schedule is seeded; the exit point must be bit-identical across
+/// reruns.
+#[test]
+fn hystart_exit_lands_within_rfc9406_clamp_at_fixed_seeds() {
+    let entry_queue_us = |seed: u64| -> u64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut c = Cubic::new(Bytes::new(MSS), Bytes::new(MSS * 10));
+        let floor = SimDuration::from_millis(100);
+        let mut now = SimTime::ZERO;
+        // Establish the RTT floor.
+        c.on_ack(c.cwnd(), Some(floor), now, c.cwnd(), true);
+        // Grow the standing queue ~500 µs per round with seeded jitter
+        // (±200 µs, never dipping below the floor).
+        for round in 1..200u64 {
+            now += floor;
+            let queue_us = round * 500 + rng.uniform_u64(0, 400);
+            let rtt = floor + SimDuration::from_micros(queue_us);
+            let before = c.cwnd();
+            c.on_ack(before, Some(rtt), now, before, true);
+            if c.cwnd() < before + before {
+                return queue_us;
+            }
+        }
+        panic!("HyStart never braked in 200 rounds");
+    };
+    for seed in [0xA11CE, 0xB0B, 0xCAB1E] {
+        let q = entry_queue_us(seed);
+        assert!(
+            q > HYSTART_MIN_RTT_THRESH.as_nanos() / 1_000
+                && q <= HYSTART_MAX_RTT_THRESH.as_nanos() / 1_000 + 900,
+            "seed {seed:#x}: CSS entry at {q} µs of queue, outside the RFC 9406 clamp"
+        );
+        // Bit-identical across reruns.
+        assert_eq!(q, entry_queue_us(seed), "seed {seed:#x} not deterministic");
+    }
+}

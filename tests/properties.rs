@@ -35,10 +35,11 @@ fn draw(master: u64, case: u64) -> AnyScenario {
         1 => KernelVersion::L6_5,
         _ => KernelVersion::L6_8,
     };
-    let cc = match rng.uniform_u64(0, 3) {
+    let cc = match rng.uniform_u64(0, 4) {
         0 => CcAlgorithm::Cubic,
         1 => CcAlgorithm::BbrV1,
-        _ => CcAlgorithm::BbrV3,
+        2 => CcAlgorithm::BbrV3,
+        _ => CcAlgorithm::Htcp,
     };
     AnyScenario {
         amd: rng.chance(0.5),
@@ -226,6 +227,67 @@ fn bursts_conserved_across_random_configs_and_faults() {
             assert!(res.wire_sent > 0, "nothing reached the wire ({s:?})");
             if !faulted {
                 assert_eq!(res.fault_drops, 0, "fault drops without faults ({s:?})");
+            }
+        }
+    }
+}
+
+/// The windowed min-RTT filter vs a brute-force reference, over
+/// randomized sample/flap schedules (regime shifts up and down, dense
+/// and sparse gaps, queue jitter). The filter is Linux's three-slot
+/// `minmax` estimator — approximate by design under sparse sampling —
+/// so the exact contract is:
+///
+/// * the reported min is an *actual sample* observed within the last
+///   [`MIN_RTT_WINDOW`] (so a stale pre-flap floor can never pin);
+/// * it is never below the brute-force windowed minimum;
+/// * it is never above the newest sample;
+/// * SRTT stays inside the all-time sample envelope and the RTO inside
+///   its RFC 6298 clamps.
+#[test]
+fn min_rtt_filter_tracks_brute_force_window() {
+    use dtnperf::tcpstack::rtt::{MAX_RTO, MIN_RTO, MIN_RTT_WINDOW};
+    use dtnperf::tcpstack::RttEstimator;
+    for case in 0..20u64 {
+        let mut rng = SimRng::seed_from_u64(0x11217 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut est = RttEstimator::new();
+        let mut samples: Vec<(SimTime, SimDuration)> = Vec::new();
+        let mut now = SimTime::ZERO;
+        let mut global_min = u64::MAX;
+        let mut global_max = 0u64;
+        let regimes = 2 + rng.uniform_u64(0, 3);
+        for _ in 0..regimes {
+            // A path regime: base RTT with up to +30 % queue jitter,
+            // lasting 1–15 s, sampled at gaps from 10 ms to 2 s.
+            let base_us = rng.uniform_u64(500, 200_000);
+            let end = now + SimDuration::from_millis(1000 + rng.uniform_u64(0, 14_000));
+            while now < end {
+                now += SimDuration::from_millis(10 + rng.uniform_u64(0, 1_990));
+                let rtt_us = base_us + rng.uniform_u64(0, 1 + (base_us * 3) / 10);
+                let sample = SimDuration::from_micros(rtt_us);
+                est.on_sample(sample, now);
+                samples.push((now, sample));
+                global_min = global_min.min(rtt_us);
+                global_max = global_max.max(rtt_us);
+                // Brute force: samples no older than the window.
+                samples.retain(|(t, _)| now.saturating_since(*t) <= MIN_RTT_WINDOW);
+                let brute = samples.iter().map(|(_, s)| *s).min().expect("non-empty");
+                let got = est.min_rtt();
+                assert!(
+                    got >= brute,
+                    "case {case}: filter {got:?} below brute-force window min {brute:?}"
+                );
+                assert!(
+                    samples.iter().any(|(_, s)| *s == got),
+                    "case {case}: filter {got:?} is not an in-window sample"
+                );
+                assert!(got <= sample, "case {case}: filter {got:?} above newest {sample:?}");
+                let srtt_us = est.srtt().expect("sampled").as_nanos() / 1_000;
+                assert!(
+                    (global_min..=global_max).contains(&srtt_us),
+                    "case {case}: srtt {srtt_us} outside sample envelope"
+                );
+                assert!(est.rto() >= MIN_RTO && est.rto() <= MAX_RTO);
             }
         }
     }
