@@ -1,8 +1,9 @@
 //! `bench` — the perf-trajectory binary and regression gate.
 //!
 //! Runs the canonical scenarios (fig05 single-stream, table3
-//! multi-stream, and the 256-flow `ext_scale` fan-in) against the
-//! discrete-event engine, emits `BENCH_<date>.json` with events/sec,
+//! multi-stream, the 256-flow `ext_scale` fan-in, the four-controller
+//! `cc_mix_256`, and the million-flow `fleet_1m` fleet drain) against
+//! the discrete-event engine, emits `BENCH_<date>.json` with events/sec,
 //! ns/event, past-clamp counts and wall-clock per scenario, and appends
 //! one line per scenario to the committed `BENCH_LEDGER.jsonl` — the
 //! always-on perf trajectory (see DESIGN.md §6g).
@@ -24,6 +25,8 @@
 //! `bench::ledger`). `BENCH_HANDICAP` exists so the gate's failure path
 //! can be exercised deliberately (CI never sets it).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use bench::ledger::{self, LedgerRecord, ScenarioPoint, Verdict};
 use dtnperf::iperf3::RunError;
 use dtnperf::prelude::*;
@@ -31,10 +34,17 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
-/// One benchmarked scenario: a full `SimConfig` plus its display name.
+/// One benchmarked scenario: its display name plus what to run.
 struct Case {
     name: &'static str,
-    cfg: SimConfig,
+    kind: CaseKind,
+}
+
+/// The two engines a case can exercise: the packet-level two-host
+/// simulation, or the fleet engine serving arrival-process workloads.
+enum CaseKind {
+    Sim(Box<SimConfig>),
+    Fleet(netsim::FleetProfile),
 }
 
 /// One measured scenario for the JSON report.
@@ -68,6 +78,47 @@ impl Measurement {
     }
 }
 
+/// The 1M-flow arrival-process workload: Poisson arrivals, log-normal
+/// sizes, one paced and one unpaced WAN class. Times the fleet
+/// engine's hot path — slot-slab churn, timer-wheel rearms, streaming
+/// interval aggregation — where ns/event is spread over open/transmit/
+/// deliver/close handling rather than any single long-lived flow. The
+/// same 1M flows run at every effort: one pass is only a few seconds,
+/// so smoke doesn't need a reduced shape.
+fn fleet_1m_profile() -> netsim::FleetProfile {
+    use netsim::{ArrivalProcess, FleetClass, FleetProfile, SizeDist};
+    use simcore::SimDuration;
+
+    let mut p = FleetProfile::new(
+        "fleet_1m",
+        ArrivalProcess::Poisson { rate_per_sec: 10_000.0 },
+        SizeDist::LogNormal { median_bytes: 256.0 * 1024.0, sigma: 0.5 },
+    );
+    p.max_flows = 1_000_000;
+    p.duration = SimDuration::from_secs_f64(100.0);
+    p.classes = vec![
+        FleetClass {
+            name: "cubic_wan".into(),
+            weight: 1,
+            cc: tcpstack::CcAlgorithm::Cubic,
+            pacing: false,
+            rtt: SimDuration::from_millis(40),
+            bottleneck: BitRate::gbps(25.0),
+            buffer: Bytes::mib(64),
+        },
+        FleetClass {
+            name: "bbr_wan".into(),
+            weight: 1,
+            cc: tcpstack::CcAlgorithm::BbrV1,
+            pacing: true,
+            rtt: SimDuration::from_millis(70),
+            bottleneck: BitRate::gbps(25.0),
+            buffer: Bytes::mib(64),
+        },
+    ];
+    p
+}
+
 fn cases(smoke: bool) -> Vec<Case> {
     // Smoke halves the simulated durations so CI stays fast; the
     // scenario *shapes* (hosts, paths, flow counts) never change, so a
@@ -83,33 +134,33 @@ fn cases(smoke: bool) -> Vec<Case> {
     vec![
         Case {
             name: "fig05_single_stream",
-            cfg: SimConfig {
+            kind: CaseKind::Sim(Box::new(SimConfig {
                 sender: amlight.clone(),
                 receiver: amlight,
                 path: Testbeds::amlight_path(AmLightPath::Wan25ms),
                 workload: WorkloadSpec::single_stream(single_secs)
                     .with_zerocopy()
                     .with_fq_rate(BitRate::gbps(50.0)),
-            },
+            })),
         },
         Case {
             name: "table3_multi_stream",
-            cfg: SimConfig {
+            kind: CaseKind::Sim(Box::new(SimConfig {
                 sender: dtn.clone(),
                 receiver: dtn,
                 path: Testbeds::prod_dtn_path(),
                 workload: WorkloadSpec::parallel(8, multi_secs)
                     .with_fq_rate(BitRate::gbps(10.0)),
-            },
+            })),
         },
         Case {
             name: "scale_fanin_256",
-            cfg: SimConfig {
+            kind: CaseKind::Sim(Box::new(SimConfig {
                 sender: fanin.clone(),
                 receiver: fanin.clone(),
                 path: Testbeds::fanin_path(false),
                 workload: WorkloadSpec::parallel(256, fanin_secs),
-            },
+            })),
         },
         // Same 256-flow fan-in fabric, but with the flows split evenly
         // across all four congestion controllers (64 × CUBIC/BBRv1/
@@ -118,33 +169,85 @@ fn cases(smoke: bool) -> Vec<Case> {
         // moves this scenario's ns/event.
         Case {
             name: "cc_mix_256",
-            cfg: SimConfig {
+            kind: CaseKind::Sim(Box::new(SimConfig {
                 sender: fanin.clone(),
                 receiver: fanin,
                 path: Testbeds::fanin_path(false),
                 workload: WorkloadSpec::parallel(256, fanin_secs)
                     .with_cc_mix(CcAlgorithm::ALL.to_vec()),
-            },
+            })),
         },
+        Case { name: "fleet_1m", kind: CaseKind::Fleet(fleet_1m_profile()) },
     ]
 }
 
-fn run_once(cfg: &SimConfig) -> Result<RunResult, RunError> {
+/// Engine-agnostic per-run stats, so the timing loop can measure both
+/// [`CaseKind`]s through one code path.
+struct RunStats {
+    flows: usize,
+    sim_secs: f64,
+    events: u64,
+    past_clamps: u64,
+    goodput_gbps: f64,
+}
+
+fn run_sim(cfg: &SimConfig) -> Result<RunResult, RunError> {
     Ok(Simulation::new(cfg.clone())?.run()?)
 }
 
-fn measure(case: &Case, warmup: usize, iters: usize, handicap: f64) -> Result<Measurement, RunError> {
+fn run_once(kind: &CaseKind) -> Result<RunStats, String> {
+    match kind {
+        CaseKind::Sim(cfg) => {
+            let r = run_sim(cfg).map_err(|err| {
+                let class = match &err {
+                    RunError::Invalid(_) => "invalid configuration",
+                    RunError::Sim(_) => "simulation error",
+                };
+                format!("{class}: {err}")
+            })?;
+            Ok(RunStats {
+                flows: cfg.workload.num_flows,
+                sim_secs: cfg.workload.duration.as_secs_f64(),
+                events: r.events,
+                past_clamps: r.past_clamps,
+                goodput_gbps: r.total_goodput().as_gbps(),
+            })
+        }
+        CaseKind::Fleet(profile) => {
+            // Same watchdog sizing as the harness's ext_fleet runner:
+            // generously above observed events-per-flow, so only a
+            // livelock trips it.
+            let budget =
+                profile.max_flows.saturating_mul(400).saturating_add(10_000_000);
+            let r = netsim::FleetSim::new(profile.clone())
+                .map_err(|e| format!("invalid fleet profile: {e}"))?
+                .with_event_budget(budget)
+                .run()
+                .map_err(|e| format!("fleet simulation error: {e}"))?;
+            Ok(RunStats {
+                flows: profile.max_flows as usize,
+                sim_secs: profile.duration.as_secs_f64(),
+                events: r.events,
+                past_clamps: r.past_clamps,
+                goodput_gbps: r.goodput_gbps(),
+            })
+        }
+    }
+}
+
+fn measure(case: &Case, warmup: usize, iters: usize, handicap: f64) -> Result<Measurement, String> {
     for _ in 0..warmup {
-        let _ = run_once(&case.cfg)?;
+        let _ = run_once(&case.kind)?;
     }
     let mut walls = Vec::with_capacity(iters);
     let mut result = None;
     for _ in 0..iters {
         let start = Instant::now();
-        let r = run_once(&case.cfg)?;
+        let r = run_once(&case.kind)?;
         walls.push(start.elapsed().as_secs_f64() * handicap);
         result = Some(r);
     }
+    // Infallible: `iters >= 1` for every effort, so the loop above ran.
     let result = result.expect("at least one iteration");
     let wall_min = walls.iter().cloned().fold(f64::INFINITY, f64::min);
     let wall_mean = walls.iter().sum::<f64>() / walls.len() as f64;
@@ -155,11 +258,11 @@ fn measure(case: &Case, warmup: usize, iters: usize, handicap: f64) -> Result<Me
     }
     Ok(Measurement {
         name: case.name,
-        flows: case.cfg.workload.num_flows,
-        sim_secs: case.cfg.workload.duration.as_secs_f64(),
+        flows: result.flows,
+        sim_secs: result.sim_secs,
         events,
         past_clamps: result.past_clamps,
-        goodput_gbps: result.total_goodput().as_gbps(),
+        goodput_gbps: result.goodput_gbps,
         wall_secs_min: wall_min,
         wall_secs_mean: wall_mean,
         events_per_sec: events as f64 / wall_min,
@@ -171,9 +274,11 @@ fn measure(case: &Case, warmup: usize, iters: usize, handicap: f64) -> Result<Me
 /// Civil date (UTC) from the system clock, without a date library:
 /// days-since-epoch to year/month/day (Howard Hinnant's algorithm).
 fn today_utc() -> String {
+    // A clock before 1970 degrades to the epoch date rather than
+    // aborting a finished measurement run.
     let secs = SystemTime::now()
         .duration_since(UNIX_EPOCH)
-        .expect("clock before 1970")
+        .unwrap_or_default()
         .as_secs();
     let days = (secs / 86_400) as i64;
     let z = days + 719_468;
@@ -236,14 +341,18 @@ fn render_json(date: &str, effort: &str, rows: &[Measurement]) -> String {
     out
 }
 
-/// Append one ledger line per measurement (creates the file if absent).
+/// Append one ledger line per measurement (creates the file if
+/// absent). An unwritable ledger costs the trajectory point, not the
+/// measurements already taken — warn and keep going.
 fn append_ledger(path: &str, date: &str, commit: &str, effort: &str, rows: &[Measurement]) {
     use std::io::Write as _;
-    let mut file = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(path)
-        .unwrap_or_else(|e| panic!("open ledger {path}: {e}"));
+    let mut file = match std::fs::OpenOptions::new().create(true).append(true).open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("bench: cannot open ledger {path}: {e} — skipping ledger append");
+            return;
+        }
+    };
     for m in rows {
         let rec = LedgerRecord {
             date: date.to_string(),
@@ -251,7 +360,10 @@ fn append_ledger(path: &str, date: &str, commit: &str, effort: &str, rows: &[Mea
             effort: effort.to_string(),
             point: m.point(),
         };
-        writeln!(file, "{}", rec.to_jsonl()).expect("append ledger line");
+        if let Err(e) = writeln!(file, "{}", rec.to_jsonl()) {
+            eprintln!("bench: cannot append to ledger {path}: {e} — skipping ledger append");
+            return;
+        }
     }
 }
 
@@ -354,11 +466,7 @@ fn main() -> ExitCode {
         let m = match measure(&case, warmup, iters, handicap) {
             Ok(m) => m,
             Err(err) => {
-                let class = match &err {
-                    RunError::Invalid(_) => "invalid configuration",
-                    RunError::Sim(_) => "simulation error",
-                };
-                eprintln!("bench: scenario {} failed ({class}): {err}", case.name);
+                eprintln!("bench: scenario {} failed ({err})", case.name);
                 return ExitCode::from(2);
             }
         };
@@ -383,9 +491,11 @@ fn main() -> ExitCode {
     }
 
     let json = render_json(&date, &effort, &rows);
-    std::fs::create_dir_all(&out_dir).expect("create bench output dir");
     let path = format!("{out_dir}/BENCH_{date}.json");
-    std::fs::write(&path, &json).expect("write bench report");
+    if let Err(e) = std::fs::create_dir_all(&out_dir).and_then(|()| std::fs::write(&path, &json)) {
+        eprintln!("bench: cannot write report {path}: {e}");
+        return ExitCode::from(2);
+    }
     let ledger_path = std::env::var("BENCH_LEDGER")
         .unwrap_or_else(|_| format!("{out_dir}/BENCH_LEDGER.jsonl"));
     append_ledger(&ledger_path, &date, &current_commit(), &effort, &rows);

@@ -14,6 +14,9 @@
 //!   them on one fixed scenario.
 
 #![deny(unreachable_pub)]
+// Recoverable failures carry typed errors; every surviving `expect`
+// states its infallibility argument (tests are exempt).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

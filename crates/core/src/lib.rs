@@ -35,6 +35,9 @@
 //! | [`harness`] | testbeds, repetition runner, every figure/table of the paper |
 
 #![deny(unreachable_pub)]
+// Recoverable failures carry typed errors; every surviving `expect`
+// states its infallibility argument (tests are exempt).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -89,10 +92,10 @@ mod tests {
 
     #[test]
     fn experiment_registry_is_complete() {
-        assert_eq!(ExperimentId::ALL.len(), 20);
+        assert_eq!(ExperimentId::ALL.len(), 21);
         let names: Vec<&str> = ExperimentId::ALL.iter().map(|e| e.name()).collect();
         for figure in
-            ["fig04", "fig05", "fig10", "table1", "table3", "ext_hw_gro", "ext_faults", "ext_telemetry", "ext_bottleneck", "ext_scale", "ext_cc_matrix"]
+            ["fig04", "fig05", "fig10", "table1", "table3", "ext_hw_gro", "ext_faults", "ext_telemetry", "ext_bottleneck", "ext_scale", "ext_cc_matrix", "ext_fleet"]
         {
             assert!(names.contains(&figure), "{figure} missing from registry");
         }

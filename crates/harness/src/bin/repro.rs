@@ -30,6 +30,8 @@
 //! repetitions were lost (see the missing-repetition manifest on
 //! stderr, or `REPRO_MANIFEST=<file>`).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use harness::experiments::{ablations, ExperimentId};
 use harness::supervise::{ErrorBudget, RunLedger};
 use harness::{RunCache, RunCtx};
@@ -181,6 +183,7 @@ fn run_one(id: ExperimentId, ctx: &RunCtx) -> String {
     ctx.budget = Some(budget.clone());
     eprintln!("running {} at {:?} effort...", id.name(), ctx.effort);
     let failed_before = harness::experiments::common::failed_scenario_count();
+    let late_before = harness::metrics::late_dropped_total();
     let start = std::time::Instant::now();
     let artifact = id.run(&ctx);
     let rendered = artifact.render_ascii();
@@ -265,6 +268,18 @@ fn run_one(id: ExperimentId, ctx: &RunCtx) -> String {
         " failed={}",
         harness::experiments::common::failed_scenario_count().saturating_sub(failed_before)
     ));
+    // Late-dropped interval samples are an aggregation bug (a watermark
+    // advanced past live samples); surface them loudly but keep the
+    // exit code to the scenario/ledger verdicts.
+    let late = harness::metrics::late_dropped_total().saturating_sub(late_before);
+    if late > 0 {
+        summary.push_str(&format!(" late_dropped={late}"));
+        eprintln!(
+            "warning: {late} interval sample(s) dropped as late during {} — \
+             streamed quantiles may undercount",
+            id.name(),
+        );
+    }
     eprintln!("{summary}\n");
     if let Some(hub) = &ctx.metrics {
         if let Some(c) = &cache {
@@ -277,7 +292,7 @@ fn run_one(id: ExperimentId, ctx: &RunCtx) -> String {
 
 fn usage() {
     eprintln!(
-        "usage: repro [--trace <dir>] [--metrics <dir>] [list | all | ablations | fig04..fig13 | table1..table3 | ext_hw_gro | ext_bigtcp_zc | ext_faults | ext_telemetry | ext_bottleneck | ext_scale | ext_cc_matrix]...\n\
+        "usage: repro [--trace <dir>] [--metrics <dir>] [list | all | ablations | fig04..fig13 | table1..table3 | ext_hw_gro | ext_bigtcp_zc | ext_faults | ext_telemetry | ext_bottleneck | ext_scale | ext_cc_matrix | ext_fleet]...\n\
          flags:       --trace <dir> to write per-repetition JSON-lines telemetry traces\n\
                       (plus .folded/.perf.txt cycle profiles per repetition)\n\
                       --metrics <dir> to write OpenMetrics exposition, per-repetition\n\

@@ -64,6 +64,18 @@ impl Effort {
         }
     }
 
+    /// Target flow count for the steady `ext_fleet` profile. The fleet
+    /// engine holds arrival *rate* fixed and scales duration, so the
+    /// per-flow statistics are comparable across efforts; Full crosses
+    /// the ROADMAP item 2 bar of ≥1M flows in one simulation.
+    pub fn fleet_target_flows(self) -> u64 {
+        match self {
+            Effort::Smoke => 60_000,
+            Effort::Standard => 250_000,
+            Effort::Full => 1_200_000,
+        }
+    }
+
     /// Warm-up seconds excluded from measurements (`iperf3 -O`).
     pub fn omit_secs(self, wan: bool) -> u64 {
         match self {
@@ -132,6 +144,7 @@ mod tests {
             assert!(w[0].wan_secs() <= w[1].wan_secs());
             assert!(w[0].multi_secs() <= w[1].multi_secs());
             assert!(w[0].scale_secs() <= w[1].scale_secs());
+            assert!(w[0].fleet_target_flows() <= w[1].fleet_target_flows());
             assert!(w[0].rep_deadline() <= w[1].rep_deadline());
             assert!(w[0].retry_attempts() <= w[1].retry_attempts());
             assert!(w[0].error_budget() <= w[1].error_budget());
@@ -143,6 +156,8 @@ mod tests {
         assert_eq!(Effort::Full.repetitions(), 10);
         assert_eq!(Effort::Full.lan_secs(), 60);
         assert_eq!(Effort::Full.wan_secs(), 60);
+        // ROADMAP item 2: full-effort fleet runs serve ≥1M flows.
+        assert!(Effort::Full.fleet_target_flows() >= 1_000_000);
     }
 
     #[test]

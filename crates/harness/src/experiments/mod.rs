@@ -27,12 +27,14 @@
 //! | [`bottleneck::diagnosis`] | diagnosis narratives vs the attribution engine |
 //! | [`ablations`] | design-choice ablations (affinity, IOMMU, ring, CC, MTU, sysctls) |
 //! | [`cc_matrix::matrix`] | CC variant × RTT × bursty loss × buffer-depth matrix with golden orderings |
+//! | [`fleet::fleet`] | arrival-process fleet workloads with streaming FCT aggregation |
 
 pub mod ablations;
 pub mod bottleneck;
 pub mod cc_matrix;
 pub mod common;
 pub mod extensions;
+pub mod fleet;
 pub mod figures;
 pub mod tables;
 pub mod telemetry;
@@ -124,11 +126,14 @@ pub enum ExperimentId {
     /// Congestion-control matrix: variant × RTT × Gilbert–Elliott loss
     /// × switch-buffer depth, with golden-ordering verdicts.
     ExtCcMatrix,
+    /// Fleet workloads: arrival-process traffic (Poisson / MMPP incast)
+    /// with streaming FCT aggregation and golden tail shapes.
+    ExtFleet,
 }
 
 impl ExperimentId {
     /// All paper artefacts in order of appearance.
-    pub const ALL: [ExperimentId; 20] = [
+    pub const ALL: [ExperimentId; 21] = [
         ExperimentId::Fig04,
         ExperimentId::Fig05,
         ExperimentId::Fig06,
@@ -149,6 +154,7 @@ impl ExperimentId {
         ExperimentId::ExtBottleneck,
         ExperimentId::ExtScale,
         ExperimentId::ExtCcMatrix,
+        ExperimentId::ExtFleet,
     ];
 
     /// Short name ("fig05", "table1", …).
@@ -174,6 +180,7 @@ impl ExperimentId {
             ExperimentId::ExtBottleneck => "ext_bottleneck",
             ExperimentId::ExtScale => "ext_scale",
             ExperimentId::ExtCcMatrix => "ext_cc_matrix",
+            ExperimentId::ExtFleet => "ext_fleet",
         }
     }
 
@@ -200,6 +207,7 @@ impl ExperimentId {
             ExperimentId::ExtBottleneck => Artifact::Table(bottleneck::diagnosis(ctx)),
             ExperimentId::ExtScale => Artifact::Figures(extensions::scale_fanin(ctx)),
             ExperimentId::ExtCcMatrix => Artifact::Table(cc_matrix::matrix(ctx)),
+            ExperimentId::ExtFleet => Artifact::Table(fleet::fleet(ctx)),
         }
     }
 

@@ -30,12 +30,33 @@
 
 use crate::sched;
 use iperf3sim::Iperf3Report;
-use obs::{render_openmetrics, HdrHistogram, IntervalAggregator, Recorder, SpanRecord};
+use obs::{render_openmetrics, HdrHistogram, IntervalAggregator, IntervalRecord, Recorder, SpanRecord};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Invocation-wide count of interval samples dropped for arriving
+/// below an aggregator watermark. Global (not per-hub) so the repro
+/// summary can warn about silent data loss even for code paths that
+/// aggregated without a metrics hub attached.
+static LATE_DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Note `n` late-dropped interval samples in the invocation-wide
+/// counter (see [`late_dropped_total`]).
+pub fn note_late_drops(n: u64) {
+    if n > 0 {
+        LATE_DROPPED.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Total interval samples silently dropped as late this invocation.
+/// Nonzero means an aggregation bug (a watermark advanced past live
+/// samples) — the repro summary surfaces it as a warning.
+pub fn late_dropped_total() -> u64 {
+    LATE_DROPPED.load(Ordering::Relaxed)
+}
 
 /// Minimum spacing between heartbeat lines.
 const HEARTBEAT_EVERY: Duration = Duration::from_secs(1);
@@ -255,9 +276,24 @@ impl MetricsHub {
         report: &Iperf3Report,
     ) -> io::Result<PathBuf> {
         let agg = aggregate_report_intervals(report);
+        // The batch fold above never seals mid-stream, so late() should
+        // be structurally zero — but if that invariant ever breaks, the
+        // drops must land in the ledger, not vanish.
+        self.note_late_drops(agg.late());
         let series = agg.finish();
+        self.write_interval_records(label, rep, &series)
+    }
+
+    /// Write an already-aggregated interval series (e.g. a streaming
+    /// fleet run's) as `<label>_rep<i>.intervals.jsonl`.
+    pub fn write_interval_records(
+        &self,
+        label: &str,
+        rep: usize,
+        series: &[IntervalRecord],
+    ) -> io::Result<PathBuf> {
         let mut body = String::with_capacity(series.len() * 128);
-        for rec in &series {
+        for rec in series {
             body.push_str(&rec.to_json_line());
             body.push('\n');
         }
@@ -265,6 +301,20 @@ impl MetricsHub {
         let path = self.dir.join(name);
         std::fs::write(&path, body)?;
         Ok(path)
+    }
+
+    /// Fold late-dropped interval samples into both the registry
+    /// counter (`late_dropped_total` in OpenMetrics) and the
+    /// invocation-wide total behind [`late_dropped_total`]. Call with
+    /// `n = 0` too: that registers the counter so the exposition always
+    /// carries it and validators can assert it is zero.
+    pub fn note_late_drops(&self, n: u64) {
+        self.recorder.describe(
+            "late_dropped",
+            "Interval samples dropped for arriving below an aggregator watermark",
+        );
+        self.recorder.counter_add("late_dropped", n);
+        note_late_drops(n);
     }
 }
 

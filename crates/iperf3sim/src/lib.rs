@@ -17,6 +17,9 @@
 //! dump, since iperf3's `-J` is what the paper's harness parses).
 
 #![deny(unreachable_pub)]
+// Recoverable failures carry typed errors; every surviving `expect`
+// states its infallibility argument (tests are exempt).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,904 @@
+//! Fleet simulation: millions of dynamically arriving flows in one run.
+//!
+//! [`FleetSim`] executes a [`FleetProfile`](crate::workload::FleetProfile):
+//! flows open at sampled arrival times ([`FlowEvent::Open`]), transfer a
+//! finite number of bursts through a per-class FIFO bottleneck, and
+//! close ([`FlowEvent::Close`]) when the final burst is cumulatively
+//! acknowledged — the burst-granularity FIN. Per-flow state lives in a
+//! generation-guarded slot slab and is reclaimed on close, so resident
+//! memory is **O(active flows)** regardless of how many flows the run
+//! serves. Results fold through [`obs::IntervalAggregator`] as streaming
+//! FCT / goodput histograms — there is never a per-flow result vector.
+//!
+//! The per-flow loss timers (TLP/RTO) are *cancelable* wheel timers:
+//! every deadline change and every close cancels the stale timer
+//! through [`EventQueue::cancel_timer`]'s tombstone path, and the
+//! end-of-run invariants assert (via [`EventQueue::health`]) that the
+//! timer slab balances — a closing flow must not leak slab slots.
+//!
+//! Each close also classifies *what limited this flow* from the
+//! sender's own counters — the fleet-level counterpart of the PR 3
+//! per-interval [`crate::attribution`] verdicts — so the result can
+//! roll up "what limited the p99" across millions of flows.
+
+use std::collections::BTreeMap;
+
+use obs::{HdrHistogram, IntervalAggregator, IntervalRecord};
+use simcore::{
+    Bytes, EventQueue, QueueHealth, SimDuration, SimTime, TimerId, WatchdogTrip,
+};
+use tcpstack::{SendSlot, TcpReceiver, TcpSender, TimerKind};
+
+use crate::error::SimError;
+use crate::workload::{ArrivalSampler, FleetProfile};
+
+/// Wire MTU used for fleet flows (standard Ethernet; the fleet models
+/// transfer shape, not offload geometry, so jumbo vs 1500 is a class
+/// concern folded into the bottleneck rate).
+const FLEET_MTU: u64 = 1500;
+
+/// Initial congestion window: IW10.
+const INIT_CWND_MULT: u64 = 10;
+
+/// Events the fleet loop schedules.
+///
+/// `slot`/`gen` address a flow through the generation-guarded slab: a
+/// slot is reused after close with a bumped generation, so any event
+/// still in flight for the dead flow (a duplicate ACK delivery, a paced
+/// transmit) no-ops instead of corrupting the new tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowEvent {
+    /// The next flow arrival. Opens one flow and schedules the next.
+    Open,
+    /// A paced transmit opportunity for one flow.
+    Tx {
+        /// Slot index in the flow slab.
+        slot: u32,
+        /// Slot generation the event was issued for.
+        gen: u32,
+    },
+    /// A burst (and its ACK) finished the bottleneck + RTT round trip.
+    Deliver {
+        /// Slot index in the flow slab.
+        slot: u32,
+        /// Slot generation the event was issued for.
+        gen: u32,
+        /// Burst index being delivered.
+        idx: u64,
+    },
+    /// A loss timer (TLP or RTO) fired.
+    Timer {
+        /// Slot index in the flow slab.
+        slot: u32,
+        /// Slot generation the event was issued for.
+        gen: u32,
+    },
+    /// Advance the streaming-aggregation watermark.
+    Seal,
+    /// The flow completed (final cum-ACK): record FCT, reclaim state.
+    Close {
+        /// Slot index in the flow slab.
+        slot: u32,
+        /// Slot generation the event was issued for.
+        gen: u32,
+    },
+}
+
+/// What limited one flow's completion time, judged at close from the
+/// sender's own counters — the per-flow analogue of
+/// [`crate::attribution::LimitingFactor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FlowFactor {
+    /// The flow took at least one retransmission timeout.
+    RtoStall,
+    /// The flow retransmitted (fast recovery / TLP) but never RTO'd.
+    LossRecovery,
+    /// Majority of ACKs arrived cwnd-limited: the window, not the
+    /// path, was the constraint.
+    CwndLimited,
+    /// None of the above: the flow got its fair share of the bottleneck
+    /// (or was too short to be limited by anything else).
+    BottleneckShare,
+}
+
+impl FlowFactor {
+    /// Stable snake_case label (metric and JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            FlowFactor::RtoStall => "rto_stall",
+            FlowFactor::LossRecovery => "loss_recovery",
+            FlowFactor::CwndLimited => "cwnd_limited",
+            FlowFactor::BottleneckShare => "bottleneck_share",
+        }
+    }
+
+    /// All factors, in diagnostic-priority order.
+    pub const ALL: [FlowFactor; 4] = [
+        FlowFactor::RtoStall,
+        FlowFactor::LossRecovery,
+        FlowFactor::CwndLimited,
+        FlowFactor::BottleneckShare,
+    ];
+}
+
+/// Per-flow resident state. Everything a live flow needs; dropped (and
+/// its timer slab slot freed) the moment the flow closes.
+struct FlowSlot {
+    sender: TcpSender,
+    recv: TcpReceiver,
+    /// Index into the profile's class list.
+    class: usize,
+    opened_at: SimTime,
+    /// Transfer size in bursts (the FIN point).
+    bursts: u64,
+    /// Ideal (uncontended) completion time: one RTT plus pure
+    /// serialization at the class bottleneck. The FCT normalizer.
+    ideal: SimDuration,
+    /// Paced flows transmit one burst per [`FlowEvent::Tx`], gapped at
+    /// the class bottleneck rate; unpaced flows dump the whole window.
+    paced: bool,
+    pace_gap: SimDuration,
+    next_pace_at: SimTime,
+    /// A `Tx` event is already scheduled (never double-arm).
+    tx_armed: bool,
+    /// The pending cancelable loss timer, with the deadline/kind it was
+    /// armed for (to skip no-op rearms).
+    timer: Option<(TimerId, SimTime, TimerKind)>,
+    /// A `Close` event has been pushed; ignore further completions.
+    closing: bool,
+}
+
+/// Aggregated outcome of one fleet run. Bounded size: histograms and
+/// interval records only — never per-flow data.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// Profile name.
+    pub name: String,
+    /// Flows opened (arrivals admitted).
+    pub flows_opened: u64,
+    /// Flows served to completion (== opened at end of run).
+    pub flows_served: u64,
+    /// High-water mark of simultaneously open flows.
+    pub peak_active: usize,
+    /// Slot-slab high-water mark (allocated flow slots). The O(active)
+    /// memory witness: `peak_slots == peak_active` regardless of
+    /// `flows_served`.
+    pub peak_slots: usize,
+    /// Events processed by the loop.
+    pub events: u64,
+    /// Past-time push clamps observed by the queue (should be 0).
+    pub past_clamps: u64,
+    /// Application bytes transferred by completed flows.
+    pub total_bytes: u64,
+    /// Simulated time when the last event fired.
+    pub finished_at: SimTime,
+    /// Flow-completion-time distribution, microseconds.
+    pub fct: HdrHistogram,
+    /// FCT slowdown distribution: `100 × fct / ideal_fct`, where the
+    /// ideal is one RTT plus pure serialization at the class
+    /// bottleneck. 100 = ideal; scale-free across profiles with
+    /// different RTTs and sizes.
+    pub slowdown: HdrHistogram,
+    /// FCT distribution per limiting factor (keys from
+    /// [`FlowFactor::name`]).
+    pub factors: BTreeMap<&'static str, HdrHistogram>,
+    /// Streaming interval series (`fct_us`, `goodput_mbps` metrics).
+    pub intervals: Vec<IntervalRecord>,
+    /// Samples the aggregator dropped below the watermark (must be 0:
+    /// closes are recorded at `now`, seals only trail it).
+    pub late_dropped: u64,
+    /// Bursts tail-dropped at a full class bottleneck buffer.
+    pub drops: u64,
+    /// Bursts put on the wire (including retransmissions).
+    pub wire_bursts: u64,
+    /// Sum of per-flow RTO firings (each one is a ≥ min-RTO stall).
+    pub rto_events: u64,
+    /// Sum of per-flow tail-loss-probe firings.
+    pub tlp_events: u64,
+    /// Sum of per-flow retransmitted bursts.
+    pub retx_bursts: u64,
+    /// Loss timers cancelled through the wheel's tombstone path.
+    pub timers_cancelled: u64,
+    /// Final queue health (slab balance asserted before returning).
+    pub health: QueueHealth,
+}
+
+impl FleetResult {
+    /// FCT quantile in microseconds (`None` until a flow completed).
+    pub fn fct_us(&self, q: f64) -> Option<u64> {
+        self.fct.quantile(q)
+    }
+
+    /// Slowdown quantile (`100` = ideal completion time).
+    pub fn slowdown_x100(&self, q: f64) -> Option<u64> {
+        self.slowdown.quantile(q)
+    }
+
+    /// Mean fleet goodput over the whole run, Gbit/s.
+    pub fn goodput_gbps(&self) -> f64 {
+        let secs = self.finished_at.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.total_bytes as f64 * 8.0 / secs / 1e9
+    }
+
+    /// "What limited the p99": for each factor, the number of its flows
+    /// with FCT above the fleet-wide p99, descending. The factor whose
+    /// flows dominate the tail is the fleet-level bottleneck verdict.
+    pub fn tail_rollup(&self) -> Vec<(&'static str, u64)> {
+        let Some(p99) = self.fct.quantile(0.99) else {
+            return Vec::new();
+        };
+        let mut rows: Vec<(&'static str, u64)> = FlowFactor::ALL
+            .iter()
+            .map(|f| {
+                let above = self
+                    .factors
+                    .get(f.name())
+                    .map(|h| {
+                        h.nonzero_buckets()
+                            .filter(|&(v, _)| v > p99)
+                            .map(|(_, c)| c)
+                            .sum()
+                    })
+                    .unwrap_or(0u64);
+                (f.name(), above)
+            })
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        rows
+    }
+}
+
+/// The fleet event loop. Build with [`FleetSim::new`], run with
+/// [`FleetSim::run`].
+pub struct FleetSim {
+    profile: FleetProfile,
+    fingerprint: u64,
+    /// Event budget: exceeding it trips the watchdog instead of
+    /// spinning forever (`None` = unlimited).
+    event_budget: Option<u64>,
+}
+
+impl FleetSim {
+    /// A runner for `profile`. Fails fast on an invalid profile.
+    pub fn new(profile: FleetProfile) -> Result<Self, SimError> {
+        let problems = profile.validate();
+        if !problems.is_empty() {
+            return Err(SimError::InvalidConfig(problems));
+        }
+        let fingerprint = profile.fingerprint();
+        Ok(FleetSim { profile, fingerprint, event_budget: None })
+    }
+
+    /// Trip the watchdog after `events` loop iterations (livelock /
+    /// runaway-retransmission protection for tests and CI).
+    pub fn with_event_budget(mut self, events: u64) -> Self {
+        self.event_budget = Some(events);
+        self
+    }
+
+    /// Execute the profile to completion: all arrivals within the
+    /// duration served, all flows closed, queue drained.
+    pub fn run(self) -> Result<FleetResult, SimError> {
+        Loop::new(&self.profile, self.fingerprint, self.event_budget).run()
+    }
+}
+
+/// All mutable loop state, separated from the config so handlers can
+/// split-borrow fields.
+struct Loop<'p> {
+    p: &'p FleetProfile,
+    /// Canonical profile fingerprint (per-flow draw seed base).
+    fingerprint: u64,
+    q: EventQueue<FlowEvent>,
+    slots: Vec<Option<FlowSlot>>,
+    /// Slot generations (parallel to `slots`), bumped on close.
+    gens: Vec<u32>,
+    free: Vec<u32>,
+    /// Per-class bottleneck: the time its FIFO becomes idle.
+    busy_until: Vec<SimTime>,
+    sampler: ArrivalSampler,
+    /// Arrival clock in float seconds (kept separate from SimTime so
+    /// ns rounding never perturbs the sampled sequence).
+    arrival_secs: f64,
+    /// An `Open` event is pending in the queue.
+    open_pending: bool,
+    agg: IntervalAggregator,
+    seal_pending: bool,
+    fct: HdrHistogram,
+    slowdown: HdrHistogram,
+    factors: BTreeMap<&'static str, HdrHistogram>,
+    flows_opened: u64,
+    flows_served: u64,
+    active: usize,
+    peak_active: usize,
+    total_bytes: u64,
+    drops: u64,
+    wire_bursts: u64,
+    rto_events: u64,
+    tlp_events: u64,
+    retx_bursts: u64,
+    timers_cancelled: u64,
+    events: u64,
+    budget: Option<u64>,
+}
+
+impl<'p> Loop<'p> {
+    fn new(p: &'p FleetProfile, fingerprint: u64, budget: Option<u64>) -> Self {
+        let mut q = EventQueue::with_capacity(1024);
+        let mut sampler = ArrivalSampler::new(p, fingerprint);
+        let first = sampler.next_arrival(0.0);
+        let duration_secs = p.duration.as_secs_f64();
+        let mut open_pending = false;
+        if first <= duration_secs {
+            q.push(SimTime::from_secs_f64(first), FlowEvent::Open);
+            open_pending = true;
+        }
+        let mut seal_pending = false;
+        if open_pending {
+            q.push(SimTime::ZERO + p.interval_width, FlowEvent::Seal);
+            seal_pending = true;
+        }
+        Loop {
+            q,
+            slots: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+            busy_until: vec![SimTime::ZERO; p.classes.len()],
+            sampler,
+            arrival_secs: first,
+            open_pending,
+            agg: IntervalAggregator::new(p.interval_width.as_nanos()),
+            seal_pending,
+            fct: HdrHistogram::new(),
+            slowdown: HdrHistogram::new(),
+            factors: BTreeMap::new(),
+            flows_opened: 0,
+            flows_served: 0,
+            active: 0,
+            peak_active: 0,
+            total_bytes: 0,
+            drops: 0,
+            wire_bursts: 0,
+            rto_events: 0,
+            tlp_events: 0,
+            retx_bursts: 0,
+            timers_cancelled: 0,
+            events: 0,
+            budget,
+            p,
+            fingerprint,
+        }
+    }
+
+    fn run(mut self) -> Result<FleetResult, SimError> {
+        while let Some((now, ev)) = self.q.pop() {
+            self.events += 1;
+            if let Some(budget) = self.budget {
+                if self.events > budget {
+                    return Err(SimError::Stalled {
+                        at: now,
+                        trip: WatchdogTrip::BudgetExhausted { events: self.events, budget },
+                    });
+                }
+            }
+            match ev {
+                FlowEvent::Open => self.on_open(now),
+                FlowEvent::Tx { slot, gen } => self.on_tx(now, slot, gen),
+                FlowEvent::Deliver { slot, gen, idx } => self.on_deliver(now, slot, gen, idx),
+                FlowEvent::Timer { slot, gen } => self.on_timer(now, slot, gen),
+                FlowEvent::Seal => self.on_seal(now),
+                FlowEvent::Close { slot, gen } => self.on_close(now, slot, gen),
+            }
+        }
+        self.finish()
+    }
+
+    // ---- event handlers --------------------------------------------------
+
+    fn on_open(&mut self, now: SimTime) {
+        self.open_pending = false;
+        let flow_id = self.flows_opened;
+        self.flows_opened += 1;
+        let draw = self.p.draw_flow(self.fingerprint, flow_id);
+        let class = &self.p.classes[draw.class];
+        let burst = self.p.burst;
+        let mtu = Bytes::new(FLEET_MTU);
+        let bdp = class.bottleneck.bdp(class.rtt);
+        // Buffers sized so the path, not the host, is the constraint:
+        // twice the BDP, floor of 16 bursts.
+        let buf = (bdp * 2).max(burst * 16);
+        let cc = class.cc.build(mtu, Bytes::new(INIT_CWND_MULT * FLEET_MTU));
+        let recv = TcpReceiver::new(burst, buf);
+        let initial_rwnd = recv.rwnd();
+        let mut sender = TcpSender::new(cc, burst, mtu, buf, initial_rwnd);
+        // Seed the estimator with the handshake RTT (RFC 6298 §2.2: the
+        // SYN/SYN-ACK exchange yields the first sample). Without it a
+        // flow that loses its very first burst sits out the 1 s
+        // no-sample initial RTO — a rung that would dominate every
+        // fleet tail quantile.
+        sender.rtt.on_sample(class.rtt, now);
+        sender.set_flow_bursts(draw.bursts);
+        let pace_gap = class.bottleneck.serialize_time(burst);
+        let ideal = class.rtt
+            + SimDuration::from_nanos(pace_gap.as_nanos().saturating_mul(draw.bursts));
+        let slot = FlowSlot {
+            sender,
+            recv,
+            class: draw.class,
+            opened_at: now,
+            bursts: draw.bursts,
+            ideal,
+            paced: class.pacing,
+            pace_gap,
+            next_pace_at: now,
+            tx_armed: false,
+            timer: None,
+            closing: false,
+        };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Some(slot);
+                i
+            }
+            None => {
+                self.slots.push(Some(slot));
+                self.gens.push(0);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.active += 1;
+        self.peak_active = self.peak_active.max(self.active);
+        self.pump(now, i);
+
+        // Schedule the next arrival while inside the horizon.
+        let next = self.sampler.next_arrival(self.arrival_secs);
+        self.arrival_secs = next;
+        if next <= self.p.duration.as_secs_f64() && self.flows_opened < self.p.max_flows {
+            self.q.push(SimTime::from_secs_f64(next), FlowEvent::Open);
+            self.open_pending = true;
+        }
+    }
+
+    fn on_tx(&mut self, now: SimTime, i: u32, gen: u32) {
+        if self.gens[i as usize] != gen {
+            return;
+        }
+        let Some(mut slot) = self.slots[i as usize].take() else { return };
+        slot.tx_armed = false;
+        match slot.sender.next_slot(now) {
+            SendSlot::Blocked => {}
+            SendSlot::New(idx) | SendSlot::Retransmit(idx) => {
+                self.transmit(now, i, gen, &mut slot, idx);
+                slot.next_pace_at = now + slot.pace_gap;
+            }
+        }
+        self.arm_tx(now, i, gen, &mut slot);
+        self.rearm_timer(now, i, gen, &mut slot);
+        self.slots[i as usize] = Some(slot);
+    }
+
+    fn on_deliver(&mut self, now: SimTime, i: u32, gen: u32, idx: u64) {
+        if self.gens[i as usize] != gen {
+            return;
+        }
+        let Some(mut slot) = self.slots[i as usize].take() else { return };
+        let ack = slot.recv.on_burst(idx);
+        // The application consumes immediately: the fleet measures
+        // transfer time, not receiver-app scheduling.
+        while slot.recv.app_read() {}
+        let _ = slot.sender.on_ack(ack.cum_ack, ack.acked_idx, ack.rwnd, now);
+        self.drive(now, i, gen, &mut slot);
+        if slot.sender.is_complete() && !slot.closing {
+            slot.closing = true;
+            self.q.push(now, FlowEvent::Close { slot: i, gen });
+        }
+        self.rearm_timer(now, i, gen, &mut slot);
+        self.slots[i as usize] = Some(slot);
+    }
+
+    fn on_timer(&mut self, now: SimTime, i: u32, gen: u32) {
+        if self.gens[i as usize] != gen {
+            return;
+        }
+        let Some(mut slot) = self.slots[i as usize].take() else { return };
+        slot.timer = None;
+        // Re-derive what is actually due (the deadline may have moved
+        // since arming; a moved deadline just rearms below).
+        if let Some((deadline, kind)) = slot.sender.timer_deadline() {
+            if deadline <= now {
+                match kind {
+                    TimerKind::Tlp => slot.sender.on_tlp(now),
+                    TimerKind::Rto => slot.sender.on_rto(now),
+                }
+                self.drive(now, i, gen, &mut slot);
+            }
+        }
+        self.rearm_timer(now, i, gen, &mut slot);
+        self.slots[i as usize] = Some(slot);
+    }
+
+    fn on_seal(&mut self, now: SimTime) {
+        self.seal_pending = false;
+        self.agg.seal_before(now.as_nanos());
+        if self.active > 0 || self.open_pending {
+            self.q.push(now + self.p.interval_width, FlowEvent::Seal);
+            self.seal_pending = true;
+        }
+    }
+
+    fn on_close(&mut self, now: SimTime, i: u32, gen: u32) {
+        debug_assert_eq!(self.gens[i as usize], gen, "close for a reused slot");
+        if self.gens[i as usize] != gen {
+            return;
+        }
+        let Some(mut slot) = self.slots[i as usize].take() else { return };
+        if let Some((id, _, _)) = slot.timer.take() {
+            // Teardown through the tombstone path: the slab slot must
+            // come back (asserted against `health()` at end of run).
+            if self.q.cancel_timer(id) {
+                self.timers_cancelled += 1;
+            }
+        }
+        let fct = now.saturating_since(slot.opened_at);
+        let fct_us = (fct.as_nanos() / 1_000).max(1);
+        let bytes = slot.bursts * self.p.burst.as_u64();
+        let goodput_mbps =
+            ((bytes as f64 * 8.0 / fct.as_secs_f64().max(1e-9)) / 1e6).round() as u64;
+        let slowdown_x100 =
+            (fct.as_nanos().saturating_mul(100) / slot.ideal.as_nanos().max(1)).max(100);
+        let t = now.as_nanos();
+        self.agg.record(t, "fct_us", fct_us);
+        self.agg.record(t, "goodput_mbps", goodput_mbps);
+        self.agg.record(t, "slowdown_x100", slowdown_x100);
+        self.fct.record(fct_us);
+        self.slowdown.record(slowdown_x100);
+        let factor = classify_flow(&slot);
+        self.factors.entry(factor.name()).or_default().record(fct_us);
+        self.rto_events += slot.sender.rto_events();
+        self.tlp_events += slot.sender.tlp_events();
+        self.retx_bursts += slot.sender.retx_bursts();
+        self.total_bytes += bytes;
+        self.flows_served += 1;
+        self.active -= 1;
+        self.gens[i as usize] = self.gens[i as usize].wrapping_add(1);
+        self.free.push(i);
+    }
+
+    // ---- flow mechanics --------------------------------------------------
+
+    /// Fill the app buffer and transmit whatever the window and pacing
+    /// mode allow right now.
+    fn drive(&mut self, now: SimTime, i: u32, gen: u32, slot: &mut FlowSlot) {
+        while slot.sender.app_can_write() {
+            slot.sender.app_wrote();
+        }
+        if slot.paced {
+            self.arm_tx(now, i, gen, slot);
+        } else {
+            loop {
+                match slot.sender.next_slot(now) {
+                    SendSlot::Blocked => break,
+                    SendSlot::New(idx) | SendSlot::Retransmit(idx) => {
+                        self.transmit(now, i, gen, slot, idx)
+                    }
+                }
+            }
+        }
+    }
+
+    /// First pump after open (also fills the app buffer).
+    fn pump(&mut self, now: SimTime, i: u32) {
+        let gen = self.gens[i as usize];
+        let Some(mut slot) = self.slots[i as usize].take() else { return };
+        self.drive(now, i, gen, &mut slot);
+        self.rearm_timer(now, i, gen, &mut slot);
+        self.slots[i as usize] = Some(slot);
+    }
+
+    /// Schedule the next paced transmit if one is due and none pending.
+    fn arm_tx(&mut self, now: SimTime, i: u32, gen: u32, slot: &mut FlowSlot) {
+        if slot.paced && !slot.tx_armed && slot.sender.can_send() {
+            let at = slot.next_pace_at.max(now);
+            self.q.push(at, FlowEvent::Tx { slot: i, gen });
+            slot.tx_armed = true;
+        }
+    }
+
+    /// Push one burst through the class bottleneck: FIFO queueing
+    /// behind `busy_until`, tail drop past the buffer cap, delivery
+    /// (data + returning ACK) one RTT after serialization.
+    fn transmit(&mut self, now: SimTime, i: u32, gen: u32, slot: &mut FlowSlot, idx: u64) {
+        slot.sender.mark_transmitted(idx, now);
+        let class = &self.p.classes[slot.class];
+        let start = self.busy_until[slot.class].max(now);
+        let backlog = class.bottleneck.bytes_in(start.saturating_since(now));
+        if backlog + self.p.burst > class.buffer {
+            // Tail drop: the sender discovers it via SACK holes or its
+            // loss timers. `busy_until` does not advance — the burst
+            // never occupied the link.
+            self.drops += 1;
+            return;
+        }
+        let ser = class.bottleneck.serialize_time(self.p.burst);
+        self.busy_until[slot.class] = start + ser;
+        self.wire_bursts += 1;
+        self.q.push(start + ser + class.rtt, FlowEvent::Deliver { slot: i, gen, idx });
+    }
+
+    /// Keep exactly one wheel timer matching the sender's earliest
+    /// deadline. Deadline changes cancel the stale timer through the
+    /// tombstone path; identical deadlines are left armed (no churn).
+    fn rearm_timer(&mut self, now: SimTime, i: u32, gen: u32, slot: &mut FlowSlot) {
+        let desired = slot.sender.timer_deadline();
+        match (slot.timer, desired) {
+            (None, None) => {}
+            (Some((_, at, kind)), Some((want_at, want_kind)))
+                if at == want_at.max(now) && kind == want_kind => {}
+            (cur, want) => {
+                if let Some((id, _, _)) = cur {
+                    if self.q.cancel_timer(id) {
+                        self.timers_cancelled += 1;
+                    }
+                    slot.timer = None;
+                }
+                if let Some((at, kind)) = want {
+                    // A deadline already in the past fires "now": clamp
+                    // so the queue never sees a past push.
+                    let at = at.max(now);
+                    let id = self.q.schedule_timer(at, FlowEvent::Timer { slot: i, gen });
+                    slot.timer = Some((id, at, kind));
+                }
+            }
+        }
+    }
+
+    // ---- run finish ------------------------------------------------------
+
+    fn finish(self) -> Result<FleetResult, SimError> {
+        let now = self.q.now();
+        if self.active != 0 {
+            return Err(SimError::StateCorruption {
+                at: now,
+                what: format!("queue drained with {} flows still open", self.active),
+            });
+        }
+        let health = self.q.health();
+        if health.slab_slots != health.free_slots {
+            return Err(SimError::StateCorruption {
+                at: now,
+                what: format!(
+                    "timer slab leaked: {} slots allocated, {} free",
+                    health.slab_slots, health.free_slots
+                ),
+            });
+        }
+        if health.len != 0 {
+            return Err(SimError::StateCorruption {
+                at: now,
+                what: format!("{} events still pending after drain", health.len),
+            });
+        }
+        let late_dropped = self.agg.late();
+        Ok(FleetResult {
+            name: self.p.name.clone(),
+            flows_opened: self.flows_opened,
+            flows_served: self.flows_served,
+            peak_active: self.peak_active,
+            peak_slots: self.slots.len(),
+            events: self.events,
+            past_clamps: self.q.past_clamps(),
+            total_bytes: self.total_bytes,
+            finished_at: now,
+            fct: self.fct,
+            slowdown: self.slowdown,
+            factors: self.factors,
+            intervals: self.agg.finish(),
+            late_dropped,
+            drops: self.drops,
+            wire_bursts: self.wire_bursts,
+            rto_events: self.rto_events,
+            tlp_events: self.tlp_events,
+            retx_bursts: self.retx_bursts,
+            timers_cancelled: self.timers_cancelled,
+            health,
+        })
+    }
+}
+
+/// Judge what limited a flow from its sender counters, in diagnostic
+/// priority order (an RTO dwarfs everything; loss recovery dominates
+/// window shaping; a mostly-cwnd-limited flow was window-bound).
+fn classify_flow(slot: &FlowSlot) -> FlowFactor {
+    let s = &slot.sender;
+    if s.rto_events() > 0 {
+        FlowFactor::RtoStall
+    } else if s.retx_bursts() > 0 || s.tlp_events() > 0 {
+        FlowFactor::LossRecovery
+    } else if s.acks_processed() > 0 && s.cwnd_limited_acks() * 2 >= s.acks_processed() {
+        FlowFactor::CwndLimited
+    } else {
+        FlowFactor::BottleneckShare
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{ArrivalProcess, Diurnal, FleetClass, SizeDist};
+    use simcore::BitRate;
+    use tcpstack::CcAlgorithm;
+
+    fn wan_class(pacing: bool) -> FleetClass {
+        FleetClass {
+            name: "wan".into(),
+            weight: 1,
+            cc: CcAlgorithm::Cubic,
+            pacing,
+            rtt: SimDuration::from_millis(10),
+            bottleneck: BitRate::gbps(10.0),
+            buffer: Bytes::mib(8),
+        }
+    }
+
+    fn small_profile(rate: f64, secs: u64) -> FleetProfile {
+        let mut p = FleetProfile::new(
+            "unit",
+            ArrivalProcess::Poisson { rate_per_sec: rate },
+            SizeDist::BoundedPareto { alpha: 1.3, min_bytes: 65_536, max_bytes: 4 << 20 },
+        );
+        p.duration = SimDuration::from_secs(secs);
+        p.classes.push(wan_class(false));
+        p
+    }
+
+    #[test]
+    fn serves_every_arrival_and_balances_the_slab() {
+        let r = FleetSim::new(small_profile(500.0, 2))
+            .expect("profile is valid")
+            .with_event_budget(50_000_000)
+            .run()
+            .expect("run completes");
+        assert!(r.flows_opened > 500, "expected ~1000 arrivals, got {}", r.flows_opened);
+        assert_eq!(r.flows_opened, r.flows_served);
+        assert_eq!(r.late_dropped, 0, "closes are recorded at now; seals trail");
+        assert_eq!(r.health.slab_slots, r.health.free_slots);
+        assert_eq!(r.health.len, 0);
+        assert_eq!(r.past_clamps, 0);
+        assert_eq!(r.fct.count(), r.flows_served);
+        assert!(r.peak_active >= 1);
+        assert!(r.peak_slots <= r.peak_active, "slots are reused, never hoarded");
+        assert!(!r.intervals.is_empty());
+        let interval_flows: u64 =
+            r.intervals.iter().filter_map(|rec| rec.metrics.get("fct_us")).map(|h| h.count()).sum();
+        assert_eq!(interval_flows, r.flows_served, "every close lands in an interval");
+    }
+
+    #[test]
+    fn fct_quantiles_are_monotone() {
+        let r = FleetSim::new(small_profile(800.0, 2))
+            .expect("profile is valid")
+            .with_event_budget(50_000_000)
+            .run()
+            .expect("run completes");
+        let p50 = r.fct_us(0.50).expect("flows completed");
+        let p99 = r.fct_us(0.99).expect("flows completed");
+        let p999 = r.fct_us(0.999).expect("flows completed");
+        assert!(p50 <= p99 && p99 <= p999, "p50 {p50} <= p99 {p99} <= p999 {p999}");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = FleetSim::new(small_profile(300.0, 1))
+            .expect("valid")
+            .run()
+            .expect("run completes");
+        let b = FleetSim::new(small_profile(300.0, 1))
+            .expect("valid")
+            .run()
+            .expect("run completes");
+        assert_eq!(a.flows_served, b.flows_served);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.fct, b.fct);
+        assert_eq!(a.total_bytes, b.total_bytes);
+        assert_eq!(
+            a.intervals.iter().map(|r| r.to_json_line()).collect::<Vec<_>>(),
+            b.intervals.iter().map(|r| r.to_json_line()).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn mmpp_diurnal_profile_completes_with_mixed_classes() {
+        let mut p = FleetProfile::new(
+            "mixed",
+            ArrivalProcess::Mmpp2 {
+                calm_rate: 50.0,
+                burst_rate: 2_000.0,
+                mean_calm_secs: 0.2,
+                mean_burst_secs: 0.02,
+            },
+            SizeDist::LogNormal { median_bytes: 256_000.0, sigma: 1.2 },
+        );
+        p.duration = SimDuration::from_secs(2);
+        p.classes.push(wan_class(false));
+        p.classes.push(FleetClass {
+            name: "paced".into(),
+            weight: 2,
+            cc: CcAlgorithm::BbrV3,
+            pacing: true,
+            rtt: SimDuration::from_millis(1),
+            bottleneck: BitRate::gbps(25.0),
+            buffer: Bytes::mib(4),
+        });
+        p.diurnal = Some(Diurnal { amplitude: 0.5, period_secs: 1.0 });
+        let r = FleetSim::new(p)
+            .expect("valid")
+            .with_event_budget(100_000_000)
+            .run()
+            .expect("run completes");
+        assert_eq!(r.flows_opened, r.flows_served);
+        assert_eq!(r.health.slab_slots, r.health.free_slots);
+        assert!(r.timers_cancelled > 0, "completing flows must cancel armed loss timers");
+    }
+
+    #[test]
+    fn shallow_buffer_incast_drops_and_recovers() {
+        let mut p = FleetProfile::new(
+            "incast",
+            ArrivalProcess::Mmpp2 {
+                calm_rate: 10.0,
+                burst_rate: 20_000.0,
+                mean_calm_secs: 0.05,
+                mean_burst_secs: 0.005,
+            },
+            SizeDist::BoundedPareto { alpha: 1.1, min_bytes: 32_768, max_bytes: 1 << 20 },
+        );
+        p.burst = Bytes::kib(16);
+        p.duration = SimDuration::from_millis(500);
+        p.classes.push(FleetClass {
+            name: "leaf".into(),
+            weight: 1,
+            cc: CcAlgorithm::Cubic,
+            pacing: false,
+            rtt: SimDuration::from_micros(200),
+            bottleneck: BitRate::gbps(10.0),
+            buffer: Bytes::kib(256),
+        });
+        let r = FleetSim::new(p)
+            .expect("valid")
+            .with_event_budget(100_000_000)
+            .run()
+            .expect("incast drains despite drops");
+        assert_eq!(r.flows_opened, r.flows_served);
+        assert!(r.drops > 0, "a shallow buffer under incast must tail-drop");
+        assert!(
+            r.factors.contains_key("rto_stall") || r.factors.contains_key("loss_recovery"),
+            "dropped flows must be classified as loss-limited: {:?}",
+            r.factors.keys().collect::<Vec<_>>()
+        );
+        let rollup = r.tail_rollup();
+        assert!(!rollup.is_empty());
+    }
+
+    #[test]
+    fn event_budget_trips_the_watchdog() {
+        let err = FleetSim::new(small_profile(500.0, 2))
+            .expect("valid")
+            .with_event_budget(50)
+            .run()
+            .expect_err("50 events cannot serve ~1000 flows");
+        assert!(matches!(
+            err,
+            SimError::Stalled { trip: WatchdogTrip::BudgetExhausted { .. }, .. }
+        ));
+    }
+
+    #[test]
+    fn invalid_profile_is_rejected() {
+        let mut p = small_profile(100.0, 1);
+        p.classes.clear();
+        assert!(matches!(FleetSim::new(p), Err(SimError::InvalidConfig(_))));
+    }
+}

@@ -24,6 +24,9 @@
 //! there is no formula anywhere that "decides" the throughput.
 
 #![deny(unreachable_pub)]
+// Recoverable failures carry typed errors; every surviving `expect`
+// states its infallibility argument (tests are exempt).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,10 +35,12 @@ pub mod attribution;
 pub mod config;
 pub mod error;
 pub mod faults;
+pub mod fleet;
 pub mod host;
 pub mod result;
 pub mod sim;
 pub mod telemetry;
+pub mod workload;
 
 pub use attribution::{
     classify, Attribution, BottleneckVerdict, CoreProfile, IntervalObs, LimitingFactor,
@@ -46,4 +51,8 @@ pub use error::SimError;
 pub use faults::{Fault, FaultEvent, FaultPlan};
 pub use result::{FlowResult, RunResult};
 pub use sim::{RunningSim, SimCheckpoint, Simulation};
+pub use fleet::{FleetResult, FleetSim, FlowEvent, FlowFactor};
 pub use telemetry::{CaState, FlowTrace, HostSample, HostTrace, TcpInfoSample, Telemetry};
+pub use workload::{
+    ArrivalProcess, ArrivalSampler, Diurnal, FleetClass, FleetProfile, FlowDraw, SizeDist,
+};

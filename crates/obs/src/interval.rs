@@ -34,7 +34,8 @@ pub struct IntervalRecord {
 
 impl IntervalRecord {
     /// Render as one JSON line: exact ints for count/min/max, decimal
-    /// floats for mean, and the bounded-error p50/p90/p99 quantiles.
+    /// floats for mean, and the bounded-error p50/p90/p99/p999
+    /// quantiles (p999 is the fleet-workload tail-latency headline).
     pub fn to_json_line(&self) -> String {
         let mut out = format!("{{\"start\":{},\"width\":{},\"metrics\":{{", self.start, self.width);
         let mut first = true;
@@ -44,7 +45,7 @@ impl IntervalRecord {
             }
             first = false;
             out.push_str(&format!(
-                "\"{}\":{{\"count\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                "\"{}\":{{\"count\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}",
                 json_escape(name),
                 h.count(),
                 h.min().unwrap_or(0),
@@ -53,6 +54,7 @@ impl IntervalRecord {
                 h.quantile(0.50).unwrap_or(0),
                 h.quantile(0.90).unwrap_or(0),
                 h.quantile(0.99).unwrap_or(0),
+                h.quantile(0.999).unwrap_or(0),
             ));
         }
         out.push_str("}}");
@@ -110,6 +112,8 @@ impl IntervalAggregator {
             if idx >= first_open {
                 break;
             }
+            // Infallible: the `while let` above just observed a first
+            // entry and nothing was removed since.
             let (idx, metrics) = self.open.pop_first().expect("checked non-empty");
             self.sealed.push(IntervalRecord { start: idx * self.width, width: self.width, metrics });
         }
@@ -205,6 +209,7 @@ mod tests {
         assert!(line.contains("\"goodput_bps\":{\"count\":1,"));
         assert!(line.contains("\"rtt_us\":"));
         assert!(line.contains("\"p99\":"));
+        assert!(line.contains("\"p999\":"));
         assert!(line.ends_with("}}"));
     }
 

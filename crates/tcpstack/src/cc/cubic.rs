@@ -90,10 +90,9 @@ impl Cubic {
                 return;
             }
             Some(m) => {
-                if rtt < m {
-                    self.hystart_min_rtt = Some(rtt);
-                }
-                self.hystart_min_rtt.unwrap()
+                let m = m.min(rtt);
+                self.hystart_min_rtt = Some(m);
+                m
             }
         };
         // RFC 9406: RttThresh = clamp(MIN_RTT_THRESH, baseRTT/8,

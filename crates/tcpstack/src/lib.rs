@@ -21,6 +21,9 @@
 //! iperf3's `Retr` column) counts.
 
 #![deny(unreachable_pub)]
+// Recoverable failures carry typed errors; every surviving `expect`
+// states its infallibility argument (tests are exempt).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

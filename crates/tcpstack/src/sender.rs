@@ -105,6 +105,13 @@ pub struct TcpSender {
     /// Of those, ACKs where the flight pressed against cwnd — Linux's
     /// `tcp_is_cwnd_limited()` signal, counted for attribution.
     cwnd_limited_acks: u64,
+    /// Total application bursts for a finite flow (`None` = unbounded,
+    /// the iperf3-style duration-driven mode). The flow FINs once the
+    /// last burst is written and completes when it is cumulatively
+    /// acknowledged (the FIN's ACK, at burst granularity).
+    flow_bursts: Option<u64>,
+    /// Bursts the application has written so far (finite-flow gate).
+    bursts_written: u64,
 }
 
 impl std::fmt::Debug for TcpSender {
@@ -157,7 +164,36 @@ impl TcpSender {
             tlp_events: 0,
             acks_processed: 0,
             cwnd_limited_acks: 0,
+            flow_bursts: None,
+            bursts_written: 0,
         }
+    }
+
+    /// Make this a finite flow of exactly `bursts` application bursts.
+    /// After the limit is written, [`TcpSender::app_can_write`] stays
+    /// false; the flow is [`TcpSender::is_complete`] once every burst
+    /// is cumulatively acknowledged.
+    pub fn set_flow_bursts(&mut self, bursts: u64) {
+        assert!(bursts > 0, "a finite flow must carry at least one burst");
+        self.flow_bursts = Some(bursts);
+    }
+
+    /// The finite-flow size in bursts, if one was set.
+    pub fn flow_bursts(&self) -> Option<u64> {
+        self.flow_bursts
+    }
+
+    /// Bursts still to be written by the application of a finite flow
+    /// (`None` for unbounded flows).
+    pub fn remaining_app_bursts(&self) -> Option<u64> {
+        self.flow_bursts.map(|n| n.saturating_sub(self.bursts_written))
+    }
+
+    /// A finite flow is complete when its last burst is cumulatively
+    /// acknowledged — the burst-granularity equivalent of the FIN being
+    /// ACKed. Unbounded flows never complete.
+    pub fn is_complete(&self) -> bool {
+        self.flow_bursts.is_some_and(|n| self.snd_una >= n)
     }
 
     /// Bytes in flight (sent, not acked, not marked lost).
@@ -180,13 +216,21 @@ impl TcpSender {
 
     /// Can the application write another burst into the socket?
     pub fn app_can_write(&self) -> bool {
+        if self.flow_bursts.is_some_and(|n| self.bursts_written >= n) {
+            return false;
+        }
         let queued = Bytes::new(self.app_buffered * self.burst.as_u64()) + self.inflight();
         queued + self.burst <= self.sndbuf_limit()
     }
 
     /// The application wrote one burst into the socket buffer.
     pub fn app_wrote(&mut self) {
+        debug_assert!(
+            self.flow_bursts.is_none_or(|n| self.bursts_written < n),
+            "app wrote past the finite-flow size"
+        );
         self.app_buffered += 1;
+        self.bursts_written += 1;
     }
 
     /// Bursts buffered but not yet transmitted.
@@ -252,6 +296,12 @@ impl TcpSender {
                 o.sent_at = now;
             }
         }
+        // The probe timeout runs from the last *send* (Linux arms the
+        // TLP timer on every transmitted packet), not only from ACK
+        // progress: a flow opened mid-simulation would otherwise
+        // compute its first deadline from time zero — far in the past —
+        // and fire one spurious probe per flow.
+        self.last_progress = self.last_progress.max(now);
     }
 
     /// Process an ACK `(cum_ack, acked_idx, rwnd)` arriving at `now`.
@@ -695,6 +745,56 @@ mod tests {
         }
         assert!(writes < 100, "sndbuf must bound buffered writes, wrote {writes}");
         assert!(writes >= 2);
+    }
+
+    #[test]
+    fn finite_flow_gates_writes_and_completes_on_final_ack() {
+        let mut s = sender();
+        s.set_flow_bursts(3);
+        assert_eq!(s.remaining_app_bursts(), Some(3));
+        let mut writes = 0;
+        while s.app_can_write() {
+            s.app_wrote();
+            writes += 1;
+        }
+        assert_eq!(writes, 3, "writes must stop at the flow size");
+        assert_eq!(s.remaining_app_bursts(), Some(0));
+        for i in 0..3 {
+            assert!(matches!(s.next_slot(SimTime::ZERO), SendSlot::New(idx) if idx == i));
+        }
+        assert!(!s.is_complete(), "unacked data: not complete");
+        s.on_ack(2, 1, Bytes::gib(1), SimTime::from_nanos(100));
+        assert!(!s.is_complete(), "last burst still outstanding");
+        s.on_ack(3, 2, Bytes::gib(1), SimTime::from_nanos(200));
+        assert!(s.is_complete(), "all bursts cum-acked: FIN acked");
+    }
+
+    #[test]
+    fn finite_flow_completes_after_loss_recovery() {
+        let mut s = sender();
+        s.set_flow_bursts(5);
+        fill(&mut s, 5);
+        let t = SimTime::from_nanos(10_000);
+        // Burst 0 lost; SACKs 1..=3 trigger fast retransmit.
+        s.on_ack(0, 1, Bytes::gib(1), t);
+        s.on_ack(0, 2, Bytes::gib(1), t);
+        s.on_ack(0, 3, Bytes::gib(1), t);
+        assert!(matches!(s.next_slot(t), SendSlot::Retransmit(0)));
+        assert!(!s.is_complete());
+        // Hole filled: cum jumps over everything.
+        s.on_ack(5, 0, Bytes::gib(1), t);
+        assert!(s.is_complete());
+        assert_eq!(s.inflight(), Bytes::ZERO);
+    }
+
+    #[test]
+    fn unbounded_flow_never_completes() {
+        let mut s = sender();
+        fill(&mut s, 2);
+        s.on_ack(2, 1, Bytes::gib(1), SimTime::from_nanos(50));
+        assert!(!s.is_complete());
+        assert_eq!(s.flow_bursts(), None);
+        assert_eq!(s.remaining_app_bursts(), None);
     }
 
     #[test]
